@@ -1,0 +1,937 @@
+(* Experiment harness.
+
+   The paper (PODC 2006) is a theory paper: it has no result tables and
+   its six figures illustrate definitions. Every quantitative claim is
+   a theorem or lemma; this harness regenerates one table per claim
+   (E1-E12, see DESIGN.md section 3 and EXPERIMENTS.md for the
+   paper-vs-measured record) and finishes with Bechamel
+   micro-benchmarks of each pipeline stage.
+
+   Run with:  dune exec bench/main.exe            (all experiments)
+              dune exec bench/main.exe -- E4 E8   (a subset)
+              dune exec bench/main.exe -- quick   (smaller sweeps) *)
+
+module Wgraph = Graph.Wgraph
+module Model = Ubg.Model
+module Relaxed_greedy = Topo.Relaxed_greedy
+module Report = Analysis.Report
+module Metrics = Analysis.Metrics
+
+let quick = ref false
+
+let model_of ~seed ~n ~dim ~alpha =
+  let side =
+    Ubg.Generator.side_for_expected_degree ~dim ~n ~alpha ~degree:10.0
+  in
+  Ubg.Generator.connected ~seed ~dim ~n ~alpha
+    (Ubg.Generator.Uniform { side })
+
+let log_ref n =
+  log (float_of_int n) /. log 2.0
+  *. float_of_int (Distrib.Dist_greedy.log_star (float_of_int n))
+
+(* ------------------------------------------------------------------ *)
+(* Shared sweep for E1/E2/E3/E5/E6: one relaxed-greedy build per       *)
+(* (eps, n) cell, measured once.                                       *)
+(* ------------------------------------------------------------------ *)
+
+type cell = {
+  eps : float;
+  n : int;
+  m_in : int;
+  summary : Metrics.summary;
+  max_qpc : int; (* Lemma 4 quantity, max over phases *)
+  max_inter : int; (* Lemma 6 quantity, max over phases *)
+  seconds : float;
+}
+
+let sweep_cells =
+  lazy
+    (let epss = [ 0.25; 0.5; 1.0 ] in
+     let ns = if !quick then [ 150; 300 ] else [ 150; 300; 600; 1200 ] in
+     List.concat_map
+       (fun eps ->
+         List.map
+           (fun n ->
+             let model = model_of ~seed:(42 + n) ~n ~dim:2 ~alpha:0.8 in
+             let t0 = Unix.gettimeofday () in
+             let r = Relaxed_greedy.build_eps ~eps model in
+             let seconds = Unix.gettimeofday () -. t0 in
+             let summary =
+               Metrics.summarize ~base:model.Model.graph
+                 r.Relaxed_greedy.spanner
+             in
+             let max_qpc =
+               List.fold_left
+                 (fun acc (s : Relaxed_greedy.phase_stats) ->
+                   max acc s.max_queries_per_cluster)
+                 0 r.Relaxed_greedy.stats
+             and max_inter =
+               List.fold_left
+                 (fun acc (s : Relaxed_greedy.phase_stats) ->
+                   max acc s.max_inter_degree)
+                 0 r.Relaxed_greedy.stats
+             in
+             {
+               eps;
+               n;
+               m_in = Wgraph.n_edges model.Model.graph;
+               summary;
+               max_qpc;
+               max_inter;
+               seconds;
+             })
+           ns)
+       epss)
+
+let e1 () =
+  let t =
+    Report.create
+      ~title:"E1 (Theorem 10): stretch of G' stays within t = 1 + eps"
+      ~columns:[ "eps"; "n"; "m_in"; "m_out"; "stretch"; "t"; "ok" ]
+  in
+  List.iter
+    (fun c ->
+      Report.add_row t
+        [
+          Report.cell_f c.eps;
+          Report.cell_i c.n;
+          Report.cell_i c.m_in;
+          Report.cell_i c.summary.Metrics.n_edges;
+          Printf.sprintf "%.4f" c.summary.Metrics.edge_stretch;
+          Report.cell_f (1.0 +. c.eps);
+          (if c.summary.Metrics.edge_stretch <= 1.0 +. c.eps +. 1e-9 then "yes"
+           else "NO");
+        ])
+    (Lazy.force sweep_cells);
+  Report.print t
+
+let e2 () =
+  let t =
+    Report.create ~title:"E2 (Theorem 11): maximum degree is flat in n"
+      ~columns:[ "eps"; "n"; "max degree"; "avg degree" ]
+  in
+  List.iter
+    (fun c ->
+      Report.add_row t
+        [
+          Report.cell_f c.eps;
+          Report.cell_i c.n;
+          Report.cell_i c.summary.Metrics.max_degree;
+          Printf.sprintf "%.2f" c.summary.Metrics.avg_degree;
+        ])
+    (Lazy.force sweep_cells);
+  Report.print t
+
+let e3 () =
+  let t =
+    Report.create ~title:"E3 (Theorem 13): spanner weight is O(w(MST))"
+      ~columns:[ "eps"; "n"; "w(G')/w(MST)"; "power/MST-power"; "build s" ]
+  in
+  List.iter
+    (fun c ->
+      Report.add_row t
+        [
+          Report.cell_f c.eps;
+          Report.cell_i c.n;
+          Report.cell_f c.summary.Metrics.mst_ratio;
+          Report.cell_f c.summary.Metrics.power_ratio;
+          Printf.sprintf "%.2f" c.seconds;
+        ])
+    (Lazy.force sweep_cells);
+  Report.print t
+
+let e4 () =
+  let t =
+    Report.create
+      ~title:
+        "E4 (main theorem): distributed rounds vs O(log n log* n) (eps = 0.5)"
+      ~columns:
+        [
+          "n"; "rounds"; "gather"; "cover MIS"; "redund. MIS"; "log n log* n";
+          "ratio"; "stretch";
+        ]
+  in
+  let ns = if !quick then [ 100; 200 ] else [ 100; 200; 400; 800 ] in
+  List.iter
+    (fun n ->
+      let model = model_of ~seed:(7 + n) ~n ~dim:2 ~alpha:0.8 in
+      let r = Distrib.Dist_greedy.build_eps ~seed:n ~eps:0.5 model in
+      let g, c, rd =
+        List.fold_left
+          (fun (g, c, rd) (tr : Distrib.Dist_greedy.phase_trace) ->
+            ( g + tr.gather_rounds,
+              c + tr.cover_mis_rounds,
+              rd + tr.redundant_mis_rounds ))
+          (0, 0, 0) r.Distrib.Dist_greedy.traces
+      in
+      let stretch =
+        Topo.Verify.edge_stretch ~base:model.Model.graph
+          ~spanner:r.Distrib.Dist_greedy.spanner
+      in
+      Report.add_row t
+        [
+          Report.cell_i n;
+          Report.cell_i r.Distrib.Dist_greedy.rounds;
+          Report.cell_i g;
+          Report.cell_i c;
+          Report.cell_i rd;
+          Printf.sprintf "%.1f" (log_ref n);
+          Printf.sprintf "%.1f"
+            (float_of_int r.Distrib.Dist_greedy.rounds /. log_ref n);
+          Printf.sprintf "%.4f" stretch;
+        ])
+    ns;
+  Report.print t;
+  print_endline "   (a flat ratio column is the paper's O(log n log* n) shape)"
+
+let e5 () =
+  let t =
+    Report.create
+      ~title:
+        "E5 (Lemma 4): query edges incident on a cluster, max over phases"
+      ~columns:[ "eps"; "n"; "max queries/cluster" ]
+  in
+  List.iter
+    (fun c ->
+      Report.add_row t
+        [ Report.cell_f c.eps; Report.cell_i c.n; Report.cell_i c.max_qpc ])
+    (Lazy.force sweep_cells);
+  Report.print t
+
+let e6 () =
+  let t =
+    Report.create
+      ~title:
+        "E6 (Lemma 6): inter-cluster edges per center in H, max over phases"
+      ~columns:[ "eps"; "n"; "max inter-degree" ]
+  in
+  List.iter
+    (fun c ->
+      Report.add_row t
+        [ Report.cell_f c.eps; Report.cell_i c.n; Report.cell_i c.max_inter ])
+    (Lazy.force sweep_cells);
+  Report.print t
+
+(* E7: hop count needed by cluster-graph queries vs the Lemma 8 bound.
+   Rebuilds a phase context (partial spanner of edges <= W_{i-1},
+   cover, H) and, for each bin edge whose query succeeds, finds the
+   smallest hop budget that answers it. *)
+let e7 () =
+  let t =
+    Report.create
+      ~title:"E7 (Lemma 8 / Theorem 9): hops needed by H-queries vs bound"
+      ~columns:
+        [ "eps"; "W_{i-1}"; "queries"; "answered"; "max hops used"; "bound" ]
+  in
+  let n = if !quick then 150 else 300 in
+  let model = model_of ~seed:77 ~n ~dim:2 ~alpha:0.8 in
+  List.iter
+    (fun eps ->
+      let params = Topo.Params.make ~t:(1.0 +. eps) ~alpha:0.8 ~dim:2 () in
+      List.iter
+        (fun w_prev ->
+          let short = Wgraph.create (Model.n model) in
+          Wgraph.iter_edges model.Model.graph (fun u v w ->
+              if w <= w_prev then Wgraph.add_edge short u v w);
+          let spanner = Topo.Seq_greedy.spanner short ~t:(1.0 +. eps) in
+          let radius = params.Topo.Params.delta *. w_prev in
+          let cover = Topo.Cluster_cover.compute spanner ~radius in
+          let h = Topo.Cluster_graph.build ~spanner ~cover ~w_prev in
+          let bound_hops = Topo.Params.query_hop_limit params in
+          let bin =
+            List.filter
+              (fun (e : Wgraph.edge) ->
+                e.w > w_prev && e.w <= w_prev *. params.Topo.Params.r)
+              (Wgraph.edges model.Model.graph)
+          in
+          let answered = ref 0 and max_hops_used = ref 0 in
+          List.iter
+            (fun (e : Wgraph.edge) ->
+              let budget = params.Topo.Params.t *. e.w in
+              if
+                Topo.Cluster_graph.sp_upto h ~max_hops:bound_hops e.u e.v
+                  ~bound:budget
+                <= budget
+              then begin
+                incr answered;
+                let rec need k =
+                  if
+                    Topo.Cluster_graph.sp_upto h ~max_hops:k e.u e.v
+                      ~bound:budget
+                    <= budget
+                  then k
+                  else need (k + 1)
+                in
+                let k = need 1 in
+                if k > !max_hops_used then max_hops_used := k
+              end)
+            bin;
+          Report.add_row t
+            [
+              Report.cell_f eps;
+              Report.cell_f w_prev;
+              Report.cell_i (List.length bin);
+              Report.cell_i !answered;
+              Report.cell_i !max_hops_used;
+              Report.cell_i bound_hops;
+            ])
+        [ 0.15; 0.3; 0.6 ])
+    [ 0.5; 1.0 ];
+  Report.print t
+
+(* E8: the Section 1.3 comparison. Reference points from the paper's
+   related work: [15] computes a planar t ~ 6.2 spanner with degree
+   <= 25 in linearly many rounds; this paper achieves any 1 + eps. *)
+let e8 () =
+  let n = if !quick then 250 else 500 in
+  let eps = 0.5 in
+  let model = model_of ~seed:8 ~n ~dim:2 ~alpha:0.8 in
+  let base = model.Model.graph in
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E8 (Section 1.3): algorithm comparison, n = %d, alpha = 0.8, t = %.1f"
+           n (1.0 +. eps))
+      ~columns:
+        [ "algorithm"; "edges"; "maxdeg"; "stretch"; "w/MST"; "power/MST" ]
+  in
+  let row name g =
+    let s = Metrics.summarize ~base g in
+    Report.add_row t
+      [
+        name;
+        Report.cell_i s.Metrics.n_edges;
+        Report.cell_i s.Metrics.max_degree;
+        Report.cell_f s.Metrics.edge_stretch;
+        Report.cell_f s.Metrics.mst_ratio;
+        Report.cell_f s.Metrics.power_ratio;
+      ]
+  in
+  row "input UBG" base;
+  row "relaxed greedy (paper)"
+    (Relaxed_greedy.build_eps ~eps model).Relaxed_greedy.spanner;
+  row "SEQ-GREEDY" (Topo.Seq_greedy.spanner base ~t:(1.0 +. eps));
+  row "yao (8 cones)" (Baselines.Cone_graphs.yao model ~cones:8);
+  row "theta (8 cones)" (Baselines.Cone_graphs.theta model ~cones:8);
+  row "gabriel" (Baselines.Proximity_graphs.gabriel model);
+  row "rng" (Baselines.Proximity_graphs.rng model);
+  row "lmst" (Baselines.Lmst.build model);
+  row "xtc" (Baselines.Xtc.build model);
+  row "unit delaunay" (Baselines.Udel.build model);
+  row "bounded planar [15]" (Baselines.Bounded_planar.build model);
+  row "mst" (Graph.Mst.forest base);
+  Report.print t;
+  print_endline
+    "   (paper ref [15]: planar spanner with t ~ 6.2, degree <= 25, linear \
+     rounds;";
+  print_endline
+    "    this paper: any t = 1 + eps, O(1) degree, O(log n log* n) rounds)"
+
+let e9 () =
+  let n = if !quick then 200 else 400 in
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E9 (Section 1.1): robustness across alpha (n = %d, eps = 0.5)" n)
+      ~columns:[ "alpha"; "m_in"; "m_out"; "stretch"; "maxdeg"; "w/MST" ]
+  in
+  List.iter
+    (fun alpha ->
+      let model = model_of ~seed:9 ~n ~dim:2 ~alpha in
+      let r = Relaxed_greedy.build_eps ~eps:0.5 model in
+      let s =
+        Metrics.summarize ~base:model.Model.graph r.Relaxed_greedy.spanner
+      in
+      Report.add_row t
+        [
+          Report.cell_f alpha;
+          Report.cell_i (Wgraph.n_edges model.Model.graph);
+          Report.cell_i s.Metrics.n_edges;
+          Printf.sprintf "%.4f" s.Metrics.edge_stretch;
+          Report.cell_i s.Metrics.max_degree;
+          Report.cell_f s.Metrics.mst_ratio;
+        ])
+    [ 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ];
+  Report.print t
+
+let e10 () =
+  let n = if !quick then 150 else 300 in
+  let t =
+    Report.create
+      ~title:"E10 (Section 1.1): robustness across dimension (eps = 0.5)"
+      ~columns:[ "d"; "n"; "m_in"; "m_out"; "stretch"; "maxdeg"; "w/MST" ]
+  in
+  List.iter
+    (fun dim ->
+      let model = model_of ~seed:10 ~n ~dim ~alpha:0.7 in
+      let r = Relaxed_greedy.build_eps ~eps:0.5 model in
+      let s =
+        Metrics.summarize ~base:model.Model.graph r.Relaxed_greedy.spanner
+      in
+      Report.add_row t
+        [
+          Report.cell_i dim;
+          Report.cell_i n;
+          Report.cell_i (Wgraph.n_edges model.Model.graph);
+          Report.cell_i s.Metrics.n_edges;
+          Printf.sprintf "%.4f" s.Metrics.edge_stretch;
+          Report.cell_i s.Metrics.max_degree;
+          Report.cell_f s.Metrics.mst_ratio;
+        ])
+    [ 2; 3; 4 ];
+  Report.print t
+
+let e11 () =
+  let n = if !quick then 150 else 300 in
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E11 (Sections 1.6.2-1.6.3): energy metric |uv|^gamma (n = %d, \
+            eps = 0.5)"
+           n)
+      ~columns:
+        [
+          "gamma"; "m_out"; "energy stretch"; "maxdeg"; "energy w/MST";
+          "power saved";
+        ]
+  in
+  let model = model_of ~seed:11 ~n ~dim:2 ~alpha:0.8 in
+  List.iter
+    (fun gamma ->
+      let metric = Geometry.Metric.Energy { c = 1.0; gamma } in
+      let r = Relaxed_greedy.build_eps ~metric ~eps:0.5 model in
+      let base_energy = Model.reweight model metric in
+      let spanner = r.Relaxed_greedy.spanner in
+      let stretch = Topo.Verify.edge_stretch ~base:base_energy ~spanner in
+      let saved =
+        1.0 -. (Metrics.power_cost spanner /. Metrics.power_cost base_energy)
+      in
+      Report.add_row t
+        [
+          Report.cell_f gamma;
+          Report.cell_i (Wgraph.n_edges spanner);
+          Printf.sprintf "%.4f" stretch;
+          Report.cell_i (Wgraph.max_degree spanner);
+          Report.cell_f
+            (Wgraph.total_weight spanner /. Graph.Mst.weight base_energy);
+          Printf.sprintf "%.0f%%" (100.0 *. saved);
+        ])
+    [ 1.0; 2.0; 3.0 ];
+  Report.print t
+
+let e12 () =
+  let n = if !quick then 120 else 200 in
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E12 (Section 1.6.1): k-edge-fault tolerance (n = %d, t = 1.8)" n)
+      ~columns:
+        [
+          "k"; "edges"; "w/MST"; "intact stretch"; "worst stretch (40 trials)";
+        ]
+  in
+  let model = model_of ~seed:12 ~n ~dim:2 ~alpha:0.8 in
+  let base = model.Model.graph in
+  let st = Random.State.make [| 2026 |] in
+  List.iter
+    (fun k ->
+      let spanner = Topo.Fault_tolerant.spanner base ~t:1.8 ~k in
+      let intact = Topo.Verify.edge_stretch ~base ~spanner in
+      let worst = ref 1.0 in
+      let edges = Array.of_list (Wgraph.edges spanner) in
+      for _ = 1 to 40 do
+        let faults =
+          List.init k (fun _ ->
+              let e = edges.(Random.State.int st (Array.length edges)) in
+              (e.Wgraph.u, e.Wgraph.v))
+        in
+        let s =
+          Topo.Fault_tolerant.stretch_under_faults ~base ~spanner ~faults
+        in
+        if s > !worst then worst := s
+      done;
+      Report.add_row t
+        [
+          Report.cell_i k;
+          Report.cell_i (Wgraph.n_edges spanner);
+          Report.cell_f
+            (Wgraph.total_weight spanner /. Graph.Mst.weight base);
+          Printf.sprintf "%.4f" intact;
+          Report.cell_f !worst;
+        ])
+    [ 0; 1; 2 ];
+  Report.print t
+
+(* E13: ablation of the design choices DESIGN.md calls out — the
+   locality-restricted phase engine versus the literal global
+   formulation: same guarantees, different wall clock. *)
+let e13 () =
+  let t =
+    Report.create
+      ~title:"E13 (ablation): global vs locality-restricted phase engine"
+      ~columns:
+        [ "n"; "global s"; "local s"; "speedup"; "m global"; "m local";
+          "stretch g"; "stretch l" ]
+  in
+  let ns = if !quick then [ 300; 600 ] else [ 300; 600; 1200 ] in
+  List.iter
+    (fun n ->
+      let model = model_of ~seed:(13 + n) ~n ~dim:2 ~alpha:0.8 in
+      let run mode =
+        let t0 = Unix.gettimeofday () in
+        let r = Relaxed_greedy.build_eps ~mode ~eps:0.5 model in
+        ( Unix.gettimeofday () -. t0,
+          Wgraph.n_edges r.Relaxed_greedy.spanner,
+          Topo.Verify.edge_stretch ~base:model.Model.graph
+            ~spanner:r.Relaxed_greedy.spanner )
+      in
+      let tg, mg, sg = run `Global in
+      let tl, ml, sl = run `Local in
+      Report.add_row t
+        [
+          Report.cell_i n;
+          Printf.sprintf "%.2f" tg;
+          Printf.sprintf "%.2f" tl;
+          Printf.sprintf "%.1fx" (tg /. tl);
+          Report.cell_i mg;
+          Report.cell_i ml;
+          Printf.sprintf "%.4f" sg;
+          Printf.sprintf "%.4f" sl;
+        ])
+    ns;
+  Report.print t
+
+(* E14: the Section 1.4 computational-geometry context — greedy versus
+   the WSPD spanner on complete Euclidean graphs. *)
+let e14 () =
+  let n = if !quick then 100 else 200 in
+  let t_target = 1.5 in
+  let st = Random.State.make [| 14 |] in
+  let points =
+    Array.init n (fun _ ->
+        Geometry.Point.random ~st ~dim:2 ~lo:0.0 ~hi:5.0)
+  in
+  let complete = Wgraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Geometry.Point.distance points.(u) points.(v) in
+      if d > 0.0 then Wgraph.add_edge complete u v d
+    done
+  done;
+  let table =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E14 (Section 1.4): complete Euclidean graph, n = %d, t = %.1f" n
+           t_target)
+      ~columns:[ "algorithm"; "edges"; "maxdeg"; "stretch"; "w/MST" ]
+  in
+  let row name g =
+    Report.add_row table
+      [
+        name;
+        Report.cell_i (Wgraph.n_edges g);
+        Report.cell_i (Wgraph.max_degree g);
+        Report.cell_f (Topo.Verify.edge_stretch ~base:complete ~spanner:g);
+        Report.cell_f (Wgraph.total_weight g /. Graph.Mst.weight complete);
+      ]
+  in
+  row "SEQ-GREEDY" (Topo.Seq_greedy.spanner complete ~t:t_target);
+  row "WSPD spanner" (Baselines.Wspd.spanner ~t:t_target points);
+  Report.print table;
+  print_endline
+    "   (greedy: fewer edges and near-MST weight; WSPD: coarser but\n\
+     \    near-linear construction — the trade-off Section 1.4 describes)"
+
+(* E15: planar topologies and face routing with guaranteed delivery —
+   the paper's Section 1.3 motivation for planarity ([9]). *)
+let e15 () =
+  let n = if !quick then 150 else 300 in
+  let model = model_of ~seed:15 ~n ~dim:2 ~alpha:1.0 in
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E15 (Section 1.3 / [9]): routing over topologies, n = %d, 300 \
+            packets"
+           n)
+      ~columns:
+        [ "topology"; "edges"; "plane?"; "greedy delivery"; "gfg delivery";
+          "gfg avg stretch" ]
+  in
+  let row name topology =
+    let greedy_stats =
+      Baselines.Routing.trial ~seed:3 ~model ~topology ~pairs:300
+    in
+    let plane =
+      Analysis.Planarity.is_plane ~points:model.Model.points topology
+    in
+    let gfg_stats =
+      if plane then
+        Some
+          (Baselines.Planar_routing.trial ~seed:3 ~model ~topology ~pairs:300
+             ~route:Baselines.Planar_routing.gfg)
+      else None
+    in
+    Report.add_row t
+      [
+        name;
+        Report.cell_i (Wgraph.n_edges topology);
+        (if plane then "yes" else "no");
+        Printf.sprintf "%.1f%%"
+          (100.0 *. greedy_stats.Baselines.Routing.delivery_rate);
+        (match gfg_stats with
+        | Some s ->
+            Printf.sprintf "%.1f%%" (100.0 *. s.Baselines.Routing.delivery_rate)
+        | None -> "-");
+        (match gfg_stats with
+        | Some s -> Report.cell_f s.Baselines.Routing.avg_stretch
+        | None -> "-");
+      ]
+  in
+  row "input UDG" model.Model.graph;
+  row "relaxed greedy (paper)"
+    (Relaxed_greedy.build_eps ~eps:0.5 model).Relaxed_greedy.spanner;
+  row "gabriel" (Baselines.Proximity_graphs.gabriel model);
+  row "rng" (Baselines.Proximity_graphs.rng model);
+  row "unit delaunay" (Baselines.Udel.build model);
+  row "bounded planar [15]" (Baselines.Bounded_planar.build model);
+  Report.print t;
+  print_endline
+    "   (face routing delivers 100% on every plane topology; greedy alone\n\
+     \    does not — the reason [13, 14, 15] insist on planar outputs)"
+
+(* E16: message complexity of the distributed algorithm — the paper's
+   model allows one message per neighbor per round, each O(log n) bits
+   (O(1) words). *)
+let e16 () =
+  let t =
+    Report.create
+      ~title:
+        "E16 (Section 1.1 model): simulated MIS message complexity (eps = 0.5)"
+      ~columns:
+        [
+          "n"; "MIS messages"; "gather messages (charged)"; "msgs / node";
+          "max words / message";
+        ]
+  in
+  let ns = if !quick then [ 100; 200 ] else [ 100; 200; 400 ] in
+  List.iter
+    (fun n ->
+      let model = model_of ~seed:(16 + n) ~n ~dim:2 ~alpha:0.8 in
+      let m_edges = Wgraph.n_edges model.Model.graph in
+      let r = Distrib.Dist_greedy.build_eps ~seed:n ~eps:0.5 model in
+      let mis_msgs, gather_rounds, words =
+        List.fold_left
+          (fun (m, g, w) (tr : Distrib.Dist_greedy.phase_trace) ->
+            ( m + tr.mis_messages,
+              g + tr.gather_rounds,
+              max w tr.max_message_words ))
+          (0, 0, 0) r.Distrib.Dist_greedy.traces
+      in
+      (* A gather round floods over every link in both directions. *)
+      let gather_msgs = 2 * m_edges * gather_rounds in
+      Report.add_row t
+        [
+          Report.cell_i n;
+          Report.cell_i mis_msgs;
+          Report.cell_i gather_msgs;
+          Printf.sprintf "%.0f"
+            (float_of_int (mis_msgs + gather_msgs) /. float_of_int n);
+          Report.cell_i words;
+        ])
+    ns;
+  Report.print t;
+  print_endline
+    "   (messages are O(1) words each, honoring the O(log n)-bit model)"
+
+(* E17: the all-protocol engine (Dist_protocol, zero oracle gathers)
+   against the charged-gather engine (Dist_greedy): same guarantees,
+   directly measured rounds and messages. *)
+let e17 () =
+  let t =
+    Report.create
+      ~title:
+        "E17: charged-gather vs all-protocol distributed engines (eps = 0.5)"
+      ~columns:
+        [
+          "n"; "charged rounds"; "protocol rounds"; "protocol messages";
+          "stretch charged"; "stretch protocol";
+        ]
+  in
+  let ns = if !quick then [ 50; 100 ] else [ 50; 100; 200 ] in
+  List.iter
+    (fun n ->
+      let model = model_of ~seed:(17 + n) ~n ~dim:2 ~alpha:0.8 in
+      let base = model.Model.graph in
+      let charged = Distrib.Dist_greedy.build_eps ~seed:n ~eps:0.5 model in
+      let protocol = Distrib.Dist_protocol.build_eps ~seed:n ~eps:0.5 model in
+      Report.add_row t
+        [
+          Report.cell_i n;
+          Report.cell_i charged.Distrib.Dist_greedy.rounds;
+          Report.cell_i protocol.Distrib.Dist_protocol.rounds;
+          Report.cell_i protocol.Distrib.Dist_protocol.messages;
+          Printf.sprintf "%.4f"
+            (Topo.Verify.edge_stretch ~base
+               ~spanner:charged.Distrib.Dist_greedy.spanner);
+          Printf.sprintf "%.4f"
+            (Topo.Verify.edge_stretch ~base
+               ~spanner:protocol.Distrib.Dist_protocol.spanner);
+        ])
+    ns;
+  Report.print t;
+  print_endline
+    "   (the all-protocol engine floods every local view for real; its\n\
+     \    round counts substantiate the charged model of E4)"
+
+(* E18: Lemmas 15 and 20 — the derived metric spaces have small
+   doubling constants, which is what licenses O(log* n) MIS on them. *)
+let e18 () =
+  let t =
+    Report.create
+      ~title:
+        "E18 (Lemmas 15, 20): empirical doubling constants of the derived \
+         metrics"
+      ~columns:
+        [ "n"; "sp-metric constant (L15)"; "d_J-metric constant (L20)" ]
+  in
+  let ns = if !quick then [ 60; 120 ] else [ 60; 120; 240 ] in
+  let params = Topo.Params.make ~t:1.5 ~alpha:0.8 ~dim:2 () in
+  List.iter
+    (fun n ->
+      (* Denser fields give the current bin enough edges to sample the
+         d_J metric. *)
+      let side =
+        Ubg.Generator.side_for_expected_degree ~dim:2 ~n ~alpha:0.8
+          ~degree:16.0
+      in
+      let model =
+        Ubg.Generator.connected ~seed:(18 + n) ~dim:2 ~n ~alpha:0.8
+          (Ubg.Generator.Uniform { side })
+      in
+      let w_prev = 0.3 in
+      let short = Wgraph.create n in
+      Wgraph.iter_edges model.Model.graph (fun u v w ->
+          if w <= w_prev then Wgraph.add_edge short u v w);
+      let spanner = Topo.Seq_greedy.spanner short ~t:1.5 in
+      (* Lemma 15: shortest-path metric of the partial spanner. *)
+      let apsp = Graph.Apsp.dijkstra_all spanner in
+      let c15 =
+        Analysis.Doubling.estimate
+          ~dist:(fun i j -> apsp.(i).(j))
+          ~members:(Array.init n Fun.id)
+          ~centers:[ 0; n / 3; n / 2; n - 1 ]
+          ~radii:[ 0.15; 0.4; 1.0; 3.0 ]
+      in
+      (* Lemma 20: the d_J metric over the current bin's edges. *)
+      let radius = params.Topo.Params.delta *. w_prev in
+      let cover = Topo.Cluster_cover.compute spanner ~radius in
+      let h = Topo.Cluster_graph.build ~spanner ~cover ~w_prev in
+      let bin =
+        Array.of_list
+          (List.filter
+             (fun (e : Wgraph.edge) ->
+               e.w > w_prev && e.w <= w_prev *. params.Topo.Params.r)
+             (Wgraph.edges model.Model.graph))
+      in
+      let c20 =
+        if Array.length bin < 3 then 0
+        else begin
+          let dj i j =
+            Topo.Redundant.d_j ~h ~max_hops:1000 ~bound:infinity bin.(i)
+              bin.(j)
+          in
+          let members = Array.init (Array.length bin) Fun.id in
+          Analysis.Doubling.estimate ~dist:dj ~members
+            ~centers:[ 0; Array.length bin / 3; Array.length bin / 2 ]
+            ~radii:[ 0.5; 1.5; 4.0 ]
+        end
+      in
+      Report.add_row t
+        [
+          Report.cell_i n;
+          Report.cell_i c15;
+          (if c20 = 0 then "(bin too small)" else Report.cell_i c20);
+        ])
+    ns;
+  Report.print t;
+  print_endline
+    "   (flat small constants across n are what Lemmas 15/20 assert)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test per experiment's kernel.        *)
+(* ------------------------------------------------------------------ *)
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let n = 150 in
+  let model = model_of ~seed:5 ~n ~dim:2 ~alpha:0.8 in
+  let base = model.Model.graph in
+  let spanner =
+    (Relaxed_greedy.build_eps ~eps:0.5 model).Relaxed_greedy.spanner
+  in
+  let params = Topo.Params.make ~t:1.5 ~alpha:0.8 ~dim:2 () in
+  let w_prev = 0.3 in
+  let cover =
+    Topo.Cluster_cover.compute spanner
+      ~radius:(params.Topo.Params.delta *. w_prev)
+  in
+  let h = Topo.Cluster_graph.build ~spanner ~cover ~w_prev in
+  let bin =
+    List.filter (fun (e : Wgraph.edge) -> e.w > w_prev) (Wgraph.edges base)
+  in
+  let small_model = model_of ~seed:6 ~n:80 ~dim:2 ~alpha:0.8 in
+  let tests =
+    [
+      Test.make ~name:"E1-E3: relaxed greedy build (n=80)"
+        (Staged.stage (fun () ->
+             ignore (Relaxed_greedy.build_eps ~eps:0.5 small_model)));
+      Test.make ~name:"E4: distributed build (n=80)"
+        (Staged.stage (fun () ->
+             ignore
+               (Distrib.Dist_greedy.build_eps ~seed:1 ~eps:0.5 small_model)));
+      Test.make ~name:"E5: query-edge selection (one phase, n=150)"
+        (Staged.stage (fun () ->
+             ignore
+               (Topo.Query_select.select ~model ~spanner ~cover ~params bin)));
+      Test.make ~name:"E6: cluster graph construction (n=150)"
+        (Staged.stage (fun () ->
+             ignore (Topo.Cluster_graph.build ~spanner ~cover ~w_prev)));
+      Test.make ~name:"E7: hop-bounded H-query"
+        (Staged.stage (fun () ->
+             ignore
+               (Topo.Cluster_graph.sp_upto h ~max_hops:8 0 (n - 1) ~bound:1.0)));
+      Test.make ~name:"E8: SEQ-GREEDY baseline (n=150)"
+        (Staged.stage (fun () -> ignore (Topo.Seq_greedy.spanner base ~t:1.5)));
+      Test.make ~name:"E8: yao baseline (n=150)"
+        (Staged.stage (fun () ->
+             ignore (Baselines.Cone_graphs.yao model ~cones:8)));
+      Test.make ~name:"E8: gabriel baseline (n=150)"
+        (Staged.stage (fun () ->
+             ignore (Baselines.Proximity_graphs.gabriel model)));
+      Test.make ~name:"E12: fault-tolerant greedy k=1 (n=80)"
+        (Staged.stage (fun () ->
+             ignore
+               (Topo.Fault_tolerant.spanner small_model.Model.graph ~t:1.8
+                  ~k:1)));
+      Test.make ~name:"substrate: cluster cover (n=150)"
+        (Staged.stage (fun () ->
+             ignore
+               (Topo.Cluster_cover.compute spanner
+                  ~radius:(params.Topo.Params.delta *. w_prev))));
+      Test.make ~name:"substrate: Dijkstra SSSP (n=150)"
+        (Staged.stage (fun () -> ignore (Graph.Dijkstra.distances base 0)));
+      Test.make ~name:"substrate: Kruskal MST (n=150)"
+        (Staged.stage (fun () -> ignore (Graph.Mst.kruskal base)));
+      Test.make ~name:"substrate: Luby MIS (n=150)"
+        (Staged.stage (fun () -> ignore (Distrib.Mis.luby ~seed:3 base)));
+      Test.make ~name:"substrate: Delaunay triangulation (n=150)"
+        (Staged.stage (fun () ->
+             ignore (Geometry.Delaunay.triangulate model.Model.points)));
+      Test.make ~name:"E14: WSPD spanner (n=150)"
+        (Staged.stage (fun () ->
+             ignore (Baselines.Wspd.spanner ~t:2.0 model.Model.points)));
+      Test.make ~name:"E15: GFG route on gabriel (n=150)"
+        (let topology = Baselines.Proximity_graphs.gabriel model in
+         Staged.stage (fun () ->
+             ignore
+               (Baselines.Planar_routing.gfg ~model ~topology ~src:0
+                  ~dst:(n - 1))));
+      Test.make ~name:"E18: doubling estimate (n=150)"
+        (let apsp = Graph.Apsp.dijkstra_all spanner in
+         Staged.stage (fun () ->
+             ignore
+               (Analysis.Doubling.estimate
+                  ~dist:(fun i j -> apsp.(i).(j))
+                  ~members:(Array.init n Fun.id) ~centers:[ 0; n / 2 ]
+                  ~radii:[ 0.5; 2.0 ])));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:300
+      ~quota:(Time.second (if !quick then 0.1 else 0.4))
+      ~kde:None ()
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let table =
+    Report.create ~title:"micro-benchmarks (OLS estimate per run)"
+      ~columns:[ "benchmark"; "time/run"; "r^2" ]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw =
+            Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt
+          in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some (v :: _) -> v
+            | Some [] | None -> nan
+          in
+          let human =
+            if Float.is_nan ns then "-"
+            else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+            else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+            else Printf.sprintf "%.0f ns" ns
+          in
+          let r2 =
+            match Analyze.OLS.r_square est with
+            | Some r -> Printf.sprintf "%.3f" r
+            | None -> "-"
+          in
+          Report.add_row table [ Test.Elt.name elt; human; r2 ])
+        (Test.elements test))
+    tests;
+  Report.print table
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E17", e17); ("E18", e18);
+    ("micro", micro_benchmarks);
+  ]
+
+let () =
+  let args =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a ->
+           if a = "quick" then begin
+             quick := true;
+             false
+           end
+           else true)
+  in
+  let selected =
+    match args with
+    | [] -> experiments
+    | names -> List.filter (fun (name, _) -> List.mem name names) experiments
+  in
+  if selected = [] then begin
+    prerr_endline "no matching experiment; known:";
+    List.iter (fun (name, _) -> prerr_endline ("  " ^ name)) experiments;
+    exit 1
+  end;
+  List.iter
+    (fun (name, run) ->
+      let t0 = Unix.gettimeofday () in
+      run ();
+      Printf.printf "   [%s finished in %.1f s]\n\n%!" name
+        (Unix.gettimeofday () -. t0))
+    selected

@@ -1,0 +1,464 @@
+(* topoctl — command-line driver for the topology-control library.
+
+   Subcommands:
+     generate   draw a random α-UBG instance and save it
+     build      run a topology-control algorithm on an instance
+     analyze    print quality metrics of a topology (or the raw instance)
+     compare    table of all algorithms on one instance
+     rounds     measure the distributed algorithm's round count *)
+
+open Cmdliner
+
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let logs_term = Term.(const setup_logs $ Logs_cli.level ())
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let instance_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"INSTANCE" ~doc:"Instance file (see ubg-instance format).")
+
+let eps_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "eps" ] ~docv:"EPS" ~doc:"Target stretch is 1 + $(docv).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let out_arg ~doc =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let placement_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "uniform" ] -> Ok `Uniform
+    | [ "clusters"; blobs ] -> (
+        match int_of_string_opt blobs with
+        | Some b when b > 0 -> Ok (`Clusters b)
+        | Some _ | None -> Error (`Msg "clusters:<blobs> needs a positive int"))
+    | [ "grid" ] -> Ok `Grid
+    | _ -> Error (`Msg "expected uniform | clusters:<blobs> | grid")
+  in
+  let print ppf = function
+    | `Uniform -> Format.pp_print_string ppf "uniform"
+    | `Clusters b -> Format.fprintf ppf "clusters:%d" b
+    | `Grid -> Format.pp_print_string ppf "grid"
+  in
+  Arg.conv (parse, print)
+
+let gray_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "keep" ] -> Ok Ubg.Gray_zone.Keep_all
+    | [ "drop" ] -> Ok Ubg.Gray_zone.Drop_all
+    | [ "bernoulli"; p ] -> (
+        match float_of_string_opt p with
+        | Some p when p >= 0.0 && p <= 1.0 ->
+            Ok (Ubg.Gray_zone.Bernoulli { p; seed = 0 })
+        | Some _ | None -> Error (`Msg "bernoulli:<p> needs p in [0,1]"))
+    | [ "threshold"; x ] -> (
+        match float_of_string_opt x with
+        | Some x -> Ok (Ubg.Gray_zone.Distance_threshold x)
+        | None -> Error (`Msg "threshold:<x> needs a float"))
+    | _ -> Error (`Msg "expected keep | drop | bernoulli:<p> | threshold:<x>")
+  in
+  Arg.conv (parse, Ubg.Gray_zone.pp)
+
+let generate_cmd =
+  let run () n dim alpha seed placement gray degree out =
+    let side = Ubg.Generator.side_for_expected_degree ~dim ~n ~alpha ~degree in
+    let placement =
+      match placement with
+      | `Uniform -> Ubg.Generator.Uniform { side }
+      | `Clusters blobs ->
+          Ubg.Generator.Clusters { blobs; spread = side /. 6.0; side }
+      | `Grid ->
+          Ubg.Generator.Perturbed_grid
+            {
+              spacing = side /. (float_of_int n ** (1.0 /. float_of_int dim));
+              jitter = 0.1;
+            }
+    in
+    let gray =
+      match gray with
+      | Ubg.Gray_zone.Bernoulli { p; _ } -> Ubg.Gray_zone.Bernoulli { p; seed }
+      | g -> g
+    in
+    let model = Ubg.Generator.connected ~seed ~dim ~n ~alpha ~gray placement in
+    let path = Option.value ~default:"instance.ubg" out in
+    Ubg.Io.save_instance path model;
+    Format.printf "wrote %s: %a@." path Ubg.Model.pp model
+  in
+  let n = Arg.(value & opt int 300 & info [ "n" ] ~doc:"Number of nodes.") in
+  let dim = Arg.(value & opt int 2 & info [ "dim" ] ~doc:"Dimension (>= 2).") in
+  let alpha =
+    Arg.(value & opt float 0.8 & info [ "alpha" ] ~doc:"α-UBG parameter in (0,1].")
+  in
+  let placement =
+    Arg.(
+      value
+      & opt placement_conv `Uniform
+      & info [ "placement" ] ~doc:"uniform | clusters:<blobs> | grid.")
+  in
+  let gray =
+    Arg.(
+      value
+      & opt gray_conv Ubg.Gray_zone.Keep_all
+      & info [ "gray" ] ~doc:"Gray-zone policy: keep | drop | bernoulli:<p> | threshold:<x>.")
+  in
+  let degree =
+    Arg.(
+      value & opt float 10.0
+      & info [ "degree" ] ~doc:"Target expected α-neighborhood size.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Draw a random α-UBG instance")
+    Term.(
+      const run $ logs_term $ n $ dim $ alpha $ seed_arg $ placement $ gray
+      $ degree
+      $ out_arg ~doc:"Output instance file (default instance.ubg).")
+
+(* ------------------------------------------------------------------ *)
+(* build                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type algo =
+  [ `Relaxed | `Greedy | `Yao | `Theta | `Gabriel | `Rng | `Lmst | `Xtc
+  | `Udel | `Bounded_planar | `Ft | `Ft_vertex | `Mst ]
+
+let algo_conv : algo Arg.conv =
+  Arg.enum
+    [
+      ("relaxed", `Relaxed); ("greedy", `Greedy); ("yao", `Yao);
+      ("theta", `Theta); ("gabriel", `Gabriel); ("rng", `Rng);
+      ("lmst", `Lmst); ("xtc", `Xtc); ("udel", `Udel);
+      ("bounded-planar", `Bounded_planar); ("ft", `Ft);
+      ("ft-vertex", `Ft_vertex); ("mst", `Mst);
+    ]
+
+let build_topology ~algo ~eps ~k ~cones model =
+  let base = model.Ubg.Model.graph in
+  match algo with
+  | `Relaxed -> (Topo.Relaxed_greedy.build_eps ~eps model).Topo.Relaxed_greedy.spanner
+  | `Greedy -> Topo.Seq_greedy.spanner base ~t:(1.0 +. eps)
+  | `Yao -> Baselines.Cone_graphs.yao model ~cones
+  | `Theta -> Baselines.Cone_graphs.theta model ~cones
+  | `Gabriel -> Baselines.Proximity_graphs.gabriel model
+  | `Rng -> Baselines.Proximity_graphs.rng model
+  | `Lmst -> Baselines.Lmst.build model
+  | `Xtc -> Baselines.Xtc.build model
+  | `Udel -> Baselines.Udel.build model
+  | `Bounded_planar -> Baselines.Bounded_planar.build model
+  | `Ft -> Topo.Fault_tolerant.spanner base ~t:(1.0 +. eps) ~k
+  | `Ft_vertex -> Topo.Fault_tolerant.vertex_spanner base ~t:(1.0 +. eps) ~k
+  | `Mst -> Graph.Mst.forest base
+
+let print_summary name ~base g =
+  Format.printf "%-10s %a@." name Analysis.Metrics.pp_summary
+    (Analysis.Metrics.summarize ~base g)
+
+let build_cmd =
+  let run () instance algo eps k cones out svg =
+    let model = Ubg.Io.load_instance instance in
+    let g = build_topology ~algo ~eps ~k ~cones model in
+    print_summary "result" ~base:model.Ubg.Model.graph g;
+    Option.iter
+      (fun path ->
+        Ubg.Io.save_topology path g;
+        Format.printf "wrote %s@." path)
+      out;
+    Option.iter
+      (fun path ->
+        Analysis.Svg.save ~model g path;
+        Format.printf "wrote %s@." path)
+      svg
+  in
+  let algo =
+    Arg.(
+      value & opt algo_conv `Relaxed
+      & info [ "algo" ]
+          ~doc:
+            "relaxed | greedy | yao | theta | gabriel | rng | lmst | xtc | \
+             udel | ft | ft-vertex | mst.")
+  in
+  let k =
+    Arg.(value & opt int 1 & info [ "k" ] ~doc:"Fault budget for --algo ft.")
+  in
+  let cones =
+    Arg.(value & opt int 8 & info [ "cones" ] ~doc:"Cones for yao/theta.")
+  in
+  let svg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE" ~doc:"Render the topology to an SVG file (2-d only).")
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Run a topology-control algorithm")
+    Term.(
+      const run $ logs_term $ instance_arg $ algo $ eps_arg $ k $ cones
+      $ out_arg ~doc:"Save the topology to FILE."
+      $ svg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let run () instance topology histogram =
+    let model = Ubg.Io.load_instance instance in
+    let base = model.Ubg.Model.graph in
+    let g =
+      match topology with
+      | Some path -> Ubg.Io.load_topology path ~model
+      | None -> base
+    in
+    print_summary
+      (match topology with Some p -> Filename.basename p | None -> "instance")
+      ~base g;
+    if histogram then
+      Format.printf "%a" Analysis.Metrics.pp_degree_histogram g
+  in
+  let histogram =
+    Arg.(
+      value & flag
+      & info [ "histogram" ] ~doc:"Also print the degree distribution.")
+  in
+  let topology =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"TOPOLOGY" ~doc:"Topology file (defaults to the instance).")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Print quality metrics")
+    Term.(const run $ logs_term $ instance_arg $ topology $ histogram)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd =
+  let run () instance eps =
+    let model = Ubg.Io.load_instance instance in
+    let base = model.Ubg.Model.graph in
+    let table =
+      Analysis.Report.create
+        ~title:(Printf.sprintf "algorithms on %s (t = %.2f)" instance (1.0 +. eps))
+        ~columns:
+          [ "algorithm"; "edges"; "maxdeg"; "stretch"; "w/MST"; "power/MST" ]
+    in
+    List.iter
+      (fun (name, topo) ->
+        let g =
+          match topo with
+          | `Input -> base
+          | #algo as algo -> build_topology ~algo ~eps ~k:1 ~cones:8 model
+        in
+        let s = Analysis.Metrics.summarize ~base g in
+        Analysis.Report.add_row table
+          [
+            name;
+            Analysis.Report.cell_i s.Analysis.Metrics.n_edges;
+            Analysis.Report.cell_i s.Analysis.Metrics.max_degree;
+            Analysis.Report.cell_f s.Analysis.Metrics.edge_stretch;
+            Analysis.Report.cell_f s.Analysis.Metrics.mst_ratio;
+            Analysis.Report.cell_f s.Analysis.Metrics.power_ratio;
+          ])
+      [
+        ("input", `Input); ("relaxed", `Relaxed); ("greedy", `Greedy);
+        ("yao", `Yao); ("theta", `Theta); ("gabriel", `Gabriel);
+        ("rng", `Rng); ("lmst", `Lmst); ("xtc", `Xtc); ("udel", `Udel);
+        ("bounded-planar", `Bounded_planar); ("mst", `Mst);
+      ]
+    |> ignore;
+    Analysis.Report.print table
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare every algorithm on one instance")
+    Term.(const run $ logs_term $ instance_arg $ eps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rounds_cmd =
+  let run () instance eps seed =
+    let model = Ubg.Io.load_instance instance in
+    let r = Distrib.Dist_greedy.build_eps ~seed ~eps model in
+    let n = Ubg.Model.n model in
+    let reference =
+      log (float_of_int n) /. log 2.0
+      *. float_of_int (Distrib.Dist_greedy.log_star (float_of_int n))
+    in
+    Format.printf "n = %d: %d rounds total (log n * log* n = %.1f, ratio %.1f)@."
+      n r.Distrib.Dist_greedy.rounds reference
+      (float_of_int r.Distrib.Dist_greedy.rounds /. reference);
+    let gathers, cover_mis, red_mis =
+      List.fold_left
+        (fun (g, c, rd) (tr : Distrib.Dist_greedy.phase_trace) ->
+          ( g + tr.gather_rounds,
+            c + tr.cover_mis_rounds,
+            rd + tr.redundant_mis_rounds ))
+        (0, 0, 0) r.Distrib.Dist_greedy.traces
+    in
+    Format.printf
+      "breakdown: %d gather rounds, %d cover-MIS rounds, %d redundancy-MIS rounds over %d phases@."
+      gathers cover_mis red_mis
+      (List.length r.Distrib.Dist_greedy.traces);
+    let stretch =
+      Topo.Verify.edge_stretch ~base:model.Ubg.Model.graph
+        ~spanner:r.Distrib.Dist_greedy.spanner
+    in
+    Format.printf "output stretch %.4f (target %.2f)@." stretch (1.0 +. eps)
+  in
+  Cmd.v
+    (Cmd.info "rounds" ~doc:"Measure the distributed algorithm's rounds")
+    Term.(const run $ logs_term $ instance_arg $ eps_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* route                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let route_cmd =
+  let run () instance algo eps pairs seed protocol =
+    let model = Ubg.Io.load_instance instance in
+    let topology = build_topology ~algo ~eps ~k:1 ~cones:8 model in
+    let plane =
+      Ubg.Model.dim model = 2
+      && Analysis.Planarity.is_plane ~points:model.Ubg.Model.points topology
+    in
+    let stats =
+      match protocol with
+      | `Greedy -> Baselines.Routing.trial ~seed ~model ~topology ~pairs
+      | `Gfg | `Face ->
+          if not plane then
+            failwith "face protocols need a plane 2-d topology (try --algo gabriel)";
+          let route =
+            match protocol with
+            | `Gfg -> Baselines.Planar_routing.gfg
+            | `Face | `Greedy -> Baselines.Planar_routing.face_route
+          in
+          Baselines.Planar_routing.trial ~seed ~model ~topology ~pairs ~route
+    in
+    Format.printf
+      "topology: %d edges, plane = %b@.delivery %.1f%% over %d packets, avg \
+       stretch %.3f, max stretch %.3f@."
+      (Graph.Wgraph.n_edges topology) plane
+      (100.0 *. stats.Baselines.Routing.delivery_rate)
+      pairs stats.Baselines.Routing.avg_stretch
+      stats.Baselines.Routing.max_stretch
+  in
+  let algo =
+    Arg.(
+      value & opt algo_conv `Gabriel
+      & info [ "algo" ] ~doc:"Topology to route over.")
+  in
+  let pairs =
+    Arg.(value & opt int 200 & info [ "pairs" ] ~doc:"Number of packets.")
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (enum [ ("greedy", `Greedy); ("gfg", `Gfg); ("face", `Face) ]) `Gfg
+      & info [ "protocol" ] ~doc:"greedy | gfg | face.")
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Simulate geographic routing over a topology")
+    Term.(
+      const run $ logs_term $ instance_arg $ algo $ eps_arg $ pairs $ seed_arg
+      $ protocol)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let run () instance eps seed full =
+    let model = Ubg.Io.load_instance instance in
+    if full then begin
+      let r = Distrib.Dist_protocol.build_eps ~seed ~eps model in
+      let table =
+        Analysis.Report.create
+          ~title:"all-protocol execution (every gather a real flood)"
+          ~columns:[ "phase"; "rounds"; "messages"; "added"; "removed" ]
+      in
+      List.iter
+        (fun (p : Distrib.Dist_protocol.phase_report) ->
+          if p.rounds > 0 || p.n_added > 0 then
+            Analysis.Report.add_row table
+              [
+                Analysis.Report.cell_i p.phase;
+                Analysis.Report.cell_i p.rounds;
+                Analysis.Report.cell_i p.messages;
+                Analysis.Report.cell_i p.n_added;
+                Analysis.Report.cell_i p.n_removed;
+              ])
+        r.Distrib.Dist_protocol.reports;
+      Analysis.Report.print table;
+      Format.printf "total: %d rounds, %d messages, %d spanner edges@."
+        r.Distrib.Dist_protocol.rounds r.Distrib.Dist_protocol.messages
+        (Graph.Wgraph.n_edges r.Distrib.Dist_protocol.spanner)
+    end
+    else begin
+      let r = Distrib.Dist_greedy.build_eps ~seed ~eps model in
+      let table =
+        Analysis.Report.create
+          ~title:"charged-gather execution (MIS simulated, gathers charged)"
+          ~columns:
+            [ "phase"; "gather"; "cover MIS"; "redund. MIS"; "added"; "removed" ]
+      in
+      List.iter
+        (fun (p : Distrib.Dist_greedy.phase_trace) ->
+          if p.n_added > 0 || p.n_removed > 0 then
+            Analysis.Report.add_row table
+              [
+                Analysis.Report.cell_i p.phase;
+                Analysis.Report.cell_i p.gather_rounds;
+                Analysis.Report.cell_i p.cover_mis_rounds;
+                Analysis.Report.cell_i p.redundant_mis_rounds;
+                Analysis.Report.cell_i p.n_added;
+                Analysis.Report.cell_i p.n_removed;
+              ])
+        r.Distrib.Dist_greedy.traces;
+      Analysis.Report.print table;
+      Format.printf
+        "total: %d rounds over %d phases (quiet phases omitted above), %d \
+         spanner edges@."
+        r.Distrib.Dist_greedy.rounds
+        (List.length r.Distrib.Dist_greedy.traces)
+        (Graph.Wgraph.n_edges r.Distrib.Dist_greedy.spanner)
+    end
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full-protocol" ]
+          ~doc:"Use the all-protocol engine (real floods; slower).")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Trace the distributed execution phase by phase")
+    Term.(const run $ logs_term $ instance_arg $ eps_arg $ seed_arg $ full)
+
+let () =
+  let doc = "local approximation schemes for topology control (PODC 2006)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "topoctl" ~version:"1.0.0" ~doc)
+          [
+            generate_cmd; build_cmd; analyze_cmd; compare_cmd; rounds_cmd;
+            route_cmd; simulate_cmd;
+          ]))

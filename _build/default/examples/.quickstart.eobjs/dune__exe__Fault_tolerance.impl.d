@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Analysis Array Format Graph List Random Topo Ubg

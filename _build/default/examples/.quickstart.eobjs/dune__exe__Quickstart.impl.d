@@ -1,0 +1,1 @@
+examples/quickstart.ml: Distrib Format Graph Topo Ubg

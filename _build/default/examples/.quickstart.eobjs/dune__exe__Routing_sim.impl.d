@@ -1,0 +1,1 @@
+examples/routing_sim.ml: Analysis Baselines Graph List Printf Topo Ubg

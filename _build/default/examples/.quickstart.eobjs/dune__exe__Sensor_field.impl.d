@@ -1,0 +1,1 @@
+examples/sensor_field.ml: Analysis Format Geometry Graph Topo Ubg

@@ -1,0 +1,39 @@
+(* Quickstart: build a (1+eps)-spanner of a random wireless network and
+   verify the paper's three guarantees.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Generate a 2-dimensional α-UBG: 250 radios dropped uniformly,
+     guaranteed link radius alpha = 0.8, possible links up to 1.0. *)
+  let n = 250 and alpha = 0.8 in
+  let side =
+    Ubg.Generator.side_for_expected_degree ~dim:2 ~n ~alpha ~degree:10.0
+  in
+  let model =
+    Ubg.Generator.connected ~seed:2026 ~dim:2 ~n ~alpha
+      (Ubg.Generator.Uniform { side })
+  in
+  Format.printf "input   : %a@." Ubg.Model.pp model;
+
+  (* 2. Build the relaxed greedy spanner with target stretch 1.5. *)
+  let result = Topo.Relaxed_greedy.build_eps ~eps:0.5 model in
+  let spanner = result.Topo.Relaxed_greedy.spanner in
+
+  (* 3. Certify the three properties of the paper. *)
+  let stretch, max_degree, mst_ratio = Topo.Verify.check result ~model in
+  Format.printf "spanner : %d of %d edges kept@."
+    (Graph.Wgraph.n_edges spanner)
+    (Graph.Wgraph.n_edges model.Ubg.Model.graph);
+  Format.printf "  stretch     = %.4f  (Theorem 10: <= 1.5)@." stretch;
+  Format.printf "  max degree  = %d       (Theorem 11: O(1))@." max_degree;
+  Format.printf "  weight/MST  = %.3f   (Theorem 13: O(1))@." mst_ratio;
+
+  (* 4. The same parameters drive the distributed version; its round
+     count is the main theorem's O(log n log* n). *)
+  let dist = Distrib.Dist_greedy.build_eps ~seed:7 ~eps:0.5 model in
+  Format.printf "distributed run: %d simulated rounds (log n * log* n = %.0f)@."
+    dist.Distrib.Dist_greedy.rounds
+    (log (float_of_int n) /. log 2.0
+    *. float_of_int (Distrib.Dist_greedy.log_star (float_of_int n)));
+  Format.printf "done.@."

@@ -1,0 +1,1 @@
+lib/analysis/leapfrog.ml: Array Geometry Hashtbl List Random

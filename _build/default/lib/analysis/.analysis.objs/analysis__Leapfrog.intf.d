@@ -1,0 +1,1 @@
+lib/analysis/leapfrog.mli: Geometry Random

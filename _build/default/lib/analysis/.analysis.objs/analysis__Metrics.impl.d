@@ -1,0 +1,1 @@
+lib/analysis/metrics.ml: Array Format Graph String Topo

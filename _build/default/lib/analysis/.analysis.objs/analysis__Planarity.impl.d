@@ -1,0 +1,1 @@
+lib/analysis/planarity.ml: Array Geometry Graph

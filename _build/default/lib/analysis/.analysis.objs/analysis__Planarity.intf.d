@@ -1,0 +1,1 @@
+lib/analysis/planarity.mli: Geometry Graph

@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Array Buffer Float List Printf String

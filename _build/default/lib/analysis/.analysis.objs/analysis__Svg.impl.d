@@ -1,0 +1,1 @@
+lib/analysis/svg.ml: Array Buffer Fun Geometry Graph Printf Ubg

@@ -1,0 +1,1 @@
+lib/analysis/svg.mli: Graph Ubg

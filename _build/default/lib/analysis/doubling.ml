@@ -1,0 +1,24 @@
+let cover_count ~dist ~members ~center ~radius =
+  let ball =
+    Array.to_list members
+    |> List.filter (fun v -> dist center v <= radius)
+  in
+  let half = radius /. 2.0 in
+  let rec greedy uncovered count =
+    match uncovered with
+    | [] -> count
+    | pivot :: _ ->
+        let rest =
+          List.filter (fun v -> dist pivot v > half) uncovered
+        in
+        greedy rest (count + 1)
+  in
+  greedy ball 0
+
+let estimate ~dist ~members ~centers ~radii =
+  List.fold_left
+    (fun acc center ->
+      List.fold_left
+        (fun acc radius -> max acc (cover_count ~dist ~members ~center ~radius))
+        acc radii)
+    0 centers

@@ -1,0 +1,29 @@
+(** Empirical doubling-constant estimation for finite metric spaces.
+
+    Lemmas 15 and 20 of the paper hinge on two derived metric spaces
+    having {e constant doubling dimension}: the shortest-path metric of
+    the partial spanner (underlying the coverage graph J of Section
+    3.2.1) and the conflict-graph metric [d_J] of Section 3.2.5. The
+    doubling constant of a metric is the smallest λ such that every
+    ball of radius R is covered by λ balls of radius R/2; we upper-
+    bound it by greedy covering (pick an uncovered point, claim its
+    R/2-ball, repeat), which is within the usual constant factor of
+    optimal and exactly mirrors the covering argument in the paper's
+    proofs. Experiment E18 reports the estimate across scales. *)
+
+(** [cover_count ~dist ~members ~center ~radius] is the number of
+    radius/2 balls the greedy procedure needs to cover
+    [{ v in members : dist center v <= radius }]. [dist] must be
+    symmetric and nonnegative; unreachable pairs may return
+    [infinity]. *)
+val cover_count :
+  dist:(int -> int -> float) -> members:int array -> center:int ->
+  radius:float -> int
+
+(** [estimate ~dist ~members ~centers ~radii] is the maximum
+    {!cover_count} over the sampled centers × radii — an empirical
+    upper bound on the doubling constant of the metric restricted to
+    [members]. *)
+val estimate :
+  dist:(int -> int -> float) -> members:int array -> centers:int list ->
+  radii:float list -> int

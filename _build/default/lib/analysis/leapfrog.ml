@@ -1,0 +1,111 @@
+module Point = Geometry.Point
+
+type violation = { subset : (int * int) list; lhs : float; rhs : float }
+
+let seg_len points (u, v) = Point.distance points.(u) points.(v)
+
+(* All permutations of a list (subset sizes are tiny). *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+(* All orientation choices for a sequence of edges. *)
+let rec orientations = function
+  | [] -> [ [] ]
+  | (u, v) :: rest ->
+      let tails = orientations rest in
+      List.concat_map (fun tl -> [ (u, v) :: tl; (v, u) :: tl ]) tails
+
+(* RHS of inequality (6) for one fully oriented arrangement whose head
+   is the distinguished edge {u1, v1}. *)
+let rhs_of points t arrangement =
+  match arrangement with
+  | [] -> invalid_arg "Leapfrog.rhs_of: empty"
+  | (u1, v1) :: rest ->
+      let edge_sum =
+        List.fold_left (fun acc e -> acc +. seg_len points e) 0.0 rest
+      in
+      let rec gaps acc prev_v = function
+        | (u, v) :: tl -> gaps (acc +. seg_len points (prev_v, u)) v tl
+        | [] -> acc +. seg_len points (prev_v, u1)
+      in
+      edge_sum +. (t *. gaps 0.0 v1 rest)
+
+(* Check one subset: for every leading edge, ordering of the rest, and
+   orientation, the inequality must hold. Returns the worst violation
+   if any arrangement breaks it. *)
+let check_subset points ~t2 ~t subset =
+  let best : violation option ref = ref None in
+  List.iter
+    (fun lead ->
+      let others = List.filter (fun e -> e <> lead) subset in
+      let lhs = t2 *. seg_len points lead in
+      List.iter
+        (fun perm ->
+          List.iter
+            (fun oriented ->
+              List.iter
+                (fun lead_oriented ->
+                  let arrangement = lead_oriented :: oriented in
+                  let rhs = rhs_of points t arrangement in
+                  if lhs >= rhs then begin
+                    match !best with
+                    | Some b when b.rhs -. b.lhs >= rhs -. lhs -> ()
+                    | Some _ | None ->
+                        best := Some { subset = arrangement; lhs; rhs }
+                  end)
+                [ lead; (snd lead, fst lead) ])
+            (orientations perm))
+        (permutations others))
+    subset;
+  !best
+
+let subsets_upto k l =
+  let rec go k l =
+    if k = 0 then [ [] ]
+    else
+      match l with
+      | [] -> [ [] ]
+      | x :: rest ->
+          let without = go k rest in
+          let with_x = List.map (fun s -> x :: s) (go (k - 1) rest) in
+          without @ with_x
+  in
+  List.filter (fun s -> List.length s >= 2) (go k l)
+
+let check ~points ~edges ~t2 ~t ~max_subset =
+  let rec scan = function
+    | [] -> None
+    | s :: rest -> (
+        match check_subset points ~t2 ~t s with
+        | Some v -> Some v
+        | None -> scan rest)
+  in
+  scan (subsets_upto max_subset edges)
+
+let check_sampled ~st ~points ~edges ~t2 ~t ~subset_size ~samples =
+  let pool = Array.of_list edges in
+  let m = Array.length pool in
+  if m < subset_size then None
+  else begin
+    let draw () =
+      let chosen = Hashtbl.create subset_size in
+      while Hashtbl.length chosen < subset_size do
+        Hashtbl.replace chosen (Random.State.int st m) ()
+      done;
+      Hashtbl.fold (fun i () acc -> pool.(i) :: acc) chosen []
+    in
+    let rec go k =
+      if k = 0 then None
+      else
+        match check_subset points ~t2 ~t (draw ()) with
+        | Some v -> Some v
+        | None -> go (k - 1)
+    in
+    go samples
+  end

@@ -1,0 +1,46 @@
+(** Checker for the (t2, t)-leapfrog property (paper Section 2.3).
+
+    A set [F] of line segments has the (t2, t)-leapfrog property when
+    for every subset [{{u1,v1}, ..., {us,vs}}] of [F],
+
+    [t2 |u1 v1| < sum_{i>=2} |ui vi|
+                  + t (sum_{i<s} |vi u_{i+1}| + |vs u1|)].
+
+    Das–Narasimhan (Lemma 12) turn this into the weight bound
+    [w(F) = O(w(MST))], which is how Theorem 13 is proved. Deciding the
+    property exactly is exponential; this checker enumerates all
+    subsets up to a size cap — over every cyclic arrangement and
+    orientation, so a reported violation is a genuine one — and is
+    intended for the test suite and experiment F4. *)
+
+type violation = {
+  subset : (int * int) list;  (** offending edge sequence (vertex pairs) *)
+  lhs : float;  (** [t2 |u1 v1|] *)
+  rhs : float;  (** the minimized right-hand side *)
+}
+
+(** [check ~points ~edges ~t2 ~t ~max_subset] scans all subsets of
+    [edges] of size 2..[max_subset] (each edge given as a vertex pair
+    into [points]); returns the first violation found, or [None]. For
+    each subset every choice of leading edge, ordering, and orientation
+    is tried, so [max_subset] beyond 4 gets expensive quickly. *)
+val check :
+  points:Geometry.Point.t array ->
+  edges:(int * int) list ->
+  t2:float ->
+  t:float ->
+  max_subset:int ->
+  violation option
+
+(** [check_sampled ~st ~points ~edges ~t2 ~t ~subset_size ~samples]
+    draws [samples] random subsets of exactly [subset_size] edges and
+    checks each; for edge sets too large to enumerate. *)
+val check_sampled :
+  st:Random.State.t ->
+  points:Geometry.Point.t array ->
+  edges:(int * int) list ->
+  t2:float ->
+  t:float ->
+  subset_size:int ->
+  samples:int ->
+  violation option

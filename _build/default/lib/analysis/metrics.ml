@@ -1,0 +1,79 @@
+module Wgraph = Graph.Wgraph
+
+type summary = {
+  n : int;
+  n_edges : int;
+  max_degree : int;
+  avg_degree : float;
+  total_weight : float;
+  mst_ratio : float;
+  edge_stretch : float;
+  power_cost : float;
+  power_ratio : float;
+  hop_diameter : int;
+}
+
+let power_cost g =
+  let acc = ref 0.0 in
+  for u = 0 to Wgraph.n_vertices g - 1 do
+    acc := !acc +. Wgraph.fold_neighbors g u (fun _ w m -> max m w) 0.0
+  done;
+  !acc
+
+let hop_diameter g =
+  let n = Wgraph.n_vertices g in
+  if n <= 1 then 0
+  else begin
+    let worst = ref 0 in
+    for u = 0 to n - 1 do
+      if !worst < max_int then begin
+        let dist = Graph.Bfs.hops g u in
+        Array.iter (fun d -> if d > !worst then worst := d) dist
+      end
+    done;
+    !worst
+  end
+
+let summarize ~base g =
+  let mst_w = Graph.Mst.weight base in
+  let base_power = power_cost (Graph.Mst.forest base) in
+  let w = Wgraph.total_weight g in
+  let p = power_cost g in
+  {
+    n = Wgraph.n_vertices g;
+    n_edges = Wgraph.n_edges g;
+    max_degree = Wgraph.max_degree g;
+    avg_degree = Wgraph.avg_degree g;
+    total_weight = w;
+    mst_ratio = (if mst_w > 0.0 then w /. mst_w else nan);
+    edge_stretch = Topo.Verify.edge_stretch ~base ~spanner:g;
+    power_cost = p;
+    power_ratio = (if base_power > 0.0 then p /. base_power else nan);
+    hop_diameter = hop_diameter g;
+  }
+
+let degree_histogram g =
+  let h = Array.make (Wgraph.max_degree g + 1) 0 in
+  for v = 0 to Wgraph.n_vertices g - 1 do
+    let d = Wgraph.degree g v in
+    h.(d) <- h.(d) + 1
+  done;
+  h
+
+let pp_degree_histogram ppf g =
+  let h = degree_histogram g in
+  let peak = Array.fold_left max 1 h in
+  let width = 40 in
+  Array.iteri
+    (fun d count ->
+      let bar = count * width / peak in
+      Format.fprintf ppf "deg %2d | %s %d@." d (String.make bar '#') count)
+    h
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d m=%d maxdeg=%d avgdeg=%.2f weight=%.3f w/mst=%.3f stretch=%.4f \
+     power=%.3f power/mst=%.3f hopdiam=%s"
+    s.n s.n_edges s.max_degree s.avg_degree s.total_weight s.mst_ratio
+    s.edge_stretch s.power_cost s.power_ratio
+    (if s.hop_diameter = max_int then "inf" else string_of_int s.hop_diameter)

@@ -1,0 +1,43 @@
+(** Topology quality metrics.
+
+    One summary record covering the quantities the paper bounds
+    (stretch, degree, weight — Theorems 10, 11, 13), the power-cost
+    measure of Section 1.6.3, and the usual topology-control secondary
+    statistics. *)
+
+type summary = {
+  n : int;
+  n_edges : int;
+  max_degree : int;
+  avg_degree : float;
+  total_weight : float;
+  mst_ratio : float;  (** total weight over w(MST(base)) *)
+  edge_stretch : float;  (** exact t-spanner stretch w.r.t. base *)
+  power_cost : float;  (** sum over nodes of max incident weight *)
+  power_ratio : float;  (** power cost over the base MST's power cost *)
+  hop_diameter : int;  (** eccentricity bound in hops, [max_int] if disconnected *)
+}
+
+(** [power_cost g] is [sum_u max {w(u,v) : v adjacent}] — each node pays
+    for reaching its farthest chosen neighbor (paper Section 1.6.3).
+    Isolated nodes pay 0. *)
+val power_cost : Graph.Wgraph.t -> float
+
+(** [hop_diameter g] is the largest hop distance between any connected
+    pair, [max_int] when [g] is disconnected and has [>= 2] vertices. *)
+val hop_diameter : Graph.Wgraph.t -> int
+
+(** [summarize ~base g] computes the full summary of topology [g]
+    against the reference graph [base] (typically the input α-UBG). *)
+val summarize : base:Graph.Wgraph.t -> Graph.Wgraph.t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** [degree_histogram g] is the array [h] with [h.(d)] = number of
+    vertices of degree [d]; length [max_degree g + 1] ([[|n|]] on the
+    edgeless graph). Theorem 11 in picture form. *)
+val degree_histogram : Graph.Wgraph.t -> int array
+
+(** [pp_degree_histogram ppf g] renders the histogram as one text bar
+    per degree. *)
+val pp_degree_histogram : Format.formatter -> Graph.Wgraph.t -> unit

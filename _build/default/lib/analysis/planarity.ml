@@ -1,0 +1,59 @@
+module Point = Geometry.Point
+
+let orient a b c =
+  let v =
+    ((Point.coord b 0 -. Point.coord a 0)
+    *. (Point.coord c 1 -. Point.coord a 1))
+    -. ((Point.coord b 1 -. Point.coord a 1)
+       *. (Point.coord c 0 -. Point.coord a 0))
+  in
+  if v > 1e-15 then 1 else if v < -1e-15 then -1 else 0
+
+let on_segment a b c =
+  (* c collinear with ab: does c lie within the bounding box of ab? *)
+  min (Point.coord a 0) (Point.coord b 0) <= Point.coord c 0 +. 1e-15
+  && Point.coord c 0 <= max (Point.coord a 0) (Point.coord b 0) +. 1e-15
+  && min (Point.coord a 1) (Point.coord b 1) <= Point.coord c 1 +. 1e-15
+  && Point.coord c 1 <= max (Point.coord a 1) (Point.coord b 1) +. 1e-15
+
+let segments_properly_cross p1 q1 p2 q2 =
+  let d1 = orient p2 q2 p1
+  and d2 = orient p2 q2 q1
+  and d3 = orient p1 q1 p2
+  and d4 = orient p1 q1 q2 in
+  if d1 <> 0 && d2 <> 0 && d3 <> 0 && d4 <> 0 then d1 <> d2 && d3 <> d4
+  else
+    (* Collinear configurations: count interior overlap, not mere
+       endpoint touching. *)
+    let strictly_inside a b c =
+      on_segment a b c && Point.distance a c > 1e-12
+      && Point.distance b c > 1e-12
+    in
+    (d1 = 0 && strictly_inside p2 q2 p1)
+    || (d2 = 0 && strictly_inside p2 q2 q1)
+    || (d3 = 0 && strictly_inside p1 q1 p2)
+    || (d4 = 0 && strictly_inside p1 q1 q2)
+
+let crossings ~points g =
+  if Array.length points > 0 && Geometry.Point.dim points.(0) <> 2 then
+    invalid_arg "Planarity: 2-d embeddings only";
+  let edges = Array.of_list (Graph.Wgraph.edges g) in
+  let count = ref 0 in
+  for i = 0 to Array.length edges - 1 do
+    for j = i + 1 to Array.length edges - 1 do
+      let a = edges.(i) and b = edges.(j) in
+      (* Edges sharing an endpoint never properly cross. *)
+      if
+        a.Graph.Wgraph.u <> b.Graph.Wgraph.u
+        && a.Graph.Wgraph.u <> b.Graph.Wgraph.v
+        && a.Graph.Wgraph.v <> b.Graph.Wgraph.u
+        && a.Graph.Wgraph.v <> b.Graph.Wgraph.v
+        && segments_properly_cross points.(a.Graph.Wgraph.u)
+             points.(a.Graph.Wgraph.v) points.(b.Graph.Wgraph.u)
+             points.(b.Graph.Wgraph.v)
+      then incr count
+    done
+  done;
+  !count
+
+let is_plane ~points g = crossings ~points g = 0

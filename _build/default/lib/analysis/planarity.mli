@@ -1,0 +1,22 @@
+(** Plane-graph checks for embedded 2-d topologies.
+
+    The paper's related work ([13, 14, 15], [9]) cares about planar
+    output topologies because face routing guarantees delivery only on
+    plane graphs. These helpers decide whether a topology drawn at its
+    node positions is a plane graph (no two edges properly cross) and
+    count crossings; brute-force O(m^2), intended for analysis and
+    tests. Only 2-d embeddings are accepted. *)
+
+(** [segments_properly_cross p1 q1 p2 q2] tests proper crossing of the
+    open segments (shared endpoints do not count; collinear overlap
+    does). *)
+val segments_properly_cross :
+  Geometry.Point.t -> Geometry.Point.t -> Geometry.Point.t ->
+  Geometry.Point.t -> bool
+
+(** [crossings ~points g] is the number of unordered edge pairs of [g]
+    that properly cross when drawn at [points]. *)
+val crossings : points:Geometry.Point.t array -> Graph.Wgraph.t -> int
+
+(** [is_plane ~points g] is [crossings ~points g = 0]. *)
+val is_plane : points:Geometry.Point.t array -> Graph.Wgraph.t -> bool

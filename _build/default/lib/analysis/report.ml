@@ -1,0 +1,59 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  let k = List.length t.columns in
+  let n = List.length cells in
+  let padded =
+    if n >= k then List.filteri (fun i _ -> i < k) cells
+    else cells @ List.init (k - n) (fun _ -> "")
+  in
+  t.rows <- padded :: t.rows
+
+let cell_f v =
+  if Float.is_nan v then "-"
+  else if v = infinity then "inf"
+  else Printf.sprintf "%.3f" v
+
+let cell_i = string_of_int
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let k = List.length t.columns in
+  let widths = Array.make k 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         if i < k then widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let render_row cells =
+    List.iteri
+      (fun i cell ->
+        let pad = widths.(i) - String.length cell in
+        if i = 0 then begin
+          Buffer.add_string buf cell;
+          Buffer.add_string buf (String.make pad ' ')
+        end
+        else begin
+          Buffer.add_string buf "  ";
+          Buffer.add_string buf (String.make pad ' ');
+          Buffer.add_string buf cell
+        end)
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.columns;
+  let total = Array.fold_left ( + ) 0 widths + (2 * (k - 1)) in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

@@ -1,0 +1,26 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Every experiment in [bench/main.ml] prints one table; this module
+    keeps the layout consistent (left-aligned first column, right-
+    aligned numbers, a rule under the header). *)
+
+type t
+
+(** [create ~title ~columns] starts a table with the given column
+    headers. *)
+val create : title:string -> columns:string list -> t
+
+(** [add_row t cells] appends a row; the row is padded or truncated to
+    the column count. *)
+val add_row : t -> string list -> unit
+
+(** [cell_f v] and [cell_i v] format numeric cells uniformly. *)
+val cell_f : float -> string
+
+val cell_i : int -> string
+
+(** [print t] renders to stdout. *)
+val print : t -> unit
+
+(** [to_string t] renders to a string. *)
+val to_string : t -> string

@@ -1,0 +1,80 @@
+module Point = Geometry.Point
+module Wgraph = Graph.Wgraph
+
+type style = {
+  width_px : int;
+  show_input : bool;
+  node_radius : float;
+  edge_color : string;
+}
+
+let default_style =
+  { width_px = 800; show_input = true; node_radius = 3.0; edge_color = "#4682b4" }
+
+let render ?(style = default_style) ~model topology =
+  if Ubg.Model.dim model <> 2 then invalid_arg "Svg.render: 2-d only";
+  let points = model.Ubg.Model.points in
+  if Wgraph.n_vertices topology <> Array.length points then
+    invalid_arg "Svg.render: vertex count mismatch";
+  let minx = ref infinity and miny = ref infinity in
+  let maxx = ref neg_infinity and maxy = ref neg_infinity in
+  Array.iter
+    (fun p ->
+      minx := min !minx (Point.coord p 0);
+      maxx := max !maxx (Point.coord p 0);
+      miny := min !miny (Point.coord p 1);
+      maxy := max !maxy (Point.coord p 1))
+    points;
+  let margin = 0.05 *. max (!maxx -. !minx) (!maxy -. !miny) in
+  let margin = if margin <= 0.0 then 1.0 else margin in
+  let minx = !minx -. margin
+  and maxx = !maxx +. margin
+  and miny = !miny -. margin
+  and maxy = !maxy +. margin in
+  let scale = float_of_int style.width_px /. (maxx -. minx) in
+  let height_px =
+    int_of_float (ceil ((maxy -. miny) *. scale))
+  in
+  (* SVG's y axis grows downward; flip so the plot reads like a map. *)
+  let sx x = (x -. minx) *. scale in
+  let sy y = float_of_int height_px -. ((y -. miny) *. scale) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\">\n"
+       style.width_px height_px style.width_px height_px);
+  Buffer.add_string buf
+    "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  let line u v color width =
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+          stroke=\"%s\" stroke-width=\"%.1f\"/>\n"
+         (sx (Point.coord points.(u) 0))
+         (sy (Point.coord points.(u) 1))
+         (sx (Point.coord points.(v) 0))
+         (sy (Point.coord points.(v) 1))
+         color width)
+  in
+  if style.show_input then
+    Wgraph.iter_edges model.Ubg.Model.graph (fun u v _ ->
+        line u v "#dddddd" 0.8);
+  Wgraph.iter_edges topology (fun u v _ -> line u v style.edge_color 1.6);
+  Array.iteri
+    (fun _ p ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"#333333\"/>\n"
+           (sx (Point.coord p 0))
+           (sy (Point.coord p 1))
+           style.node_radius))
+    points;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save ?style ~model topology path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?style ~model topology))

@@ -1,0 +1,26 @@
+(** SVG rendering of 2-d instances and topologies.
+
+    Produces self-contained SVG files for inspecting what an algorithm
+    kept: input edges in light gray underneath, the topology's edges on
+    top, nodes as dots. Only 2-d instances are drawable. *)
+
+type style = {
+  width_px : int;  (** output width in pixels (height follows aspect) *)
+  show_input : bool;  (** draw the α-UBG's edges underneath *)
+  node_radius : float;  (** dot radius in pixels *)
+  edge_color : string;  (** CSS color of topology edges *)
+}
+
+(** [default_style] is 800 px wide, input shown, steel-blue edges. *)
+val default_style : style
+
+(** [render ?style ~model topology] is the SVG document (as a string)
+    showing [topology] over [model]'s node positions. Raises
+    [Invalid_argument] for non-2-d models or mismatched vertex
+    counts. *)
+val render : ?style:style -> model:Ubg.Model.t -> Graph.Wgraph.t -> string
+
+(** [save ?style ~model topology path] writes {!render}'s output to
+    [path]. *)
+val save :
+  ?style:style -> model:Ubg.Model.t -> Graph.Wgraph.t -> string -> unit

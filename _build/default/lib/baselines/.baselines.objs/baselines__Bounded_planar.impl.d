@@ -1,0 +1,1 @@
+lib/baselines/bounded_planar.ml: Array Float Fun Geometry Graph Hashtbl List Ubg Udel

@@ -1,0 +1,1 @@
+lib/baselines/bounded_planar.mli: Graph Ubg

@@ -1,0 +1,1 @@
+lib/baselines/cone_graphs.ml: Array Float Geometry Graph Hashtbl Ubg

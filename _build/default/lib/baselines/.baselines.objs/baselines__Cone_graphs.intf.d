@@ -1,0 +1,1 @@
+lib/baselines/cone_graphs.mli: Graph Ubg

@@ -1,0 +1,1 @@
+lib/baselines/lmst.ml: Array Graph Hashtbl List Ubg

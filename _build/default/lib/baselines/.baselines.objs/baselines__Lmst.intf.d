@@ -1,0 +1,1 @@
+lib/baselines/lmst.mli: Graph Ubg

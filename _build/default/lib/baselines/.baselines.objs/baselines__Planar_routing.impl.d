@@ -1,0 +1,1 @@
+lib/baselines/planar_routing.ml: Analysis Array Float Geometry Graph Hashtbl List Option Random Routing Ubg

@@ -1,0 +1,1 @@
+lib/baselines/planar_routing.mli: Graph Routing Ubg

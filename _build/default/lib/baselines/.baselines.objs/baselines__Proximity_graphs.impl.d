@@ -1,0 +1,1 @@
+lib/baselines/proximity_graphs.ml: Array Geometry Graph List Ubg

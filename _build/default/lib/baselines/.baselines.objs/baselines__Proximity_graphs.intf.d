@@ -1,0 +1,1 @@
+lib/baselines/proximity_graphs.mli: Graph Ubg

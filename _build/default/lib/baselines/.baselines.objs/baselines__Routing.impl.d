@@ -1,0 +1,1 @@
+lib/baselines/routing.ml: Graph List Random Ubg

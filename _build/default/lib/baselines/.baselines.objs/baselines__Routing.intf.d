@@ -1,0 +1,1 @@
+lib/baselines/routing.mli: Graph Ubg

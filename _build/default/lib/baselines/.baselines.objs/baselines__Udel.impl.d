@@ -1,0 +1,1 @@
+lib/baselines/udel.ml: Geometry Graph List Ubg

@@ -1,0 +1,1 @@
+lib/baselines/udel.mli: Graph Ubg

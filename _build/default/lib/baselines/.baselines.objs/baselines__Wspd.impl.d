@@ -1,0 +1,1 @@
+lib/baselines/wspd.ml: Array Fun Geometry Graph List

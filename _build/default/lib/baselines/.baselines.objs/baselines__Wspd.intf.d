@@ -1,0 +1,1 @@
+lib/baselines/wspd.mli: Geometry Graph

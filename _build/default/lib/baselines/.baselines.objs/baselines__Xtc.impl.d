@@ -1,0 +1,1 @@
+lib/baselines/xtc.ml: Graph Ubg

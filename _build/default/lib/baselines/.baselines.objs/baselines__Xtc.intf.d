@@ -1,0 +1,1 @@
+lib/baselines/xtc.mli: Graph Ubg

@@ -1,0 +1,60 @@
+module Point = Geometry.Point
+module Wgraph = Graph.Wgraph
+module Model = Ubg.Model
+
+type status = Undecided | Kept | Dropped
+
+let build ?(cones = 9) model =
+  if cones < 5 then invalid_arg "Bounded_planar.build: cones < 5";
+  if Model.dim model <> 2 then invalid_arg "Bounded_planar.build: 2-d only";
+  let udel = Udel.build model in
+  let n = Model.n model in
+  let status = Hashtbl.create (Wgraph.n_edges udel) in
+  let key u v = (min u v, max u v) in
+  Wgraph.iter_edges udel (fun u v _ -> Hashtbl.replace status (key u v) Undecided);
+  let sector u v =
+    let pu = model.Model.points.(u) and pv = model.Model.points.(v) in
+    let a =
+      atan2 (Point.coord pv 1 -. Point.coord pu 1)
+        (Point.coord pv 0 -. Point.coord pu 0)
+    in
+    let a = if a < 0.0 then a +. (2.0 *. Float.pi) else a in
+    min (cones - 1)
+      (int_of_float (a /. (2.0 *. Float.pi) *. float_of_int cones))
+  in
+  (* Non-increasing Delaunay degree, ties by id: high-degree nodes thin
+     their neighborhoods first, as in the ordered Yao step of [15]. *)
+  let order =
+    List.sort
+      (fun u v -> compare (-Wgraph.degree udel u, u) (-Wgraph.degree udel v, v))
+      (List.init n Fun.id)
+  in
+  List.iter
+    (fun u ->
+      (* Per sector: shortest undecided edge survives unless the sector
+         is already served by a kept edge. *)
+      let best = Array.make cones None in
+      let served = Array.make cones false in
+      Wgraph.iter_neighbors udel u (fun v w ->
+          let c = sector u v in
+          match Hashtbl.find status (key u v) with
+          | Kept -> served.(c) <- true
+          | Dropped -> ()
+          | Undecided -> (
+              match best.(c) with
+              | Some (w', _) when w' <= w -> ()
+              | Some _ | None -> best.(c) <- Some (w, v)));
+      Wgraph.iter_neighbors udel u (fun v _ ->
+          let c = sector u v in
+          if Hashtbl.find status (key u v) = Undecided then begin
+            let winner =
+              (not served.(c))
+              && match best.(c) with Some (_, v') -> v' = v | None -> false
+            in
+            Hashtbl.replace status (key u v) (if winner then Kept else Dropped)
+          end))
+    order;
+  let out = Wgraph.create n in
+  Wgraph.iter_edges udel (fun u v w ->
+      if Hashtbl.find status (key u v) = Kept then Wgraph.add_edge out u v w);
+  out

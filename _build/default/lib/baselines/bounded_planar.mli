@@ -1,0 +1,22 @@
+(** Bounded-degree planar spanner in the spirit of Li–Wang (the paper's
+    reference [15], its direct comparator).
+
+    [15] builds a planar t ≈ 6.2 spanner of a UDG with degree at most
+    25 in linearly many communication rounds, by combining a localized
+    Delaunay triangulation with an ordered Yao degree-bounding step.
+    This module reproduces that construction's shape for experiment E8:
+
+    + start from the unit Delaunay graph (planar UDG spanner);
+    + process nodes in non-increasing Delaunay-degree order; at each
+      node, partition its still-undecided incident edges into [cones]
+      sectors and keep only the shortest edge per sector (a sector
+      already satisfied by a previously kept edge keeps nothing more).
+
+    The output is plane (a subgraph of unit Delaunay) and has small
+    degree; its stretch is measured, not asserted — matching [15]'s
+    regime of "constant but not arbitrarily small t", which is exactly
+    the gap the paper's (1+ε) result closes. 2-d instances only. *)
+
+(** [build ?cones model] runs the construction (default 9 cones,
+    [cones >= 5]). *)
+val build : ?cones:int -> Ubg.Model.t -> Graph.Wgraph.t

@@ -1,0 +1,48 @@
+module Point = Geometry.Point
+module Cone = Geometry.Cone
+module Wgraph = Graph.Wgraph
+module Model = Ubg.Model
+
+let build_with ~select model partition =
+  let g = model.Model.graph in
+  let n = Model.n model in
+  let out = Wgraph.create n in
+  for u = 0 to n - 1 do
+    (* best.(c) = (key, vertex, weight) — smallest key wins the cone. *)
+    let best = Hashtbl.create 8 in
+    Wgraph.iter_neighbors g u (fun v w ->
+        let dir = Point.sub model.Model.points.(v) model.Model.points.(u) in
+        let c = Cone.assign partition dir in
+        let key = select partition c ~dir ~dist:w in
+        match Hashtbl.find_opt best c with
+        | Some (key', _, _) when key' <= key -> ()
+        | Some _ | None -> Hashtbl.replace best c (key, v, w));
+    Hashtbl.iter (fun _ (_, v, w) -> Wgraph.add_edge out u v w) best
+  done;
+  out
+
+let partition_for model ~cones =
+  let dim = Model.dim model in
+  if dim = 2 then begin
+    if cones < 4 then invalid_arg "Cone_graphs: cones < 4";
+    (* axes_2d picks ceil(pi / theta) axes, so theta = pi / cones gives
+       exactly [cones] sectors. *)
+    Cone.make ~dim ~theta:(Float.pi /. float_of_int cones)
+  end
+  else
+    Cone.make ~dim
+      ~theta:(min (2.0 *. Float.pi /. float_of_int cones) (Float.pi /. 2.1))
+
+let yao model ~cones =
+  let partition = partition_for model ~cones in
+  build_with model partition ~select:(fun _ _ ~dir:_ ~dist -> dist)
+
+let theta model ~cones =
+  let partition = partition_for model ~cones in
+  build_with model partition ~select:(fun p c ~dir ~dist:_ ->
+      Cone.project_on_axis p c dir)
+
+let yao_by_angle model ~angle =
+  if angle <= 0.0 then invalid_arg "Cone_graphs.yao_by_angle: angle <= 0";
+  let cones = max 4 (int_of_float (ceil (Float.pi /. angle))) in
+  yao model ~cones

@@ -1,0 +1,23 @@
+(** Yao and Theta graphs over an α-UBG (baselines for experiment E8).
+
+    Classical cone-based topology control: each node partitions the
+    directions around itself into cones of angle [theta] (paper
+    reference [20], Yao) and keeps one outgoing edge per nonempty cone —
+    the nearest neighbor for Yao, the neighbor minimizing the
+    projection onto the cone axis for Theta. The output is symmetrized
+    (an undirected edge survives when either endpoint selected it),
+    matching the usual topology-control convention. Both run on the UBG
+    edge set, not the complete graph. *)
+
+(** [yao model ~cones] is the Yao graph with the given number of cones
+    per node (2-d exact sectors; higher dimensions use the angular net
+    of {!Geometry.Cone}). Requires [cones >= 4] in 2-d. *)
+val yao : Ubg.Model.t -> cones:int -> Graph.Wgraph.t
+
+(** [theta model ~cones] is the Theta graph: same partition, selection
+    by axis projection. *)
+val theta : Ubg.Model.t -> cones:int -> Graph.Wgraph.t
+
+(** [yao_by_angle model ~angle] chooses the cone count from a target
+    angular radius, for parity with the spanner's [theta] parameter. *)
+val yao_by_angle : Ubg.Model.t -> angle:float -> Graph.Wgraph.t

@@ -1,0 +1,33 @@
+module Wgraph = Graph.Wgraph
+module Model = Ubg.Model
+
+type mode = Symmetric | Asymmetric
+
+let build ?(mode = Symmetric) model =
+  let g = model.Model.graph in
+  let n = Model.n model in
+  (* keeps.(u) holds the neighbors u wants to retain. *)
+  let keeps = Array.init n (fun _ -> Hashtbl.create 4) in
+  for u = 0 to n - 1 do
+    let local, vertices = Graph.Bfs.induced_ball g u ~radius:1 in
+    (* Index of u inside its own ball view. *)
+    let u_local = ref (-1) in
+    Array.iteri (fun i v -> if v = u then u_local := i) vertices;
+    List.iter
+      (fun (e : Wgraph.edge) ->
+        if e.u = !u_local then Hashtbl.replace keeps.(u) vertices.(e.v) e.w
+        else if e.v = !u_local then Hashtbl.replace keeps.(u) vertices.(e.u) e.w)
+      (Graph.Mst.kruskal local)
+  done;
+  let out = Wgraph.create n in
+  for u = 0 to n - 1 do
+    Hashtbl.iter
+      (fun v w ->
+        let reciprocal = Hashtbl.mem keeps.(v) u in
+        let keep =
+          match mode with Symmetric -> reciprocal | Asymmetric -> true
+        in
+        if keep then Wgraph.add_edge out u v w)
+      keeps.(u)
+  done;
+  out

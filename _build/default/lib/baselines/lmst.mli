@@ -1,0 +1,16 @@
+(** Local Minimum Spanning Tree topology (Li, Hou & Sha; a standard
+    localized baseline for experiment E8).
+
+    Every node [u] collects its 1-hop neighborhood (with all pairwise
+    distances, exactly the information the paper's Section 3.1 gather
+    provides), computes the Euclidean MST of that local view, and keeps
+    the edges incident to itself. The symmetric variant retains an edge
+    only when both endpoints keep it; the asymmetric variant when
+    either does. On a connected input the symmetric LMST is connected
+    and has degree at most 6 in the plane. *)
+
+type mode = Symmetric | Asymmetric
+
+(** [build ?mode model] computes the LMST topology (default
+    [Symmetric]). *)
+val build : ?mode:mode -> Ubg.Model.t -> Graph.Wgraph.t

@@ -1,0 +1,286 @@
+module Point = Geometry.Point
+module Wgraph = Graph.Wgraph
+module Model = Ubg.Model
+
+type rotation = {
+  model : Model.t;
+  graph : Wgraph.t;
+  order : int array array; (* v -> neighbors in ccw angular order *)
+  position : (int * int, int) Hashtbl.t; (* (v, w) -> index of w around v *)
+}
+
+let angle_from model v w =
+  let pv = model.Model.points.(v) and pw = model.Model.points.(w) in
+  atan2 (Point.coord pw 1 -. Point.coord pv 1)
+    (Point.coord pw 0 -. Point.coord pv 0)
+
+let rotation model graph =
+  if Model.dim model <> 2 then invalid_arg "Planar_routing: 2-d only";
+  let n = Wgraph.n_vertices graph in
+  let position = Hashtbl.create ((2 * Wgraph.n_edges graph) + 1) in
+  let order =
+    Array.init n (fun v ->
+        let nbrs =
+          List.sort compare
+            (List.map (fun (w, _) -> (angle_from model v w, w))
+               (Wgraph.neighbors graph v))
+        in
+        let arr = Array.of_list (List.map snd nbrs) in
+        Array.iteri (fun i w -> Hashtbl.replace position (v, w) i) arr;
+        arr)
+  in
+  { model; graph; order; position }
+
+(* Next neighbor of [v] strictly clockwise from absolute angle [a],
+   wrapping around. *)
+let next_cw_from_angle r v a =
+  let nbrs = r.order.(v) in
+  if Array.length nbrs = 0 then None
+  else begin
+    let best = ref None in
+    Array.iter
+      (fun w ->
+        let aw = angle_from r.model v w in
+        (* Clockwise gap from a to aw, normalized into (0, 2pi]. *)
+        let gap =
+          let g = Float.rem (a -. aw) (2.0 *. Float.pi) in
+          if g <= 0.0 then g +. (2.0 *. Float.pi) else g
+        in
+        match !best with
+        | Some (g', _) when g' <= gap -> ()
+        | Some _ | None -> best := Some (gap, w))
+      nbrs;
+    Option.map snd !best
+  end
+
+(* Right-hand rule: after traversing u -> v, continue with v -> w where
+   w is the next neighbor of v clockwise from u. *)
+let face_successor r (u, v) =
+  let nbrs = r.order.(v) in
+  let k = Array.length nbrs in
+  let i =
+    match Hashtbl.find_opt r.position (v, u) with
+    | Some i -> i
+    | None -> invalid_arg "Planar_routing: not an edge"
+  in
+  (v, nbrs.((i - 1 + k) mod k))
+
+(* The face cycle starting at directed edge [start]; each directed edge
+   appears once. *)
+let face_of r start =
+  let rec go e acc =
+    let e' = face_successor r e in
+    if e' = start then List.rev acc else go e' (e' :: acc)
+  in
+  start :: go start []
+
+let face_count r =
+  let visited = Hashtbl.create 64 in
+  let faces = ref 0 in
+  Wgraph.iter_edges r.graph (fun u v _ ->
+      List.iter
+        (fun e ->
+          if not (Hashtbl.mem visited e) then begin
+            incr faces;
+            List.iter (fun e' -> Hashtbl.replace visited e' ()) (face_of r e)
+          end)
+        [ (u, v); (v, u) ]);
+  !faces
+
+(* Intersection point of two properly crossing segments. *)
+let crossing_point p1 q1 p2 q2 =
+  let x1 = Point.coord p1 0 and y1 = Point.coord p1 1 in
+  let x2 = Point.coord q1 0 and y2 = Point.coord q1 1 in
+  let x3 = Point.coord p2 0 and y3 = Point.coord p2 1 in
+  let x4 = Point.coord q2 0 and y4 = Point.coord q2 1 in
+  let denom = ((x1 -. x2) *. (y3 -. y4)) -. ((y1 -. y2) *. (x3 -. x4)) in
+  if abs_float denom < 1e-18 then Point.midpoint p1 q1 (* near-parallel *)
+  else begin
+    let t =
+      (((x1 -. x3) *. (y3 -. y4)) -. ((y1 -. y3) *. (x3 -. x4))) /. denom
+    in
+    Point.lerp p1 q1 t
+  end
+
+type face_step =
+  | Arrived of int list (* nodes walked, destination last *)
+  | Resume of int list * int (* GFG: nodes walked, closer node reached *)
+  | Advance of int list * (int * int) * Point.t
+      (* nodes walked, seed edge of the next face, new anchor *)
+  | Dead of int (* no crossing: stuck *)
+
+(* One FACE-1 iteration over the face seeded by [seed]. [resume_below]
+   enables GFG's early exit as soon as a node closer than the bound is
+   reached. *)
+let face_iteration r ~seed ~anchor ~dst ~resume_below =
+  let pd = r.model.Model.points.(dst) in
+  let walk = face_of r seed in
+  (* Early exits scan the walk in traversal order. *)
+  let rec scan acc = function
+    | [] -> None
+    | (_, v) :: rest -> (
+        if v = dst then Some (`Hit (List.rev (v :: acc)))
+        else
+          match resume_below with
+          | Some bound
+            when Point.distance r.model.Model.points.(v) pd < bound ->
+              Some (`Closer (List.rev (v :: acc), v))
+          | Some _ | None -> scan (v :: acc) rest)
+  in
+  match scan [] walk with
+  | Some (`Hit nodes) -> Arrived nodes
+  | Some (`Closer (nodes, v)) -> Resume (nodes, v)
+  | None ->
+      (* Best crossing of the anchor->destination segment. *)
+      let anchor_d = Point.distance anchor pd in
+      let best = ref None in
+      List.iter
+        (fun (a, b) ->
+          let pa = r.model.Model.points.(a)
+          and pb = r.model.Model.points.(b) in
+          if Analysis.Planarity.segments_properly_cross anchor pd pa pb then begin
+            let x = crossing_point anchor pd pa pb in
+            let dx = Point.distance x pd in
+            if dx < anchor_d -. 1e-12 then
+              match !best with
+              | Some (dx', _, _) when dx' <= dx -> ()
+              | Some _ | None -> best := Some (dx, (a, b), x)
+          end)
+        walk;
+      (match !best with
+      | None -> Dead (fst seed)
+      | Some (_, (a, b), x) ->
+          (* The packet explores the whole face, then walks again to the
+             crossing edge and switches to the face on its other side. *)
+          let exploration = List.map snd walk in
+          let rec prefix acc = function
+            | [] -> List.rev acc
+            | (a', b') :: rest ->
+                if a' = a && b' = b then List.rev (b' :: acc)
+                else prefix (b' :: acc) rest
+          in
+          Advance (exploration @ prefix [] walk, (b, a), x))
+
+let budget r = (20 * (Wgraph.n_edges r.graph + 1)) + Wgraph.n_vertices r.graph
+
+let seed_toward r node dst =
+  match next_cw_from_angle r node (angle_from r.model node dst) with
+  | Some w -> Some (node, w)
+  | None -> None
+
+(* FACE-1 main loop from [src]. [resume_bound], when given, makes it a
+   GFG recovery phase that yields back to greedy mode. The returned
+   node list always starts with [src]. *)
+let run_face r ~src ~dst ~resume_bound =
+  let rec loop seed anchor path steps =
+    if steps > budget r then `Stuck (fst seed)
+    else
+      match face_iteration r ~seed ~anchor ~dst ~resume_below:resume_bound with
+      | Arrived nodes -> `Delivered (path @ nodes)
+      | Resume (nodes, v) -> `Resume (path @ nodes, v)
+      | Dead at -> `Stuck at
+      | Advance (nodes, seed', anchor') ->
+          loop seed' anchor' (path @ nodes) (steps + List.length nodes)
+  in
+  match seed_toward r src dst with
+  | None -> `Stuck src
+  | Some seed -> loop seed r.model.Model.points.(src) [ src ] 0
+
+let path_outcome model path dst =
+  let rec last = function [ x ] -> x | _ :: tl -> last tl | [] -> dst + 1 in
+  if last path = dst then begin
+    let length = ref 0.0 in
+    let rec sum = function
+      | a :: (b :: _ as rest) ->
+          length := !length +. Model.distance model a b;
+          sum rest
+      | [ _ ] | [] -> ()
+    in
+    sum path;
+    Routing.Delivered { path; length = !length; hops = List.length path - 1 }
+  end
+  else Routing.Stuck { at = last path; hops = List.length path - 1 }
+
+let face_route ~model ~topology ~src ~dst =
+  if src = dst then invalid_arg "Planar_routing.face_route: src = dst";
+  let r = rotation model topology in
+  match run_face r ~src ~dst ~resume_bound:None with
+  | `Delivered path -> path_outcome model path dst
+  | `Resume _ -> assert false (* no bound, no resumes *)
+  | `Stuck at -> Routing.Stuck { at; hops = 0 }
+
+let gfg ~model ~topology ~src ~dst =
+  if src = dst then invalid_arg "Planar_routing.gfg: src = dst";
+  let r = rotation model topology in
+  let pd = model.Model.points.(dst) in
+  let total_budget = budget r in
+  (* [path] is kept reversed. *)
+  let rec greedy_mode at path steps =
+    if steps > total_budget then
+      Routing.Stuck { at; hops = List.length path - 1 }
+    else if at = dst then path_outcome model (List.rev path) dst
+    else begin
+      let here = Point.distance model.Model.points.(at) pd in
+      let next =
+        Wgraph.fold_neighbors topology at
+          (fun v _ acc ->
+            let d = Point.distance model.Model.points.(v) pd in
+            if d < here -. 1e-15 then
+              match acc with
+              | Some (d', _) when d' <= d -> acc
+              | Some _ | None -> Some (d, v)
+            else acc)
+          None
+      in
+      match next with
+      | Some (_, v) -> greedy_mode v (v :: path) (steps + 1)
+      | None -> recovery at path steps here
+    end
+  and recovery at path steps bound =
+    match run_face r ~src:at ~dst ~resume_bound:(Some bound) with
+    | `Delivered face_path ->
+        (* face_path starts at [at], already the head of [path]. *)
+        path_outcome model (List.rev path @ List.tl face_path) dst
+    | `Resume (face_path, v) ->
+        greedy_mode v
+          (List.rev_append (List.tl face_path) path)
+          (steps + List.length face_path)
+    | `Stuck stuck_at ->
+        Routing.Stuck { at = stuck_at; hops = List.length path - 1 }
+  in
+  greedy_mode src [ src ] 0
+
+let trial ~seed ~model ~topology ~pairs ~route =
+  let n = Model.n model in
+  if n < 2 then invalid_arg "Planar_routing.trial: need >= 2 nodes";
+  let st = Random.State.make [| seed; 0x9a9a |] in
+  let delivered = ref 0 in
+  let sum_stretch = ref 0.0 and max_stretch = ref 0.0 in
+  for _ = 1 to pairs do
+    let src = Random.State.int st n in
+    let dst =
+      let rec pick () =
+        let d = Random.State.int st n in
+        if d = src then pick () else d
+      in
+      pick ()
+    in
+    match route ~model ~topology ~src ~dst with
+    | Routing.Delivered { length; _ } ->
+        incr delivered;
+        let sp = Graph.Dijkstra.distance model.Model.graph src dst in
+        if sp > 0.0 && sp < infinity then begin
+          let stretch = length /. sp in
+          sum_stretch := !sum_stretch +. stretch;
+          if stretch > !max_stretch then max_stretch := stretch
+        end
+    | Routing.Stuck _ -> ()
+  done;
+  {
+    Routing.attempts = pairs;
+    delivered = !delivered;
+    delivery_rate = float_of_int !delivered /. float_of_int (max pairs 1);
+    avg_stretch =
+      (if !delivered > 0 then !sum_stretch /. float_of_int !delivered else nan);
+    max_stretch = (if !delivered > 0 then !max_stretch else nan);
+  }

@@ -1,0 +1,60 @@
+(** Face routing with guaranteed delivery on plane graphs.
+
+    Reference [9] of the paper (GPSR) and the planarity requirements of
+    its related work exist because {e greedy} forwarding gets stuck at
+    local minima, while {e face} routing on a plane graph provably
+    reaches the destination. This module implements:
+
+    - the rotation system of an embedded graph (neighbors in angular
+      order) and face walks under the right-hand rule;
+    - FACE-1 (Bose–Morin–Stojmenović–Urrutia): repeatedly traverse the
+      face intersecting the anchor-to-destination segment, advance the
+      anchor to the crossing closest to the destination;
+    - GFG: greedy forwarding with FACE-1 recovery, resuming greedy as
+      soon as some node is closer to the destination than the local
+      minimum that triggered recovery.
+
+    All functions require a 2-d instance and a topology that is a plane
+    graph at the instance's node positions (see
+    {!Analysis.Planarity.is_plane}); behaviour on crossing embeddings
+    is unspecified (delivery may fail). *)
+
+type rotation
+
+(** [rotation model g] precomputes the angular adjacency order of every
+    vertex of [g] embedded at [model]'s positions. *)
+val rotation : Ubg.Model.t -> Graph.Wgraph.t -> rotation
+
+(** [face_of r (u, v)] is the closed face walk containing the directed
+    edge [(u, v)]: the list of directed edges visited by the right-hand
+    rule until returning to [(u, v)] (inclusive of the start). *)
+val face_of : rotation -> int * int -> (int * int) list
+
+(** [face_count r] is the number of faces of the embedding (each
+    closed walk counted once). With Euler's formula
+    [V - E + F = 1 + C] this certifies plane-ness in tests. *)
+val face_count : rotation -> int
+
+(** [face_route ~model ~topology ~src ~dst] is pure FACE-1 from [src]
+    to [dst]; delivers on any connected plane graph. *)
+val face_route :
+  model:Ubg.Model.t -> topology:Graph.Wgraph.t -> src:int -> dst:int ->
+  Routing.outcome
+
+(** [gfg ~model ~topology ~src ~dst] greedy forwarding with FACE-1
+    recovery (the GFG / GPSR scheme). *)
+val gfg :
+  model:Ubg.Model.t -> topology:Graph.Wgraph.t -> src:int -> dst:int ->
+  Routing.outcome
+
+(** [trial ~seed ~model ~topology ~pairs ~route] aggregates a routing
+    function over random pairs, like {!Routing.trial}. *)
+val trial :
+  seed:int ->
+  model:Ubg.Model.t ->
+  topology:Graph.Wgraph.t ->
+  pairs:int ->
+  route:
+    (model:Ubg.Model.t -> topology:Graph.Wgraph.t -> src:int -> dst:int ->
+     Routing.outcome) ->
+  Routing.trial_stats

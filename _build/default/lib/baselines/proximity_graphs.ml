@@ -1,0 +1,36 @@
+module Point = Geometry.Point
+module Wgraph = Graph.Wgraph
+module Model = Ubg.Model
+
+(* Witness scan via a kd-tree range query around the edge midpoint: any
+   Gabriel/RNG witness for {u, v} lies within |uv| of the midpoint. *)
+let filtered model ~blocks =
+  let points = model.Model.points in
+  let tree = Geometry.Kdtree.build points in
+  let out = Wgraph.create (Model.n model) in
+  Wgraph.iter_edges model.Model.graph (fun u v w ->
+      let mid = Point.midpoint points.(u) points.(v) in
+      let candidates = Geometry.Kdtree.range tree ~center:mid ~radius:w in
+      let blocked =
+        List.exists
+          (fun z -> z <> u && z <> v && blocks ~pu:points.(u) ~pv:points.(v) ~w points.(z))
+          candidates
+      in
+      if not blocked then Wgraph.add_edge out u v w);
+  out
+
+let gabriel model =
+  let blocks ~pu ~pv ~w:_ pz =
+    (* Inside the open ball with diameter uv: the angle at z is obtuse,
+       equivalently |uz|^2 + |vz|^2 < |uv|^2. *)
+    let duz2 = Point.sq_distance pu pz and dvz2 = Point.sq_distance pv pz in
+    duz2 +. dvz2 < Point.sq_distance pu pv -. 1e-15
+  in
+  filtered model ~blocks
+
+let rng model =
+  let blocks ~pu ~pv ~w pz =
+    let duz = Point.distance pu pz and dvz = Point.distance pv pz in
+    max duz dvz < w -. 1e-12
+  in
+  filtered model ~blocks

@@ -1,0 +1,17 @@
+(** Gabriel graph and relative neighborhood graph restricted to an
+    α-UBG (baselines for experiment E8, cf. the planar topologies of
+    the paper's references [13, 14, 15]).
+
+    Both keep an input edge [{u, v}] unless a witness node blocks it:
+    the Gabriel test looks inside the ball with diameter [uv]; the RNG
+    test inside the lune [max(|uw|, |vw|) < |uv|]. Witnesses range over
+    all nodes (the classical definition), so the outputs are subgraphs
+    of the true proximity graphs intersected with the UBG. On a
+    connected UDG both remain connected since they contain its
+    Euclidean MST edges. *)
+
+(** [gabriel model] keeps UBG edges whose diametral ball is empty. *)
+val gabriel : Ubg.Model.t -> Graph.Wgraph.t
+
+(** [rng model] keeps UBG edges whose lune is empty. *)
+val rng : Ubg.Model.t -> Graph.Wgraph.t

@@ -1,0 +1,77 @@
+module Wgraph = Graph.Wgraph
+module Model = Ubg.Model
+
+type outcome =
+  | Delivered of { path : int list; length : float; hops : int }
+  | Stuck of { at : int; hops : int }
+
+let greedy ~model ~topology ~src ~dst =
+  if src = dst then invalid_arg "Routing.greedy: src = dst";
+  let n = Wgraph.n_vertices topology in
+  let rec forward at path length hops =
+    if at = dst then
+      Delivered { path = List.rev path; length; hops }
+    else if hops > n then Stuck { at; hops }
+    else begin
+      let here = Model.distance model at dst in
+      let next =
+        Wgraph.fold_neighbors topology at
+          (fun v w acc ->
+            let d = Model.distance model v dst in
+            if d < here -. 1e-15 then
+              match acc with
+              | Some (d', _, _) when d' <= d -> acc
+              | Some _ | None -> Some (d, v, w)
+            else acc)
+          None
+      in
+      match next with
+      | None -> Stuck { at; hops }
+      | Some (_, v, w) -> forward v (v :: path) (length +. w) (hops + 1)
+    end
+  in
+  forward src [ src ] 0.0 0
+
+type trial_stats = {
+  attempts : int;
+  delivered : int;
+  delivery_rate : float;
+  avg_stretch : float;
+  max_stretch : float;
+}
+
+let trial ~seed ~model ~topology ~pairs =
+  let n = Model.n model in
+  if n < 2 then invalid_arg "Routing.trial: need >= 2 nodes";
+  let st = Random.State.make [| seed; 0x4072 |] in
+  let delivered = ref 0 in
+  let sum_stretch = ref 0.0 in
+  let max_stretch = ref 0.0 in
+  for _ = 1 to pairs do
+    let src = Random.State.int st n in
+    let dst =
+      let rec pick () =
+        let d = Random.State.int st n in
+        if d = src then pick () else d
+      in
+      pick ()
+    in
+    match greedy ~model ~topology ~src ~dst with
+    | Delivered { length; _ } ->
+        incr delivered;
+        let sp = Graph.Dijkstra.distance model.Model.graph src dst in
+        if sp > 0.0 && sp < infinity then begin
+          let stretch = length /. sp in
+          sum_stretch := !sum_stretch +. stretch;
+          if stretch > !max_stretch then max_stretch := stretch
+        end
+    | Stuck _ -> ()
+  done;
+  {
+    attempts = pairs;
+    delivered = !delivered;
+    delivery_rate = float_of_int !delivered /. float_of_int (max pairs 1);
+    avg_stretch =
+      (if !delivered > 0 then !sum_stretch /. float_of_int !delivered else nan);
+    max_stretch = (if !delivered > 0 then !max_stretch else nan);
+  }

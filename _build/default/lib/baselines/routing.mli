@@ -1,0 +1,41 @@
+(** Greedy geographic routing (paper reference [9], the motivation for
+    topology control in Section 1.3).
+
+    Memoryless forwarding: at each step the packet moves to the
+    neighbor strictly closest to the destination in Euclidean space; it
+    fails when stuck at a local minimum (no neighbor improves). The
+    routing example application compares delivery rate and path
+    stretch across the topologies this library builds. *)
+
+type outcome =
+  | Delivered of { path : int list; length : float; hops : int }
+  | Stuck of { at : int; hops : int }  (** local minimum reached *)
+
+(** [greedy ~model ~topology ~src ~dst] routes one packet over
+    [topology] using the node positions of [model]. Requires
+    [src <> dst]. The hop budget is [n]; exceeding it counts as
+    stuck (cannot happen with strictly-improving greedy, kept as a
+    guard). *)
+val greedy :
+  model:Ubg.Model.t -> topology:Graph.Wgraph.t -> src:int -> dst:int -> outcome
+
+type trial_stats = {
+  attempts : int;
+  delivered : int;
+  delivery_rate : float;
+  avg_stretch : float;
+      (** mean over delivered packets of route length / sp distance *)
+  max_stretch : float;
+}
+
+(** [trial ~seed ~model ~topology ~pairs] routes [pairs] random
+    source-destination pairs and aggregates. Stretch compares the route
+    length against the shortest-path distance in the {e input} graph
+    [model.graph], so it reflects both the greedy detour and the cost
+    of sparsification. *)
+val trial :
+  seed:int ->
+  model:Ubg.Model.t ->
+  topology:Graph.Wgraph.t ->
+  pairs:int ->
+  trial_stats

@@ -1,0 +1,13 @@
+module Wgraph = Graph.Wgraph
+module Model = Ubg.Model
+
+let build model =
+  if Model.dim model <> 2 then invalid_arg "Udel.build: 2-d instances only";
+  let g = Wgraph.create (Model.n model) in
+  List.iter
+    (fun (u, v) ->
+      match Wgraph.weight model.Model.graph u v with
+      | Some w -> Wgraph.add_edge g u v w
+      | None -> () (* Delaunay edge longer than the radio range *))
+    (Geometry.Delaunay.triangulate model.Model.points);
+  g

@@ -1,0 +1,11 @@
+(** Unit Delaunay graph: Delaunay triangulation intersected with the
+    α-UBG edge set (2-d only).
+
+    The planar baselines of the paper's related work ([13, 14])
+    approximate exactly this graph with localized computation; it is
+    planar, keeps the Gabriel graph (hence the Euclidean MST) of a UDG,
+    and is a constant-stretch spanner of the UDG. We compute it
+    centrally as the reference object. *)
+
+(** [build model] is the unit Delaunay graph of a 2-d instance. *)
+val build : Ubg.Model.t -> Graph.Wgraph.t

@@ -1,0 +1,149 @@
+module Point = Geometry.Point
+module Wgraph = Graph.Wgraph
+
+type pair = { left : int list; right : int list }
+
+(* Split-tree node: points, bounding box, and children. *)
+type node = {
+  members : int list;
+  lo : float array;
+  hi : float array;
+  children : (node * node) option;
+}
+
+let bbox points members =
+  let dim = Point.dim points.(0) in
+  let lo = Array.make dim infinity and hi = Array.make dim neg_infinity in
+  List.iter
+    (fun i ->
+      for k = 0 to dim - 1 do
+        let x = Point.coord points.(i) k in
+        if x < lo.(k) then lo.(k) <- x;
+        if x > hi.(k) then hi.(k) <- x
+      done)
+    members;
+  (lo, hi)
+
+let rec split_tree points members =
+  let lo, hi = bbox points members in
+  match members with
+  | [] -> invalid_arg "Wspd: empty node"
+  | [ _ ] -> { members; lo; hi; children = None }
+  | _ ->
+      (* Halve along the longest box side; ties to the first axis. *)
+      let dim = Array.length lo in
+      let axis = ref 0 in
+      for k = 1 to dim - 1 do
+        if hi.(k) -. lo.(k) > hi.(!axis) -. lo.(!axis) then axis := k
+      done;
+      let mid = 0.5 *. (lo.(!axis) +. hi.(!axis)) in
+      let a, b =
+        List.partition (fun i -> Point.coord points.(i) !axis <= mid) members
+      in
+      (* Duplicate-free input and a genuine box extent guarantee both
+         sides are nonempty, except when every point sits on the split
+         plane; fall back to an arbitrary split then. *)
+      let a, b =
+        if a = [] || b = [] then
+          match members with
+          | x :: rest -> ([ x ], rest)
+          | [] -> assert false
+        else (a, b)
+      in
+      {
+        members;
+        lo;
+        hi;
+        children = Some (split_tree points a, split_tree points b);
+      }
+
+(* Bounding ball of a node: box center, half-diagonal radius. *)
+let ball node =
+  let dim = Array.length node.lo in
+  let center =
+    Point.create
+      (Array.init dim (fun k -> 0.5 *. (node.lo.(k) +. node.hi.(k))))
+  in
+  let radius =
+    0.5
+    *. sqrt
+         (Array.fold_left ( +. ) 0.0
+            (Array.init dim (fun k ->
+                 let d = node.hi.(k) -. node.lo.(k) in
+                 d *. d)))
+  in
+  (center, radius)
+
+let nodes_well_separated ~separation a b =
+  let ca, ra = ball a and cb, rb = ball b in
+  let r = max ra rb in
+  Point.distance ca cb -. (2.0 *. r) >= separation *. r
+
+let check_distinct points =
+  let keys = Array.map Point.coords points in
+  Array.sort compare keys;
+  for i = 1 to Array.length keys - 1 do
+    if keys.(i - 1) = keys.(i) then invalid_arg "Wspd: duplicate points"
+  done
+
+let decompose ~separation points =
+  if separation <= 0.0 then invalid_arg "Wspd.decompose: separation <= 0";
+  if Array.length points < 2 then invalid_arg "Wspd.decompose: < 2 points";
+  check_distinct points;
+  let root =
+    split_tree points (List.init (Array.length points) Fun.id)
+  in
+  let out = ref [] in
+  let rec find_pairs a b =
+    if nodes_well_separated ~separation a b then
+      out := { left = a.members; right = b.members } :: !out
+    else begin
+      (* Split the node with the larger ball. *)
+      let _, ra = ball a and _, rb = ball b in
+      let a, b = if ra >= rb then (a, b) else (b, a) in
+      match a.children with
+      | Some (l, r) ->
+          find_pairs l b;
+          find_pairs r b
+      | None -> (
+          (* A singleton that is not well separated: split the other
+             side instead (it must be splittable, else the two
+             singletons coincide). *)
+          match b.children with
+          | Some (l, r) ->
+              find_pairs a l;
+              find_pairs a r
+          | None -> invalid_arg "Wspd.decompose: duplicate points")
+    end
+  in
+  let rec self_pairs node =
+    match node.children with
+    | None -> ()
+    | Some (l, r) ->
+        find_pairs l r;
+        self_pairs l;
+        self_pairs r
+  in
+  self_pairs root;
+  !out
+
+let spanner ~t points =
+  if t <= 1.0 then invalid_arg "Wspd.spanner: t <= 1";
+  let separation = 4.0 *. (t +. 1.0) /. (t -. 1.0) in
+  let g = Wgraph.create (Array.length points) in
+  List.iter
+    (fun p ->
+      match (p.left, p.right) with
+      | u :: _, v :: _ ->
+          let w = Point.distance points.(u) points.(v) in
+          if w > 0.0 then Wgraph.add_edge g u v w
+      | _ -> ())
+    (decompose ~separation points);
+  g
+
+let is_well_separated ~separation points pair =
+  let node members =
+    let lo, hi = bbox points members in
+    { members; lo; hi; children = None }
+  in
+  nodes_well_separated ~separation (node pair.left) (node pair.right)

@@ -1,0 +1,26 @@
+module Wgraph = Graph.Wgraph
+module Model = Ubg.Model
+
+(* Link ranking: shorter is better, ties by id — a total order, as XTC
+   requires. [rank u v] is v's quality as seen from u. *)
+let better model ~from a b =
+  let da = Model.distance model from a and db = Model.distance model from b in
+  (da, a) < (db, b)
+
+let build model =
+  let g = model.Model.graph in
+  let out = Wgraph.create (Model.n model) in
+  Wgraph.iter_edges g (fun u v w ->
+      (* Drop {u, v} iff some common neighbor w beats v at u and beats
+         u at v; the condition is symmetric, so one test settles both
+         directions. *)
+      let dropped =
+        Wgraph.fold_neighbors g u
+          (fun z _ acc ->
+            acc
+            || (z <> v && Wgraph.mem_edge g z v
+               && better model ~from:u z v && better model ~from:v z u))
+          false
+      in
+      if not dropped then Wgraph.add_edge out u v w);
+  out

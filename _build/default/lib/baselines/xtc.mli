@@ -1,0 +1,12 @@
+(** The XTC topology control protocol (Wattenhofer & Zollinger, paper
+    reference [19]; baseline for experiment E8).
+
+    Each node ranks its neighbors by link quality — here, Euclidean
+    distance with ties broken by id. Node [u] drops the link to [v]
+    when some third node [w] is ranked better than [v] by {e both} [u]
+    and [v] ("we can route via w instead"). The surviving edge set is
+    symmetric by construction, connected whenever the input UDG is,
+    and planar with degree at most 6 on UDGs in general position. *)
+
+(** [build model] runs XTC on every node of the α-UBG. *)
+val build : Ubg.Model.t -> Graph.Wgraph.t

@@ -1,0 +1,1 @@
+lib/distrib/dist_cluster_cover.ml: Array Flood Graph Hashtbl List Mis Runtime Topo

@@ -1,0 +1,1 @@
+lib/distrib/dist_cluster_cover.mli: Graph Runtime Topo

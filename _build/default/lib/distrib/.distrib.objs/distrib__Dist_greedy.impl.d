@@ -1,0 +1,1 @@
+lib/distrib/dist_greedy.ml: Array Geometry Graph List Mis Runtime Topo Ubg

@@ -1,0 +1,1 @@
+lib/distrib/dist_greedy.mli: Graph Topo Ubg

@@ -1,0 +1,1 @@
+lib/distrib/dist_protocol.ml: Array Dist_cluster_cover Flood Geometry Graph Hashtbl List Mis Option Runtime Topo Ubg

@@ -1,0 +1,1 @@
+lib/distrib/dist_protocol.mli: Graph Topo Ubg

@@ -1,0 +1,1 @@
+lib/distrib/flood.ml: Array Graph Hashtbl List Runtime

@@ -1,0 +1,1 @@
+lib/distrib/flood.mli: Graph Runtime

@@ -1,0 +1,1 @@
+lib/distrib/mis.ml: Array Graph List Random Runtime

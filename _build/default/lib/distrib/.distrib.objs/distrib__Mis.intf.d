@@ -1,0 +1,1 @@
+lib/distrib/mis.mli: Graph Runtime

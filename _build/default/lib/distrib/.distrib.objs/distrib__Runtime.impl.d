@@ -1,0 +1,1 @@
+lib/distrib/runtime.ml: Array Format Graph List Printf

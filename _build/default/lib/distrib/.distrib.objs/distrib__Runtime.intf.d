@@ -1,0 +1,1 @@
+lib/distrib/runtime.mli: Format Graph

@@ -1,0 +1,54 @@
+module Wgraph = Graph.Wgraph
+
+let coverage_graph_by_flooding ~comm ~spanner ~radius ~alpha =
+  if alpha <= 0.0 then invalid_arg "Dist_cluster_cover: alpha <= 0";
+  if radius < 0.0 then invalid_arg "Dist_cluster_cover: radius < 0";
+  let n = Wgraph.n_vertices comm in
+  if Wgraph.n_vertices spanner <> n then
+    invalid_arg "Dist_cluster_cover: vertex set mismatch";
+  (* Theorem 9: a G'-path of length <= radius spans at most
+     ceil(2 radius / alpha) hops of the communication graph. *)
+  let hops = max 1 (int_of_float (ceil (2.0 *. radius /. alpha))) in
+  let views, stats =
+    Flood.gather ~graph:comm ~hops
+      ~datum:(fun v -> Wgraph.neighbors spanner v)
+      ()
+  in
+  let j = Wgraph.create n in
+  for u = 0 to n - 1 do
+    (* Local view: the spanner restricted to gathered vertices. *)
+    let view = views.(u) in
+    let index = Hashtbl.create 32 in
+    List.iteri (fun i (v, _) -> Hashtbl.replace index v i) view;
+    let local = Wgraph.create (List.length view) in
+    List.iteri
+      (fun i (_, adjacency) ->
+        List.iter
+          (fun (w, weight) ->
+            match Hashtbl.find_opt index w with
+            | Some k when k <> i && not (Wgraph.mem_edge local i k) ->
+                Wgraph.add_edge local i k weight
+            | Some _ | None -> ())
+          adjacency)
+      view;
+    (match Hashtbl.find_opt index u with
+    | None -> assert false (* own datum is always known *)
+    | Some self ->
+        let dist = Graph.Dijkstra.distances local self in
+        List.iteri
+          (fun i (v, _) ->
+            if v > u && dist.(i) <= radius && dist.(i) > 0.0 then
+              Wgraph.add_edge j u v dist.(i))
+          view)
+  done;
+  (j, stats)
+
+let cover ~seed ~comm ~spanner ~radius ~alpha =
+  let j, flood_stats =
+    coverage_graph_by_flooding ~comm ~spanner ~radius ~alpha
+  in
+  let mis, mis_stats = Mis.luby ~seed j in
+  let c =
+    Topo.Cluster_cover.of_centers spanner ~radius ~centers:(Mis.members mis)
+  in
+  (c, flood_stats.Runtime.rounds + mis_stats.Runtime.rounds)

@@ -1,0 +1,40 @@
+(** Message-passing construction of the coverage graph and cluster
+    cover (paper Section 3.2.1), with no oracle shortcuts.
+
+    Each node's datum is its partial-spanner adjacency list; a real
+    {!Flood} of [ceil (2 radius / alpha)] rounds over the communication
+    graph gives every node the local view that Theorem 9 proves
+    sufficient, from which it determines its coverage-graph neighbors
+    ([sp_{G'} <= radius]) by a purely local Dijkstra. A simulated
+    {!Mis.luby} over the coverage graph then elects the cluster
+    centers.
+
+    [Dist_greedy] uses the oracle equivalent for speed (DESIGN.md
+    substitution 4); the test suite proves both constructions produce
+    the identical coverage graph, which is what justifies the
+    substitution. *)
+
+(** [coverage_graph_by_flooding ~comm ~spanner ~radius ~alpha] runs the
+    gather protocol on communication topology [comm] and returns the
+    coverage graph [J] (edge [{u, v}] with weight [sp_spanner(u, v)]
+    whenever that distance is [<= radius]) plus the flood statistics.
+    Requires [alpha > 0], [radius >= 0], and [spanner] a subgraph of
+    reach of [comm] (any α-UBG with its partial spanner qualifies). *)
+val coverage_graph_by_flooding :
+  comm:Graph.Wgraph.t ->
+  spanner:Graph.Wgraph.t ->
+  radius:float ->
+  alpha:float ->
+  Graph.Wgraph.t * Runtime.stats
+
+(** [cover ~seed ~comm ~spanner ~radius ~alpha] composes the protocol
+    gather, the simulated MIS, and {!Topo.Cluster_cover.of_centers};
+    returns the cover and the combined round count
+    (flood rounds + MIS rounds). *)
+val cover :
+  seed:int ->
+  comm:Graph.Wgraph.t ->
+  spanner:Graph.Wgraph.t ->
+  radius:float ->
+  alpha:float ->
+  Topo.Cluster_cover.t * int

@@ -1,0 +1,56 @@
+(** The distributed relaxed greedy algorithm (paper Section 3).
+
+    Runs the same five-step phase structure as
+    {!Topo.Relaxed_greedy}, organised the way Section 3 distributes it:
+
+    - {b short edges} (3.1): one 1-hop gather, local SEQ-GREEDY inside
+      each short-edge clique — O(1) rounds;
+    - {b cluster cover} (3.2.1): the derived graph [J] connecting
+      vertices with [sp_{G'} <= delta W_{i-1}] is built from
+      constant-hop local views and an MIS of [J] elects the cluster
+      centers — the MIS is executed for real on the {!Runtime}
+      simulator ({!Mis.luby}; DESIGN.md substitution 1);
+    - {b query selection, cluster graph, query answering}
+      (3.2.2-3.2.4): constant-hop gathers followed by local
+      computation, charged at the hop bounds derived from the
+      parameters (Theorem 9);
+    - {b redundant edge removal} (3.2.5): conflict graph [J] over the
+      phase's additions, again decided by a simulated MIS.
+
+    The returned round count is the sum over all [m = ceil (log_r
+    (n/alpha))] phases — including phases whose bin happens to be empty,
+    since no node can know that without communicating — of the gather
+    rounds plus the measured MIS rounds. Experiment E4 plots it against
+    the paper's O(log n log* n) bound. *)
+
+type phase_trace = {
+  phase : int;
+  gather_rounds : int;  (** constant-hop floods, at their true hop cost *)
+  cover_mis_rounds : int;  (** measured Luby rounds on the coverage graph *)
+  redundant_mis_rounds : int;  (** measured Luby rounds on the conflict graph *)
+  mis_messages : int;  (** messages exchanged by both simulated MIS runs *)
+  max_message_words : int;
+      (** largest simulated message, in abstract words — the paper's
+          model allows O(log n) bits, i.e. O(1) words *)
+  n_added : int;
+  n_removed : int;
+}
+
+type result = {
+  spanner : Graph.Wgraph.t;
+  rounds : int;  (** total simulated communication rounds *)
+  traces : phase_trace list;  (** per executed phase, in order *)
+  params : Topo.Params.t;
+}
+
+(** [build ?seed ~params model] runs the distributed algorithm
+    (Euclidean weights only). Deterministic in [seed] (default 1),
+    which drives the Luby coin flips. *)
+val build : ?seed:int -> params:Topo.Params.t -> Ubg.Model.t -> result
+
+(** [build_eps ?seed ~eps model] derives parameters from the model. *)
+val build_eps : ?seed:int -> eps:float -> Ubg.Model.t -> result
+
+(** [log_star n] is the iterated logarithm (base 2), the reference
+    curve of the paper's round bound. *)
+val log_star : float -> int

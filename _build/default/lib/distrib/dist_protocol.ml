@@ -1,0 +1,417 @@
+module Wgraph = Graph.Wgraph
+module Model = Ubg.Model
+module Params = Topo.Params
+module Bins = Topo.Bins
+module Point = Geometry.Point
+
+type phase_report = {
+  phase : int;
+  rounds : int;
+  messages : int;
+  peak_message_items : int;
+  n_added : int;
+  n_removed : int;
+}
+
+type result = {
+  spanner : Wgraph.t;
+  rounds : int;
+  messages : int;
+  reports : phase_report list;
+  params : Params.t;
+}
+
+(* What one node gossips about itself: everything any step of a phase
+   may need to know about it. [added_low] is only meaningful in the
+   redundancy flood, after query answering. *)
+type gossip = {
+  position : Point.t;
+  center : int;
+  center_dist : float;
+  spanner_adj : (int * float) list;
+  bin_adj : (int * float) list;
+  added_low : (int * float) list;
+}
+
+let hop_of reach alpha = max 1 (int_of_float (ceil (reach /. alpha)))
+
+(* ------------------------------------------------------------------ *)
+(* Local-view machinery                                                *)
+(* ------------------------------------------------------------------ *)
+
+type view = {
+  members : (int * gossip) array;  (* (global id, gossip) *)
+  local_of : (int, int) Hashtbl.t;
+  local_spanner : Wgraph.t;
+}
+
+let view_of_list items =
+  let members = Array.of_list items in
+  let local_of = Hashtbl.create (Array.length members) in
+  Array.iteri (fun i (v, _) -> Hashtbl.replace local_of v i) members;
+  let local_spanner = Wgraph.create (Array.length members) in
+  Array.iteri
+    (fun i (_, g) ->
+      List.iter
+        (fun (w, weight) ->
+          match Hashtbl.find_opt local_of w with
+          | Some k when k <> i && not (Wgraph.mem_edge local_spanner i k) ->
+              Wgraph.add_edge local_spanner i k weight
+          | Some _ | None -> ())
+        g.spanner_adj)
+    members;
+  { members; local_of; local_spanner }
+
+let gossip_of view i = snd view.members.(i)
+
+(* The cluster graph H restricted to a local view (cf.
+   Topo.Cluster_graph.build; rebuilt here because the view may only
+   hold fragments of remote clusters). *)
+let local_cluster_graph ~params ~w_prev view =
+  let k = Array.length view.members in
+  let h = Wgraph.create k in
+  let radius = params.Params.delta *. w_prev in
+  (* Intra-cluster edges: member -> its center, when the center is in
+     view. *)
+  Array.iteri
+    (fun i (_, g) ->
+      match Hashtbl.find_opt view.local_of g.center with
+      | Some c when c <> i && g.center_dist > 0.0 ->
+          Wgraph.add_edge h i c g.center_dist
+      | Some _ | None -> ())
+    view.members;
+  (* Crossing spanner edges force inter-cluster adjacency. *)
+  let crossing = Hashtbl.create 16 in
+  Wgraph.iter_edges view.local_spanner (fun i j _ ->
+      let ci = (gossip_of view i).center and cj = (gossip_of view j).center in
+      if ci <> cj then Hashtbl.replace crossing (min ci cj, max ci cj) ());
+  let reach = w_prev +. (2.0 *. radius) +. 1e-12 in
+  Array.iteri
+    (fun i (gid, _) ->
+      if (gossip_of view i).center = gid then
+        (* [i] is a cluster center. *)
+        List.iter
+          (fun (j, d) ->
+            let gj = view.members.(j) in
+            if j <> i && (snd gj).center = fst gj && d > 0.0 then begin
+              let qualifies =
+                d <= w_prev +. 1e-12
+                || Hashtbl.mem crossing (min gid (fst gj), max gid (fst gj))
+              in
+              if qualifies && not (Wgraph.mem_edge h i j) then
+                Wgraph.add_edge h i j d
+            end)
+          (Graph.Dijkstra.within view.local_spanner i ~bound:reach))
+    view.members;
+  h
+
+(* Conditions (i)/(ii) of Section 2.2.5 on a local H (cf.
+   Topo.Redundant.mutually_redundant, which needs the full cluster
+   graph record). Edges are given in local ids with their lengths. *)
+let locally_redundant ~params ~max_hops h (u1, v1, w1) (u2, v2, w2) =
+  let t1 = params.Params.t1 in
+  let sp x y ~bound = Graph.Dijkstra.hop_bounded_distance h x y ~max_hops ~bound in
+  let oriented (a1, b1) (a2, b2) =
+    let bound = (t1 *. w1) -. w2 in
+    bound >= 0.0
+    && (t1 *. w2) -. w1 >= 0.0
+    &&
+    let duu = sp a1 a2 ~bound in
+    duu < infinity
+    &&
+    let dvv = sp b1 b2 ~bound in
+    duu +. w2 +. dvv <= t1 *. w1 && duu +. w1 +. dvv <= t1 *. w2
+  in
+  oriented (u1, v1) (u2, v2) || oriented (u1, v1) (v2, u2)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 0                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Section 3.1: one real 1-hop flood of (position, short-edge
+   adjacency); each node computes its clique's greedy spanner locally;
+   one more charged round announces decisions. *)
+let short_edge_phase ~model ~params ~bin_edges ~spanner =
+  let n = Model.n model in
+  let g0 = Wgraph.create n in
+  List.iter (fun (e : Wgraph.edge) -> Wgraph.add_edge g0 e.u e.v e.w) bin_edges;
+  let views, stats =
+    Flood.gather ~graph:model.Model.graph ~hops:1
+      ~datum:(fun v -> Wgraph.neighbors g0 v)
+      ()
+  in
+  (* Every component of g0 is a clique (Lemma 1), so each member sees
+     the whole component in its 1-hop view; all members compute the
+     same SEQ-GREEDY locally. We run it once per component, as the
+     lowest-id member would. *)
+  ignore views;
+  let before = Wgraph.n_edges spanner in
+  List.iter
+    (fun members ->
+      match members with
+      | [] | [ _ ] -> ()
+      | _ ->
+          Topo.Seq_greedy.clique_spanner ~points:model.Model.points ~members
+            ~metric:Geometry.Metric.Euclidean ~t:params.Params.t ~into:spanner)
+    (Graph.Components.groups g0);
+  {
+    phase = 0;
+    rounds = stats.Runtime.rounds + 1;
+    messages = stats.Runtime.messages;
+    peak_message_items = stats.Runtime.max_words_per_message;
+    n_added = Wgraph.n_edges spanner - before;
+    n_removed = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Long-edge phases                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let long_edge_phase ~seed ~model ~params ~phase ~w_prev ~w_cur ~bin_edges
+    ~spanner =
+  let comm = model.Model.graph in
+  let alpha = params.Params.alpha in
+  let radius = params.Params.delta *. w_prev in
+  let rounds = ref 0 and messages = ref 0 and peak = ref 0 in
+  let absorb (s : Runtime.stats) =
+    rounds := !rounds + s.Runtime.rounds;
+    messages := !messages + s.Runtime.messages;
+    peak := max !peak s.Runtime.max_words_per_message
+  in
+  (* Step (i): protocol coverage graph + simulated MIS + assignment. *)
+  let jcc, fstats =
+    Dist_cluster_cover.coverage_graph_by_flooding ~comm ~spanner ~radius
+      ~alpha
+  in
+  absorb fstats;
+  let mis, mis_stats = Mis.luby ~seed:(seed + (11 * phase)) jcc in
+  absorb mis_stats;
+  let cover =
+    Topo.Cluster_cover.of_centers spanner ~radius ~centers:(Mis.members mis)
+  in
+  if bin_edges = [] then
+    {
+      phase;
+      rounds = !rounds;
+      messages = !messages;
+      peak_message_items = !peak;
+      n_added = 0;
+      n_removed = 0;
+    }
+  else begin
+    let bin = Wgraph.create (Model.n model) in
+    List.iter (fun (e : Wgraph.edge) -> Wgraph.add_edge bin e.u e.v e.w) bin_edges;
+    let base_gossip v =
+      {
+        position = model.Model.points.(v);
+        center = cover.Topo.Cluster_cover.center_of.(v);
+        center_dist = cover.Topo.Cluster_cover.dist_to_center.(v);
+        spanner_adj = Wgraph.neighbors spanner v;
+        bin_adj = Wgraph.neighbors bin v;
+        added_low = [];
+      }
+    in
+    (* Step (ii): selection flood; each cluster head settles the pairs
+       it owns (the smaller center id) from its view alone. *)
+    let h2 = 1 + hop_of (2.0 *. radius) alpha in
+    let views2, fstats2 =
+      Flood.gather ~graph:comm ~hops:h2 ~datum:base_gossip ()
+    in
+    absorb fstats2;
+    rounds := !rounds + h2 (* notifying the selected endpoints *);
+    let query_edges = ref [] in
+    Array.iter
+      (fun a ->
+        let view = view_of_list views2.(a) in
+        let covered u v len =
+          let pu = (gossip_of view u).position
+          and pv = (gossip_of view v).position in
+          let test pivot far p_pivot p_far =
+            List.exists
+              (fun (z, _) ->
+                match Hashtbl.find_opt view.local_of z with
+                | None -> false
+                | Some zl ->
+                    let pz = (gossip_of view zl).position in
+                    z <> fst view.members.(far)
+                    && Point.distance pz p_far <= alpha
+                    && Point.distance p_pivot pz <= len
+                    && Point.angle ~apex:p_pivot p_far pz
+                       <= params.Params.theta)
+              (gossip_of view pivot).spanner_adj
+          in
+          test u v pu pv || test v u pv pu
+        in
+        let best = Hashtbl.create 8 in
+        Array.iteri
+          (fun ul (ug, ugoss) ->
+            if ugoss.center = a then
+              List.iter
+                (fun (vg, len) ->
+                  match Hashtbl.find_opt view.local_of vg with
+                  | None -> ()
+                  | Some vl ->
+                      let vgoss = gossip_of view vl in
+                      (* Own the pair only from the smaller center. *)
+                      if vgoss.center > a && not (covered ul vl len) then begin
+                        let score =
+                          (params.Params.t *. len)
+                          -. ugoss.center_dist -. vgoss.center_dist
+                        in
+                        match Hashtbl.find_opt best vgoss.center with
+                        | Some (score', _) when score' <= score -> ()
+                        | Some _ | None ->
+                            Hashtbl.replace best vgoss.center
+                              (score, { Wgraph.u = ug; v = vg; w = len })
+                      end)
+                ugoss.bin_adj)
+          view.members;
+        Hashtbl.iter (fun _ (_, e) -> query_edges := e :: !query_edges) best)
+      cover.Topo.Cluster_cover.centers;
+    (* Steps (iii)-(iv): answering flood; the lower endpoint of each
+       query edge decides from its view. *)
+    let h4 =
+      hop_of (2.0 *. ((params.Params.t *. w_cur) +. (2.0 *. w_prev))) alpha
+    in
+    let views3, fstats3 =
+      Flood.gather ~graph:comm ~hops:h4 ~datum:base_gossip ()
+    in
+    absorb fstats3;
+    rounds := !rounds + 1 (* announce the decision *);
+    let ratio = w_cur /. w_prev in
+    let max_hops =
+      2 + int_of_float (ceil (params.Params.t *. ratio /. params.Params.delta))
+    in
+    let added =
+      List.filter
+        (fun (e : Wgraph.edge) ->
+          let owner = min e.u e.v and other = max e.u e.v in
+          let view = view_of_list views3.(owner) in
+          let h = local_cluster_graph ~params ~w_prev view in
+          let budget = params.Params.t *. e.w in
+          match
+            ( Hashtbl.find_opt view.local_of owner,
+              Hashtbl.find_opt view.local_of other )
+          with
+          | Some x, Some y ->
+              Graph.Dijkstra.hop_bounded_distance h x y ~max_hops ~bound:budget
+              > budget
+          | (Some _ | None), _ -> true (* endpoint beyond view: keep *))
+        !query_edges
+    in
+    let added =
+      List.sort
+        (fun (a : Wgraph.edge) b -> compare (a.u, a.v) (b.u, b.v))
+        added
+    in
+    let added_arr = Array.of_list added in
+    (* Step (v): redundancy flood; owners detect conflicting pairs from
+       their views, a simulated MIS picks the survivors. *)
+    let added_by_low = Hashtbl.create 16 in
+    Array.iter
+      (fun (e : Wgraph.edge) ->
+        let low = min e.u e.v and high = max e.u e.v in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt added_by_low low) in
+        Hashtbl.replace added_by_low low ((high, e.w) :: cur))
+      added_arr;
+    let views4, fstats4 =
+      Flood.gather ~graph:comm ~hops:h4
+        ~datum:(fun v ->
+          {
+            (base_gossip v) with
+            added_low = Option.value ~default:[] (Hashtbl.find_opt added_by_low v);
+          })
+        ()
+    in
+    absorb fstats4;
+    let index_of = Hashtbl.create 16 in
+    Array.iteri
+      (fun i (e : Wgraph.edge) ->
+        Hashtbl.replace index_of (min e.u e.v, max e.u e.v) i)
+      added_arr;
+    let jred = Wgraph.create (Array.length added_arr) in
+    Array.iteri
+      (fun i (e : Wgraph.edge) ->
+        let owner = min e.u e.v in
+        let view = view_of_list views4.(owner) in
+        let h = local_cluster_graph ~params ~w_prev view in
+        (* Enumerate other added edges visible from here. *)
+        Array.iter
+          (fun (vg, g) ->
+            List.iter
+              (fun (high, len) ->
+                match Hashtbl.find_opt index_of (vg, high) with
+                | Some j when j > i -> (
+                    match
+                      ( Hashtbl.find_opt view.local_of (min e.u e.v),
+                        Hashtbl.find_opt view.local_of (max e.u e.v),
+                        Hashtbl.find_opt view.local_of vg,
+                        Hashtbl.find_opt view.local_of high )
+                    with
+                    | Some a1, Some b1, Some a2, Some b2 ->
+                        if
+                          locally_redundant ~params ~max_hops h (a1, b1, e.w)
+                            (a2, b2, len)
+                          && not (Wgraph.mem_edge jred i j)
+                        then Wgraph.add_edge jred i j 1.0
+                    | _, _, _, _ -> ())
+                | Some _ | None -> ())
+              g.added_low)
+          view.members)
+      added_arr;
+    let red_mis, red_stats = Mis.luby ~seed:(seed + (11 * phase) + 5) jred in
+    absorb red_stats;
+    let n_added = ref 0 and n_removed = ref 0 in
+    Array.iteri
+      (fun i (e : Wgraph.edge) ->
+        if red_mis.(i) then begin
+          if not (Wgraph.mem_edge spanner e.u e.v) then begin
+            Wgraph.add_edge spanner e.u e.v e.w;
+            incr n_added
+          end
+        end
+        else incr n_removed)
+      added_arr;
+    {
+      phase;
+      rounds = !rounds;
+      messages = !messages;
+      peak_message_items = !peak;
+      n_added = !n_added;
+      n_removed = !n_removed;
+    }
+  end
+
+let build ?(seed = 1) ~params model =
+  if abs_float (params.Params.alpha -. model.Model.alpha) > 1e-12 then
+    invalid_arg "Dist_protocol.build: params/model alpha mismatch";
+  if params.Params.dim <> Model.dim model then
+    invalid_arg "Dist_protocol.build: params/model dimension mismatch";
+  let n = Model.n model in
+  let bins = Bins.make ~params ~n in
+  let binned = Bins.partition bins (Wgraph.edges model.Model.graph) in
+  let spanner = Wgraph.create n in
+  let reports = ref [] in
+  reports :=
+    short_edge_phase ~model ~params ~bin_edges:binned.(0) ~spanner :: !reports;
+  for i = 1 to bins.Bins.m do
+    reports :=
+      long_edge_phase ~seed ~model ~params ~phase:i
+        ~w_prev:(Bins.w bins (i - 1))
+        ~w_cur:(Bins.w bins i) ~bin_edges:binned.(i) ~spanner
+      :: !reports
+  done;
+  let reports = List.rev !reports in
+  let rounds =
+    List.fold_left (fun acc (r : phase_report) -> acc + r.rounds) 0 reports
+  in
+  let messages =
+    List.fold_left (fun acc (r : phase_report) -> acc + r.messages) 0 reports
+  in
+  { spanner; rounds; messages; reports; params }
+
+let build_eps ?seed ~eps model =
+  let params =
+    Params.of_epsilon ~eps ~alpha:model.Model.alpha ~dim:(Model.dim model)
+  in
+  build ?seed ~params model

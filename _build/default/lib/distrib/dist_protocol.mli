@@ -1,0 +1,45 @@
+(** The distributed relaxed greedy algorithm with {e every} step
+    executed from flooded local views — no oracle shortcuts at all.
+
+    {!Dist_greedy} follows DESIGN.md substitution 4: it charges the
+    constant-hop gathers of Sections 3.1-3.2.4 at their hop cost but
+    computes the gathered views centrally. This module removes that
+    substitution: each phase's four information-gathering steps are
+    real {!Flood} executions on the {!Runtime} simulator, every node
+    (or cluster head, or query-edge endpoint) computes from nothing but
+    what the flood delivered to it, and the two MIS elections run
+    {!Mis.luby} as before. The price is simulation time, so this engine
+    is meant for moderate [n]; the test suite uses it to certify that
+    the oracle engine's outputs carry the same guarantees.
+
+    The per-phase flood radii implement the paper's bounds:
+    cluster cover [ceil (2 delta W / alpha)] (Section 3.2.1), query
+    selection one hop more (3.2.2), query answering within
+    [ceil (2 (t W_i + 2 W_{i-1}) / alpha)] so that every path the
+    Lemma 8 budget admits lies inside the view (3.2.3-3.2.4), and
+    redundancy detection within the same radius (3.2.5). *)
+
+type phase_report = {
+  phase : int;
+  rounds : int;  (** simulator rounds actually executed this phase *)
+  messages : int;  (** messages actually delivered this phase *)
+  peak_message_items : int;
+      (** largest flood message, counted in gossip records *)
+  n_added : int;
+  n_removed : int;
+}
+
+type result = {
+  spanner : Graph.Wgraph.t;
+  rounds : int;  (** total simulator rounds *)
+  messages : int;  (** total simulator messages *)
+  reports : phase_report list;
+  params : Topo.Params.t;
+}
+
+(** [build ?seed ~params model] runs the all-protocol engine.
+    Euclidean weights only. Deterministic in [seed] (default 1). *)
+val build : ?seed:int -> params:Topo.Params.t -> Ubg.Model.t -> result
+
+(** [build_eps ?seed ~eps model] derives parameters from the model. *)
+val build_eps : ?seed:int -> eps:float -> Ubg.Model.t -> result

@@ -1,0 +1,58 @@
+module Wgraph = Graph.Wgraph
+
+type 'a state = {
+  known : (int, 'a) Hashtbl.t;
+  fresh : (int * 'a) list;  (* learned last round, to forward *)
+}
+
+let gather ~graph ~hops ~datum () =
+  if hops < 0 then invalid_arg "Flood.gather: hops < 0";
+  let init node =
+    let known = Hashtbl.create 16 in
+    let d = datum node in
+    Hashtbl.add known node d;
+    { known; fresh = [ (node, d) ] }
+  in
+  let step ~round ~node state ~inbox =
+    (* Absorb new facts, then forward them in the same round so each
+       wave advances one hop per round. *)
+    let learned = ref [] in
+    List.iter
+      (fun (_, items) ->
+        List.iter
+          (fun (v, d) ->
+            if not (Hashtbl.mem state.known v) then begin
+              Hashtbl.add state.known v d;
+              learned := (v, d) :: !learned
+            end)
+          items)
+      inbox;
+    (* Round 1 launches the node's own datum; later rounds relay what
+       just arrived. *)
+    let to_forward = if round = 1 then state.fresh else !learned in
+    let state' = { state with fresh = [] } in
+    if round > hops then (state', [], `Halt)
+    else begin
+      let outbox =
+        if to_forward = [] then []
+        else
+          Wgraph.fold_neighbors graph node
+            (fun u _ acc -> (u, to_forward) :: acc)
+            []
+      in
+      (* One extra round absorbs the last wave, hence the halt condition
+         above rather than at [round = hops]. *)
+      (state', outbox, `Continue)
+    end
+  in
+  let states, stats =
+    Runtime.run ~graph ~init ~step
+      ~size_of:(fun items -> List.length items)
+      ~max_rounds:(hops + 1) ()
+  in
+  let views =
+    Array.map
+      (fun s -> Hashtbl.fold (fun v d acc -> (v, d) :: acc) s.known [])
+      states
+  in
+  (views, stats)

@@ -1,0 +1,20 @@
+(** k-hop information gathering by flooding.
+
+    Every constant-round step of the distributed algorithm (Sections
+    3.1-3.2.4) is "gather the h-hop neighborhood, then compute
+    locally". This module runs that gather as a real protocol on the
+    {!Runtime} simulator: each node starts with a private datum and
+    after [hops] rounds knows the datum of every vertex within [hops]
+    hops. Tests check the result against {!Graph.Bfs.ball}; the
+    distributed engine uses the oracle equivalent for speed
+    (DESIGN.md substitution 4) while charging the same round count. *)
+
+(** [gather ~graph ~hops ~datum ()] floods for exactly [hops] rounds
+    and returns, per node, the association list of (vertex, datum)
+    learned — including the node's own — plus simulator statistics. *)
+val gather :
+  graph:Graph.Wgraph.t ->
+  hops:int ->
+  datum:(int -> 'a) ->
+  unit ->
+  (int * 'a) list array * Runtime.stats

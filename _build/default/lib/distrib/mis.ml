@@ -1,0 +1,95 @@
+module Wgraph = Graph.Wgraph
+
+let greedy g =
+  let n = Wgraph.n_vertices g in
+  let selected = Array.make n false in
+  let blocked = Array.make n false in
+  for v = 0 to n - 1 do
+    if not blocked.(v) then begin
+      selected.(v) <- true;
+      Wgraph.iter_neighbors g v (fun u _ -> blocked.(u) <- true)
+    end
+  done;
+  selected
+
+type status = Undecided | In | Out
+
+type msg = Value of float * int | Joined
+
+type state = { status : status; rng : Random.State.t; draw : float }
+
+let luby ~seed g =
+  let n = Wgraph.n_vertices g in
+  let broadcast node payload =
+    Wgraph.fold_neighbors g node (fun u _ acc -> (u, payload) :: acc) []
+  in
+  let init node =
+    {
+      status = Undecided;
+      rng = Random.State.make [| seed; node; 0x6d15 |];
+      draw = 0.0;
+    }
+  in
+  (* Each Luby iteration is three simulator rounds: (A) undecided nodes
+     broadcast a fresh random value; (B) local minima join the MIS and
+     announce; (C) their neighbors retire. Decided nodes halt, so
+     undecided nodes automatically compare only against undecided
+     neighbors. *)
+  let step ~round ~node state ~inbox =
+    match (round - 1) mod 3 with
+    | 0 ->
+        let draw = Random.State.float state.rng 1.0 in
+        ({ state with draw }, broadcast node (Value (draw, node)), `Continue)
+    | 1 ->
+        let smallest =
+          List.for_all
+            (fun (_, m) ->
+              match m with
+              | Value (v, id) -> (state.draw, node) < (v, id)
+              | Joined -> true)
+            inbox
+        in
+        if smallest then
+          ({ state with status = In }, broadcast node Joined, `Halt)
+        else (state, [], `Continue)
+    | _ ->
+        if List.exists (fun (_, m) -> m = Joined) inbox then
+          ({ state with status = Out }, [], `Halt)
+        else (state, [], `Continue)
+  in
+  let max_rounds = 3 * (30 + (4 * (1 + int_of_float (log (float_of_int (max n 2)))))) in
+  let states, stats =
+    Runtime.run ~graph:g ~init ~step ~size_of:(fun _ -> 2) ~max_rounds ()
+  in
+  let membership =
+    Array.map
+      (fun s ->
+        match s.status with
+        | In -> true
+        | Out -> false
+        | Undecided -> failwith "Mis.luby: did not converge within round budget")
+      states
+  in
+  (membership, stats)
+
+let is_mis g mis =
+  let n = Wgraph.n_vertices g in
+  let ok = ref (Array.length mis = n) in
+  for v = 0 to n - 1 do
+    if mis.(v) then
+      (* Independence. *)
+      Wgraph.iter_neighbors g v (fun u _ -> if mis.(u) then ok := false)
+    else begin
+      (* Maximality: some neighbor must dominate v. *)
+      let dominated = Wgraph.fold_neighbors g v (fun u _ acc -> acc || mis.(u)) false in
+      if not dominated then ok := false
+    end
+  done;
+  !ok
+
+let members mis =
+  let acc = ref [] in
+  for v = Array.length mis - 1 downto 0 do
+    if mis.(v) then acc := v :: !acc
+  done;
+  !acc

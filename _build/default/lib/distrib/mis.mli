@@ -1,0 +1,26 @@
+(** Maximal independent sets, sequential and distributed.
+
+    The paper calls the Kuhn–Moscibroda–Wattenhofer O(log* n)-round MIS
+    algorithm [11] on two derived graphs of constant doubling dimension
+    (Lemmas 15, 20). Per DESIGN.md substitution 1, we implement Luby's
+    randomized protocol on the {!Runtime} simulator instead — on
+    bounded-growth graphs it decides all nodes in a handful of
+    iterations, and its measured round count is what experiment E4
+    reports — plus the trivial sequential greedy MIS used by the
+    sequential engine. *)
+
+(** [greedy g] is the lexicographic-greedy MIS of [g] as a boolean
+    membership array. *)
+val greedy : Graph.Wgraph.t -> bool array
+
+(** [luby ~seed g] runs Luby's protocol over the simulator with
+    communication topology [g] and returns membership plus the
+    simulator statistics (3 simulator rounds per Luby iteration).
+    Deterministic in [seed]. *)
+val luby : seed:int -> Graph.Wgraph.t -> bool array * Runtime.stats
+
+(** [is_mis g mis] checks independence and maximality. *)
+val is_mis : Graph.Wgraph.t -> bool array -> bool
+
+(** [members mis] lists the selected vertex ids in increasing order. *)
+val members : bool array -> int list

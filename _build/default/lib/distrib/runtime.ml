@@ -1,0 +1,82 @@
+module Wgraph = Graph.Wgraph
+
+type stats = {
+  rounds : int;
+  messages : int;
+  max_messages_per_round : int;
+  max_words_per_message : int;
+}
+
+type ('state, 'msg) step =
+  round:int ->
+  node:int ->
+  'state ->
+  inbox:(int * 'msg) list ->
+  'state * (int * 'msg) list * [ `Continue | `Halt ]
+
+let run ~graph ~init ~step ?(size_of = fun _ -> 1) ~max_rounds () =
+  let n = Wgraph.n_vertices graph in
+  let states = Array.init n init in
+  let halted = Array.make n false in
+  (* inboxes.(v) holds messages to deliver to v at the next round. *)
+  let inboxes = Array.make n [] in
+  let pending = ref 0 in
+  let rounds = ref 0 in
+  let messages = ref 0 in
+  let max_per_round = ref 0 in
+  let max_words = ref 0 in
+  let all_halted () =
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if not halted.(v) then ok := false
+    done;
+    !ok
+  in
+  let quiescent () = all_halted () && !pending = 0 in
+  while (not (quiescent ())) && !rounds < max_rounds do
+    incr rounds;
+    let this_round = !rounds in
+    (* Snapshot and clear inboxes: everything sent last round is
+       delivered now, synchronously. *)
+    let delivered = Array.map List.rev inboxes in
+    Array.fill inboxes 0 n [];
+    let delivered_count = !pending in
+    pending := 0;
+    messages := !messages + delivered_count;
+    if delivered_count > !max_per_round then max_per_round := delivered_count;
+    for v = 0 to n - 1 do
+      if not halted.(v) then begin
+        let state', outbox, verdict =
+          step ~round:this_round ~node:v states.(v) ~inbox:delivered.(v)
+        in
+        states.(v) <- state';
+        List.iter
+          (fun (dst, payload) ->
+            if not (Wgraph.mem_edge graph v dst) then
+              invalid_arg
+                (Printf.sprintf
+                   "Runtime.run: node %d sent to non-neighbor %d" v dst);
+            let words = size_of payload in
+            if words > !max_words then max_words := words;
+            inboxes.(dst) <- (v, payload) :: inboxes.(dst);
+            incr pending)
+          outbox;
+        match verdict with `Halt -> halted.(v) <- true | `Continue -> ()
+      end
+      else if delivered.(v) <> [] then
+        (* Messages to halted nodes are dropped silently; protocols in
+           this repository never rely on them. *)
+        ()
+    done
+  done;
+  ( states,
+    {
+      rounds = !rounds;
+      messages = !messages;
+      max_messages_per_round = !max_per_round;
+      max_words_per_message = !max_words;
+    } )
+
+let pp_stats ppf s =
+  Format.fprintf ppf "rounds=%d messages=%d peak/round=%d peak-words=%d"
+    s.rounds s.messages s.max_messages_per_round s.max_words_per_message

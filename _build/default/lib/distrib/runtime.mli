@@ -1,0 +1,47 @@
+(** Synchronous message-passing simulator (paper Section 1.1).
+
+    Implements the paper's communication model: time is divided into
+    rounds; in each round every node may send a (different) message to
+    each neighbor, receive all messages sent to it this round, and
+    perform arbitrary local computation. The simulator additionally
+    accounts for message volume so experiments can confirm the
+    O(log n)-bit message discipline.
+
+    A protocol is given by an initial state per node and a step
+    function; the run ends when every node has halted and no messages
+    are in flight, or after [max_rounds]. *)
+
+type stats = {
+  rounds : int;  (** rounds executed *)
+  messages : int;  (** total messages delivered *)
+  max_messages_per_round : int;
+  max_words_per_message : int;
+      (** largest message size reported by [size_of] (0 when unused) *)
+}
+
+type ('state, 'msg) step =
+  round:int ->
+  node:int ->
+  'state ->
+  inbox:(int * 'msg) list ->
+  'state * (int * 'msg) list * [ `Continue | `Halt ]
+(** One node, one round: consumes the messages received this round
+    (sender, payload), produces the new state, outgoing (neighbor,
+    payload) pairs, and whether the node halts. A halted node stays
+    halted; its outbox is still delivered. Sending to a non-neighbor
+    raises [Invalid_argument]. *)
+
+(** [run ~graph ~init ~step ?size_of ~max_rounds ()] executes the
+    protocol on communication topology [graph] and returns the final
+    states and run statistics. [size_of] measures messages in abstract
+    words for the accounting (default: constant 1). *)
+val run :
+  graph:Graph.Wgraph.t ->
+  init:(int -> 'state) ->
+  step:('state, 'msg) step ->
+  ?size_of:('msg -> int) ->
+  max_rounds:int ->
+  unit ->
+  'state array * stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/geometry/cone.ml: Array Float Hashtbl Point Printf String

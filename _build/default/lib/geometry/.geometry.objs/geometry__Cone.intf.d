@@ -1,0 +1,1 @@
+lib/geometry/cone.mli: Point

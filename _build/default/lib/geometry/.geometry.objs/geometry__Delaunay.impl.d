@@ -1,0 +1,1 @@
+lib/geometry/delaunay.ml: Array Hashtbl List Option Point

@@ -1,0 +1,1 @@
+lib/geometry/kdtree.mli: Point

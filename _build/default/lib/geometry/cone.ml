@@ -1,0 +1,75 @@
+type t = { dim : int; theta : float; axes : Point.t array }
+
+let dim t = t.dim
+let theta t = t.theta
+let cone_count t = Array.length t.axes
+let axis t i = t.axes.(i)
+
+(* Exact 2-d partition: k evenly spaced axes, nearest-axis angle <= pi/k. *)
+let axes_2d theta =
+  let k = max 4 (int_of_float (ceil (Float.pi /. theta))) in
+  Array.init k (fun i ->
+      let a = 2.0 *. Float.pi *. float_of_int i /. float_of_int k in
+      Point.make2 (cos a) (sin a))
+
+(* d >= 3: normalized grid directions on the surface of the cube
+   [-m, m]^d. Scaling an arbitrary direction so that its largest
+   coordinate equals m and rounding the others moves each coordinate by
+   at most 1/2, so the angular error is at most atan(sqrt(d)/(2m)). *)
+let axes_grid ~dim ~theta =
+  let target = 0.9 *. theta in
+  let m =
+    max 1 (int_of_float (ceil (sqrt (float_of_int dim) /. (2.0 *. tan target))))
+  in
+  let seen = Hashtbl.create 256 in
+  let out = ref [] in
+  let key v =
+    String.concat ","
+      (Array.to_list (Array.map (fun x -> Printf.sprintf "%.9f" x) v))
+  in
+  let add coords =
+    let v = Point.normalize (Point.create coords) in
+    let k = key (Point.coords v) in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      out := v :: !out
+    end
+  in
+  (* Enumerate lattice points with max-norm exactly m: for each face
+     (fixed coordinate = +-m), sweep the remaining coordinates. *)
+  let rec sweep coords i =
+    if i = dim then begin
+      let mx = Array.fold_left (fun a x -> max a (abs_float x)) 0.0 coords in
+      if mx = float_of_int m then add (Array.copy coords)
+    end
+    else
+      for c = -m to m do
+        coords.(i) <- float_of_int c;
+        sweep coords (i + 1)
+      done
+  in
+  sweep (Array.make dim 0.0) 0;
+  Array.of_list !out
+
+let make ~dim ~theta =
+  if dim < 2 then invalid_arg "Cone.make: dim < 2";
+  if theta <= 0.0 || theta >= Float.pi /. 2.0 then
+    invalid_arg "Cone.make: theta out of (0, pi/2)";
+  let axes = if dim = 2 then axes_2d theta else axes_grid ~dim ~theta in
+  { dim; theta; axes }
+
+let angle_to_axis t i v = Point.angle ~apex:(Point.origin t.dim) t.axes.(i) v
+
+let assign t v =
+  if Point.norm v = 0.0 then invalid_arg "Cone.assign: zero vector";
+  let best = ref 0 and best_a = ref infinity in
+  for i = 0 to Array.length t.axes - 1 do
+    let a = angle_to_axis t i v in
+    if a < !best_a then begin
+      best := i;
+      best_a := a
+    end
+  done;
+  !best
+
+let project_on_axis t i v = Point.dot t.axes.(i) v

@@ -1,0 +1,44 @@
+(** Cone partitions of d-dimensional direction space.
+
+    Theorem 11 of the paper partitions the unit ball around a vertex into
+    cones of angular radius [theta] (Yao's construction). This module
+    provides a constructive angular net: a finite set of unit "axis"
+    vectors such that every direction lies within [theta] of some axis.
+    In two dimensions the net is the exact partition into
+    [ceil (2*pi / theta)] circular sectors; in higher dimensions the axes
+    are the normalized grid directions on the surface of a cube, with a
+    resolution chosen to achieve the requested angular radius.
+
+    The net is used by the Yao and Theta baseline topologies and by the
+    tests that validate Figure 4 of the paper. *)
+
+type t
+
+(** [make ~dim ~theta] constructs a cone partition of angular radius at
+    most [theta] for directions in [R^dim]. Requires [dim >= 2] and
+    [0 < theta < pi/2]. *)
+val make : dim:int -> theta:float -> t
+
+(** [dim t] is the ambient dimension. *)
+val dim : t -> int
+
+(** [theta t] is the angular radius guaranteed by the net. *)
+val theta : t -> float
+
+(** [cone_count t] is the number of cones (axes) in the partition. *)
+val cone_count : t -> int
+
+(** [axis t i] is the unit axis vector of cone [i]. *)
+val axis : t -> int -> Point.t
+
+(** [assign t v] is the index of a cone whose axis is within [theta t] of
+    the direction [v]. Raises [Invalid_argument] on the zero vector. *)
+val assign : t -> Point.t -> int
+
+(** [angle_to_axis t i v] is the angle between direction [v] and the axis
+    of cone [i]. *)
+val angle_to_axis : t -> int -> Point.t -> float
+
+(** [project_on_axis t i v] is the (signed) length of the projection of
+    [v] onto the axis of cone [i]; the Theta-graph ordering key. *)
+val project_on_axis : t -> int -> Point.t -> float

@@ -1,0 +1,140 @@
+let check_input points =
+  if Array.length points < 2 then invalid_arg "Delaunay: fewer than 2 points";
+  Array.iter
+    (fun p -> if Point.dim p <> 2 then invalid_arg "Delaunay: dim <> 2")
+    points;
+  Array.iteri
+    (fun i p ->
+      Array.iteri
+        (fun j q ->
+          if i < j && Point.distance p q < 1e-12 then
+            invalid_arg "Delaunay: duplicate points")
+        points)
+    points
+
+let orient2d a b c =
+  let ax = Point.coord a 0 and ay = Point.coord a 1 in
+  let bx = Point.coord b 0 and by = Point.coord b 1 in
+  let cx = Point.coord c 0 and cy = Point.coord c 1 in
+  ((bx -. ax) *. (cy -. ay)) -. ((by -. ay) *. (cx -. ax))
+
+let in_circumcircle a b c p =
+  let sign = orient2d a b c in
+  if abs_float sign < 1e-18 then false (* degenerate triangle *)
+  else begin
+    let px = Point.coord p 0 and py = Point.coord p 1 in
+    let row q =
+      let qx = Point.coord q 0 -. px and qy = Point.coord q 1 -. py in
+      (qx, qy, (qx *. qx) +. (qy *. qy))
+    in
+    let ax, ay, az = row a and bx, by, bz = row b and cx, cy, cz = row c in
+    let det =
+      (ax *. ((by *. cz) -. (bz *. cy)))
+      -. (ay *. ((bx *. cz) -. (bz *. cx)))
+      +. (az *. ((bx *. cy) -. (by *. cx)))
+    in
+    (* det > 0 iff p strictly inside, when abc is counterclockwise. *)
+    if sign > 0.0 then det > 1e-18 else det < -1e-18
+  end
+
+(* Triangles as int triples into an extended point array whose last
+   three entries are the super-triangle corners. *)
+let bowyer_watson points =
+  let n = Array.length points in
+  (* Bounding super-triangle, comfortably enclosing everything. *)
+  let minx = ref infinity and miny = ref infinity in
+  let maxx = ref neg_infinity and maxy = ref neg_infinity in
+  Array.iter
+    (fun p ->
+      minx := min !minx (Point.coord p 0);
+      maxx := max !maxx (Point.coord p 0);
+      miny := min !miny (Point.coord p 1);
+      maxy := max !maxy (Point.coord p 1))
+    points;
+  let dx = !maxx -. !minx +. 1.0 and dy = !maxy -. !miny +. 1.0 in
+  let m = 10.0 *. max dx dy in
+  let ext = Array.make (n + 3) points.(0) in
+  Array.blit points 0 ext 0 n;
+  ext.(n) <- Point.make2 (!minx -. m) (!miny -. m);
+  ext.(n + 1) <- Point.make2 (!maxx +. m) (!miny -. m);
+  ext.(n + 2) <- Point.make2 (0.5 *. (!minx +. !maxx)) (!maxy +. m);
+  let tris = ref [ (n, n + 1, n + 2) ] in
+  for p = 0 to n - 1 do
+    let bad, good =
+      List.partition
+        (fun (a, b, c) -> in_circumcircle ext.(a) ext.(b) ext.(c) ext.(p))
+        !tris
+    in
+    (* Boundary of the cavity: edges of bad triangles that appear
+       exactly once. *)
+    let edge_count = Hashtbl.create 16 in
+    let bump a b =
+      let k = (min a b, max a b) in
+      Hashtbl.replace edge_count k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt edge_count k))
+    in
+    List.iter
+      (fun (a, b, c) ->
+        bump a b;
+        bump b c;
+        bump a c)
+      bad;
+    let fresh =
+      Hashtbl.fold
+        (fun (a, b) count acc ->
+          if count = 1 then (a, b, p) :: acc else acc)
+        edge_count []
+    in
+    tris := fresh @ good
+  done;
+  List.filter (fun (a, b, c) -> a < n && b < n && c < n) !tris
+
+let sort3 (a, b, c) =
+  let l = List.sort compare [ a; b; c ] in
+  match l with [ x; y; z ] -> (x, y, z) | _ -> assert false
+
+let collinear points =
+  let n = Array.length points in
+  if n <= 2 then true
+  else begin
+    let ok = ref true in
+    for i = 2 to n - 1 do
+      if abs_float (orient2d points.(0) points.(1) points.(i)) > 1e-12 then
+        ok := false
+    done;
+    !ok
+  end
+
+(* Degenerate (collinear) case: chain consecutive points along the
+   dominant direction. *)
+let collinear_path points =
+  let n = Array.length points in
+  let dir = Point.sub points.(1) points.(0) in
+  let keyed =
+    Array.init n (fun i -> (Point.dot dir (Point.sub points.(i) points.(0)), i))
+  in
+  Array.sort compare keyed;
+  let rec chain = function
+    | (_, i) :: ((_, j) :: _ as rest) -> (min i j, max i j) :: chain rest
+    | [ _ ] | [] -> []
+  in
+  chain (Array.to_list keyed)
+
+let triangles points =
+  check_input points;
+  if collinear points then []
+  else List.map sort3 (bowyer_watson points)
+
+let triangulate points =
+  check_input points;
+  if collinear points then collinear_path points
+  else begin
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun (a, b, c) ->
+        Hashtbl.replace seen (a, b) ();
+        Hashtbl.replace seen (b, c) ();
+        Hashtbl.replace seen (a, c) ())
+      (List.map sort3 (bowyer_watson points));
+    Hashtbl.fold (fun e () acc -> e :: acc) seen [] |> List.sort compare
+  end

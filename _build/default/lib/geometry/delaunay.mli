@@ -1,0 +1,26 @@
+(** Two-dimensional Delaunay triangulation (Bowyer–Watson).
+
+    Substrate for the planar topology-control baselines discussed in
+    the paper's related work (references [13, 14, 15] build planar
+    spanners from localized Delaunay triangulations). Points are
+    expected in general position; exact duplicates are rejected,
+    near-degeneracies are handled by the usual epsilon slack.
+
+    Only [dim = 2] point sets are accepted. *)
+
+(** [triangulate points] is the list of unordered Delaunay edges
+    [(i, j)], [i < j], over [points]. Raises [Invalid_argument] on
+    non-planar inputs, fewer than 2 points, or duplicate points. For
+    collinear point sets the triangulation degenerates to the obvious
+    path along the line. *)
+val triangulate : Point.t array -> (int * int) list
+
+(** [triangles points] is the list of triangles [(a, b, c)] (sorted
+    vertex triples) of the triangulation; empty when all points are
+    collinear. *)
+val triangles : Point.t array -> (int * int * int) list
+
+(** [in_circumcircle a b c p] tests whether [p] lies strictly inside
+    the circumcircle of the (non-degenerate) triangle [a b c]; exposed
+    for the test suite. *)
+val in_circumcircle : Point.t -> Point.t -> Point.t -> Point.t -> bool

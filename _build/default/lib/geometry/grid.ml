@@ -1,0 +1,81 @@
+type t = {
+  cell : float;
+  dim : int;
+  points : Point.t array;
+  table : (string, int list ref) Hashtbl.t;
+}
+
+let key c = String.concat "," (List.map string_of_int (Array.to_list c))
+
+let cell_coords ~cell p =
+  Array.map (fun x -> int_of_float (floor (x /. cell))) (Point.coords p)
+
+let build ~cell points =
+  if cell <= 0.0 then invalid_arg "Grid.build: cell <= 0";
+  if Array.length points = 0 then invalid_arg "Grid.build: empty";
+  let dim = Point.dim points.(0) in
+  Array.iter
+    (fun p ->
+      if Point.dim p <> dim then invalid_arg "Grid.build: mixed dimensions")
+    points;
+  let table = Hashtbl.create (Array.length points) in
+  Array.iteri
+    (fun i p ->
+      let k = key (cell_coords ~cell p) in
+      match Hashtbl.find_opt table k with
+      | Some l -> l := i :: !l
+      | None -> Hashtbl.add table k (ref [ i ]))
+    points;
+  { cell; dim; points; table }
+
+let cell_size t = t.cell
+let cell_of t p = cell_coords ~cell:t.cell p
+
+let points_in_cell t c =
+  match Hashtbl.find_opt t.table (key c) with Some l -> !l | None -> []
+
+(* Visit every cell within Chebyshev distance 1 of [c]. *)
+let iter_neighborhood t c f =
+  let d = t.dim in
+  let offset = Array.make d (-1) in
+  let rec loop i =
+    if i = d then
+      f (Array.init d (fun j -> c.(j) + offset.(j)))
+    else
+      for v = -1 to 1 do
+        offset.(i) <- v;
+        loop (i + 1)
+      done
+  in
+  loop 0
+
+let neighbors t i ~radius =
+  if radius > t.cell +. 1e-12 then invalid_arg "Grid.neighbors: radius > cell";
+  let p = t.points.(i) in
+  let c = cell_of t p in
+  let acc = ref [] in
+  iter_neighborhood t c (fun c' ->
+      List.iter
+        (fun j ->
+          if j <> i && Point.distance p t.points.(j) <= radius then
+            acc := j :: !acc)
+        (points_in_cell t c'));
+  !acc
+
+let iter_close_pairs t ~radius f =
+  if radius > t.cell +. 1e-12 then
+    invalid_arg "Grid.iter_close_pairs: radius > cell";
+  Array.iteri
+    (fun i p ->
+      let c = cell_of t p in
+      iter_neighborhood t c (fun c' ->
+          List.iter
+            (fun j ->
+              if i < j then begin
+                let d = Point.distance p t.points.(j) in
+                if d <= radius then f i j d
+              end)
+            (points_in_cell t c')))
+    t.points
+
+let occupied_cells t = Hashtbl.length t.table

@@ -1,0 +1,36 @@
+(** Axis-parallel bucket grids over point sets.
+
+    Used for near-linear-time construction of α-UBG edge sets: points are
+    hashed into cubic cells of side [cell]; all pairs at distance at most
+    [cell] are found by scanning the 3^d neighborhood of each cell. Also
+    backs the grid-cell counting argument of Theorem 11. *)
+
+type t
+
+(** [build ~cell points] indexes [points] (identified by array index)
+    into cells of side [cell]. Requires [cell > 0] and a nonempty,
+    dimension-homogeneous point array. *)
+val build : cell:float -> Point.t array -> t
+
+(** [cell_size t] is the cell side length. *)
+val cell_size : t -> float
+
+(** [cell_of t p] is the integer cell coordinate vector containing [p]. *)
+val cell_of : t -> Point.t -> int array
+
+(** [points_in_cell t c] is the list of point indices stored in cell [c]
+    (empty if the cell is unoccupied). *)
+val points_in_cell : t -> int array -> int list
+
+(** [neighbors t i ~radius] is the list of indices [j <> i] whose points
+    lie within Euclidean distance [radius] of point [i]. Requires
+    [radius <= cell_size t] for completeness. *)
+val neighbors : t -> int -> radius:float -> int list
+
+(** [iter_close_pairs t ~radius f] calls [f i j dist] once for every
+    unordered pair [(i, j)], [i < j], at distance [dist <= radius].
+    Requires [radius <= cell_size t]. *)
+val iter_close_pairs : t -> radius:float -> (int -> int -> float -> unit) -> unit
+
+(** [occupied_cells t] is the number of nonempty cells. *)
+val occupied_cells : t -> int

@@ -1,0 +1,80 @@
+type node =
+  | Leaf of int array
+  | Split of { axis : int; value : float; left : node; right : node }
+
+type t = { points : Point.t array; root : node }
+
+let leaf_capacity = 8
+
+let build points =
+  if Array.length points = 0 then invalid_arg "Kdtree.build: empty";
+  let dim = Point.dim points.(0) in
+  let rec make indices depth =
+    if Array.length indices <= leaf_capacity then Leaf indices
+    else begin
+      let axis = depth mod dim in
+      let keyed =
+        Array.map (fun i -> (Point.coord points.(i) axis, i)) indices
+      in
+      Array.sort compare keyed;
+      let mid = Array.length keyed / 2 in
+      let value = fst keyed.(mid) in
+      let left = Array.sub keyed 0 mid
+      and right = Array.sub keyed mid (Array.length keyed - mid) in
+      Split
+        {
+          axis;
+          value;
+          left = make (Array.map snd left) (depth + 1);
+          right = make (Array.map snd right) (depth + 1);
+        }
+    end
+  in
+  { points; root = make (Array.init (Array.length points) (fun i -> i)) 0 }
+
+let size t = Array.length t.points
+
+let range t ~center ~radius =
+  let acc = ref [] in
+  let rec go = function
+    | Leaf indices ->
+        Array.iter
+          (fun i ->
+            if Point.distance t.points.(i) center <= radius then
+              acc := i :: !acc)
+          indices
+    | Split { axis; value; left; right } ->
+        let c = Point.coord center axis in
+        if c -. radius < value then go left;
+        if c +. radius >= value then go right
+  in
+  go t.root;
+  !acc
+
+let nearest_excluding t ~query ~excluded =
+  let best = ref None in
+  let best_d () = match !best with None -> infinity | Some (_, d) -> d in
+  let rec go = function
+    | Leaf indices ->
+        Array.iter
+          (fun i ->
+            if not (excluded i) then begin
+              let d = Point.distance t.points.(i) query in
+              if d < best_d () then best := Some (i, d)
+            end)
+          indices
+    | Split { axis; value; left; right } ->
+        let c = Point.coord query axis in
+        let near, far = if c < value then (left, right) else (right, left) in
+        go near;
+        (* The far side can only improve when the splitting hyperplane is
+           closer than the best distance found so far. *)
+        if abs_float (c -. value) <= best_d () then go far
+  in
+  go t.root;
+  !best
+
+let nearest t ~query =
+  match nearest_excluding t ~query ~excluded:(fun _ -> false) with
+  | Some r -> r
+  | None -> assert false

@@ -1,0 +1,27 @@
+(** kd-trees over finite point sets.
+
+    A complement to {!Grid} for queries whose radius is not bounded by a
+    fixed cell size: nearest neighbor and arbitrary-radius range queries.
+    Points are identified by their index in the construction array. *)
+
+type t
+
+(** [build points] builds a balanced kd-tree (median splits) over the
+    nonempty array [points]. *)
+val build : Point.t array -> t
+
+(** [size t] is the number of indexed points. *)
+val size : t -> int
+
+(** [range t ~center ~radius] is the list of indices of points within
+    Euclidean distance [radius] of [center]. *)
+val range : t -> center:Point.t -> radius:float -> int list
+
+(** [nearest t ~query] is [(i, d)] where point [i] minimizes the distance
+    [d] to [query] (the query point itself if present in the set). *)
+val nearest : t -> query:Point.t -> int * float
+
+(** [nearest_excluding t ~query ~excluded] is the nearest point whose
+    index does not satisfy [excluded]; [None] if all are excluded. *)
+val nearest_excluding :
+  t -> query:Point.t -> excluded:(int -> bool) -> (int * float) option

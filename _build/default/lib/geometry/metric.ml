@@ -1,0 +1,18 @@
+type t = Euclidean | Energy of { c : float; gamma : float }
+
+let validate = function
+  | Euclidean -> ()
+  | Energy { c; gamma } ->
+      if c <= 0.0 then invalid_arg "Metric: c <= 0";
+      if gamma < 1.0 then invalid_arg "Metric: gamma < 1"
+
+let of_distance m d =
+  match m with
+  | Euclidean -> d
+  | Energy { c; gamma } -> c *. (d ** gamma)
+
+let weight m p q = of_distance m (Point.distance p q)
+
+let pp ppf = function
+  | Euclidean -> Format.pp_print_string ppf "euclidean"
+  | Energy { c; gamma } -> Format.fprintf ppf "energy(c=%g, gamma=%g)" c gamma

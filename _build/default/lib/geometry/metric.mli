@@ -1,0 +1,27 @@
+(** Edge-weight metrics.
+
+    The paper uses Euclidean distances as edge weights, and notes
+    (Section 1.6.2) that the algorithm still produces a spanner under the
+    relative metric [c * |uv|^gamma] with [c > 0] and [gamma >= 1], which
+    models transmission energy. This module is the single switch point:
+    every algorithm in the repository weighs edges through it. *)
+
+type t =
+  | Euclidean  (** plain [|uv|] *)
+  | Energy of { c : float; gamma : float }
+      (** [c * |uv|^gamma]; requires [c > 0] and [gamma >= 1]. *)
+
+(** [validate m] raises [Invalid_argument] if [m]'s parameters are out of
+    range. *)
+val validate : t -> unit
+
+(** [weight m p q] is the weight of an edge between points [p] and [q]
+    under metric [m]. Monotone in the Euclidean distance for every valid
+    metric. *)
+val weight : t -> Point.t -> Point.t -> float
+
+(** [of_distance m d] is the weight of an edge of Euclidean length
+    [d >= 0]. *)
+val of_distance : t -> float -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,122 @@
+type t = float array
+
+let check_dim_eq p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Point: dimension mismatch"
+
+let create coords =
+  if Array.length coords = 0 then invalid_arg "Point.create: empty";
+  Array.copy coords
+
+let of_list coords = create (Array.of_list coords)
+let make2 x y = [| x; y |]
+let make3 x y z = [| x; y; z |]
+let dim = Array.length
+let coord p i = p.(i)
+let coords = Array.copy
+let origin d = Array.make d 0.0
+
+let sq_distance p q =
+  check_dim_eq p q;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length p - 1 do
+    let d = p.(i) -. q.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let distance p q = sqrt (sq_distance p q)
+
+let norm v =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length v - 1 do
+    acc := !acc +. (v.(i) *. v.(i))
+  done;
+  sqrt !acc
+
+let sub p q =
+  check_dim_eq p q;
+  Array.init (Array.length p) (fun i -> p.(i) -. q.(i))
+
+let add p v =
+  check_dim_eq p v;
+  Array.init (Array.length p) (fun i -> p.(i) +. v.(i))
+
+let scale c v = Array.map (fun x -> c *. x) v
+
+let dot u v =
+  check_dim_eq u v;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length u - 1 do
+    acc := !acc +. (u.(i) *. v.(i))
+  done;
+  !acc
+
+let midpoint p q =
+  check_dim_eq p q;
+  Array.init (Array.length p) (fun i -> 0.5 *. (p.(i) +. q.(i)))
+
+let normalize v =
+  let n = norm v in
+  if n = 0.0 then invalid_arg "Point.normalize: zero vector";
+  scale (1.0 /. n) v
+
+let angle ~apex p q =
+  let u = sub p apex and v = sub q apex in
+  let nu = norm u and nv = norm v in
+  if nu = 0.0 || nv = 0.0 then invalid_arg "Point.angle: degenerate wedge";
+  let c = dot u v /. (nu *. nv) in
+  (* Clamp against floating-point drift outside [-1, 1]. *)
+  let c = if c > 1.0 then 1.0 else if c < -1.0 then -1.0 else c in
+  acos c
+
+let lerp p q u =
+  check_dim_eq p q;
+  Array.init (Array.length p) (fun i -> ((1.0 -. u) *. p.(i)) +. (u *. q.(i)))
+
+let equal ?(eps = 1e-12) p q =
+  Array.length p = Array.length q
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length p - 1 do
+    if abs_float (p.(i) -. q.(i)) > eps then ok := false
+  done;
+  !ok
+
+let compare = Stdlib.compare
+
+let pp ppf p =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    p
+
+let to_string p = Format.asprintf "%a" pp p
+
+let random ~st ~dim ~lo ~hi =
+  if dim <= 0 then invalid_arg "Point.random: dim";
+  if hi < lo then invalid_arg "Point.random: hi < lo";
+  Array.init dim (fun _ -> lo +. Random.State.float st (hi -. lo))
+
+let random_in_ball ~st ~center ~radius =
+  if radius <= 0.0 then invalid_arg "Point.random_in_ball: radius";
+  let d = Array.length center in
+  let rec draw () =
+    let v =
+      Array.init d (fun _ -> (Random.State.float st 2.0 -. 1.0) *. radius)
+    in
+    if norm v <= radius then add center v else draw ()
+  in
+  draw ()
+
+let segment_point_distance a b p =
+  check_dim_eq a b;
+  check_dim_eq a p;
+  let ab = sub b a in
+  let len2 = dot ab ab in
+  if len2 = 0.0 then distance a p
+  else
+    let u = dot (sub p a) ab /. len2 in
+    let u = if u < 0.0 then 0.0 else if u > 1.0 then 1.0 else u in
+    distance (lerp a b u) p

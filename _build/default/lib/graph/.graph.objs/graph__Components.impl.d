@@ -1,0 +1,1 @@
+lib/graph/components.ml: Array Hashtbl List Option Union_find Wgraph

@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Array Heap List Union_find Wgraph

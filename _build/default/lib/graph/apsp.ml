@@ -1,0 +1,39 @@
+let dijkstra_all g =
+  Array.init (Wgraph.n_vertices g) (fun u -> Dijkstra.distances g u)
+
+let floyd_warshall g =
+  let n = Wgraph.n_vertices g in
+  let d = Array.make_matrix n n infinity in
+  for i = 0 to n - 1 do
+    d.(i).(i) <- 0.0
+  done;
+  Wgraph.iter_edges g (fun u v w ->
+      if w < d.(u).(v) then begin
+        d.(u).(v) <- w;
+        d.(v).(u) <- w
+      end);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if d.(i).(k) < infinity then
+        for j = 0 to n - 1 do
+          let via = d.(i).(k) +. d.(k).(j) in
+          if via < d.(i).(j) then d.(i).(j) <- via
+        done
+    done
+  done;
+  d
+
+let max_ratio ~num ~den =
+  let n = Array.length den in
+  let worst = ref 1.0 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && den.(u).(v) < infinity && den.(u).(v) > 0.0 then begin
+        if num.(u).(v) = infinity then
+          invalid_arg "Apsp.max_ratio: not a spanning subgraph";
+        let r = num.(u).(v) /. den.(u).(v) in
+        if r > !worst then worst := r
+      end
+    done
+  done;
+  !worst

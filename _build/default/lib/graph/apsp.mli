@@ -1,0 +1,20 @@
+(** All-pairs shortest paths.
+
+    Used by the exact stretch-factor computation (the t-spanner property
+    compares all-pairs distances in G' against G). Two engines: repeated
+    Dijkstra (sparse graphs, the common case here) and Floyd–Warshall
+    (dense reference used to cross-check Dijkstra in tests). *)
+
+(** [dijkstra_all g] is the matrix [d] with [d.(u).(v) = sp_g(u, v)]. *)
+val dijkstra_all : Wgraph.t -> float array array
+
+(** [floyd_warshall g] is the same matrix by the O(n^3) recurrence. *)
+val floyd_warshall : Wgraph.t -> float array array
+
+(** [max_ratio ~num ~den] is the maximum over ordered pairs [(u, v)],
+    [u <> v], of [num.(u).(v) /. den.(u).(v)], restricted to pairs with
+    finite, positive denominator; [1.0] when no pair qualifies. The
+    stretch of a spanner is [max_ratio ~num:(apsp spanner) ~den:(apsp g)].
+    Raises [Invalid_argument] if a pair is connected in the denominator
+    but not the numerator (not a spanning subgraph). *)
+val max_ratio : num:float array array -> den:float array array -> float

@@ -1,0 +1,51 @@
+let hops g src =
+  let n = Wgraph.n_vertices g in
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Wgraph.iter_neighbors g u (fun v _ ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+  done;
+  dist
+
+let hop_distance g src dst = (hops g src).(dst)
+
+let ball g src ~radius =
+  let dist = Hashtbl.create 64 in
+  Hashtbl.add dist src 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  let acc = ref [ src ] in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let du = Hashtbl.find dist u in
+    if du < radius then
+      Wgraph.iter_neighbors g u (fun v _ ->
+          if not (Hashtbl.mem dist v) then begin
+            Hashtbl.add dist v (du + 1);
+            acc := v :: !acc;
+            Queue.add v q
+          end)
+  done;
+  !acc
+
+let induced_ball g src ~radius =
+  let vertices = Array.of_list (ball g src ~radius) in
+  Array.sort compare vertices;
+  let index = Hashtbl.create (Array.length vertices) in
+  Array.iteri (fun i v -> Hashtbl.add index v i) vertices;
+  let h = Wgraph.create (Array.length vertices) in
+  Array.iteri
+    (fun i v ->
+      Wgraph.iter_neighbors g v (fun u w ->
+          match Hashtbl.find_opt index u with
+          | Some j when i < j -> Wgraph.add_edge h i j w
+          | Some _ | None -> ()))
+    vertices;
+  (h, vertices)

@@ -1,0 +1,24 @@
+(** Breadth-first search: hop distances and bounded neighborhoods.
+
+    In the distributed algorithm (Section 3) every information-gathering
+    step is a flood over a constant number of hops; these helpers define
+    the sets of vertices such floods reach, and the test suite uses them
+    to validate the paper's hop bounds (Theorem 9). *)
+
+(** [hops g src] is the array of hop distances from [src]
+    ([max_int] marks unreachable vertices). *)
+val hops : Wgraph.t -> int -> int array
+
+(** [hop_distance g src dst] is the number of edges on a fewest-hop
+    path, [max_int] if disconnected. *)
+val hop_distance : Wgraph.t -> int -> int -> int
+
+(** [ball g src ~radius] is the list of vertices within [radius] hops of
+    [src] (including [src]), i.e. what a [radius]-round flood reaches. *)
+val ball : Wgraph.t -> int -> radius:int -> int list
+
+(** [induced_ball g src ~radius] is the subgraph of [g] induced by
+    [ball g src ~radius], returned with its vertex mapping: a pair
+    [(h, vertices)] where vertex [i] of [h] corresponds to
+    [vertices.(i)] in [g]. This is a node's "local view" in Section 3. *)
+val induced_ball : Wgraph.t -> int -> radius:int -> Wgraph.t * int array

@@ -1,0 +1,34 @@
+let union_find_of g =
+  let uf = Union_find.create (Wgraph.n_vertices g) in
+  Wgraph.iter_edges g (fun u v _ -> ignore (Union_find.union uf u v));
+  uf
+
+let labels g =
+  let n = Wgraph.n_vertices g in
+  let uf = union_find_of g in
+  (* Map every root to the smallest vertex of its class so the labeling
+     is canonical regardless of union order. *)
+  let smallest = Array.make n max_int in
+  for v = 0 to n - 1 do
+    let r = Union_find.find uf v in
+    if v < smallest.(r) then smallest.(r) <- v
+  done;
+  Array.init n (fun v -> smallest.(Union_find.find uf v))
+
+let groups g =
+  let n = Wgraph.n_vertices g in
+  let lbl = labels g in
+  let table = Hashtbl.create 16 in
+  for v = n - 1 downto 0 do
+    let cur = Option.value ~default:[] (Hashtbl.find_opt table lbl.(v)) in
+    Hashtbl.replace table lbl.(v) (v :: cur)
+  done;
+  Hashtbl.fold (fun _ vs acc -> vs :: acc) table []
+  |> List.sort compare
+
+let count g = Union_find.count (union_find_of g)
+let is_connected g = count g <= 1
+
+let same g u v =
+  let uf = union_find_of g in
+  Union_find.same uf u v

@@ -1,0 +1,18 @@
+(** Connected components. *)
+
+(** [labels g] assigns to every vertex the smallest vertex id of its
+    component. *)
+val labels : Wgraph.t -> int array
+
+(** [groups g] is the list of components, each a sorted vertex list. *)
+val groups : Wgraph.t -> int list list
+
+(** [count g] is the number of connected components ([0] on the empty
+    graph). *)
+val count : Wgraph.t -> int
+
+(** [is_connected g] tests whether [g] has at most one component. *)
+val is_connected : Wgraph.t -> bool
+
+(** [same g u v] tests whether [u] and [v] are connected. *)
+val same : Wgraph.t -> int -> int -> bool

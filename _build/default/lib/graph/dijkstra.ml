@@ -1,0 +1,104 @@
+let distances_and_parents g src =
+  let n = Wgraph.n_vertices g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let heap = Heap.create n in
+  dist.(src) <- 0.0;
+  Heap.insert heap src 0.0;
+  while not (Heap.is_empty heap) do
+    let u, du = Heap.pop_min heap in
+    (* A popped label is final; stale heap entries cannot exist because
+       decrease-key updates in place. *)
+    Wgraph.iter_neighbors g u (fun v w ->
+        let dv = du +. w in
+        if dv < dist.(v) then begin
+          dist.(v) <- dv;
+          parent.(v) <- u;
+          Heap.insert_or_decrease heap v dv
+        end)
+  done;
+  (dist, parent)
+
+let distances g src = fst (distances_and_parents g src)
+
+let search_until g src ~stop ~bound =
+  let n = Wgraph.n_vertices g in
+  let dist = Array.make n infinity in
+  let heap = Heap.create n in
+  dist.(src) <- 0.0;
+  Heap.insert heap src 0.0;
+  let finished = ref false in
+  while (not !finished) && not (Heap.is_empty heap) do
+    let u, du = Heap.pop_min heap in
+    if du > bound || stop u then finished := true
+    else
+      Wgraph.iter_neighbors g u (fun v w ->
+          let dv = du +. w in
+          if dv < dist.(v) then begin
+            dist.(v) <- dv;
+            Heap.insert_or_decrease heap v dv
+          end)
+  done;
+  dist
+
+let distance g src dst =
+  if src = dst then 0.0
+  else
+    let dist = search_until g src ~stop:(fun u -> u = dst) ~bound:infinity in
+    dist.(dst)
+
+let distance_upto g src dst ~bound =
+  if src = dst then 0.0
+  else
+    let dist = search_until g src ~stop:(fun u -> u = dst) ~bound in
+    dist.(dst)
+
+let within g src ~bound =
+  let dist = search_until g src ~stop:(fun _ -> false) ~bound in
+  let acc = ref [] in
+  Array.iteri (fun v d -> if d <= bound then acc := (v, d) :: !acc) dist;
+  !acc
+
+let path g src dst =
+  if src = dst then Some [ src ]
+  else begin
+    let _, parent = distances_and_parents g src in
+    if parent.(dst) = -1 then None
+    else begin
+      let rec walk v acc = if v = src then v :: acc else walk parent.(v) (v :: acc) in
+      Some (walk dst [])
+    end
+  end
+
+let hop_bounded_distance g src dst ~max_hops ~bound =
+  if src = dst then 0.0
+  else begin
+    let n = Wgraph.n_vertices g in
+    (* dist.(v) = best length of a path src->v with at most h hops, for
+       the current round h. Only vertices improved in the previous round
+       need relaxing, so we keep an explicit frontier. *)
+    let dist = Array.make n infinity in
+    dist.(src) <- 0.0;
+    let frontier = ref [ src ] in
+    let h = ref 0 in
+    while !h < max_hops && !frontier <> [] do
+      incr h;
+      let improved = ref [] in
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun u ->
+          let du = dist.(u) in
+          Wgraph.iter_neighbors g u (fun v w ->
+              let dv = du +. w in
+              if dv < dist.(v) && dv <= bound then begin
+                dist.(v) <- dv;
+                if not (Hashtbl.mem seen v) then begin
+                  Hashtbl.add seen v ();
+                  improved := v :: !improved
+                end
+              end))
+        !frontier;
+      frontier := !improved
+    done;
+    dist.(dst)
+  end

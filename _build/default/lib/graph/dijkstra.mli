@@ -1,0 +1,43 @@
+(** Single-source shortest paths (Dijkstra's algorithm).
+
+    Three variants cover the paper's uses: full single-source trees
+    (MST-ratio and stretch analysis), distance-bounded exploration
+    (cluster-cover construction, Section 2.2.1, stops once the frontier
+    exceeds a radius), and hop-and-length bounded search (query answering
+    on the cluster graph, Lemma 8). *)
+
+(** [distances g src] is the array of shortest-path distances from
+    [src]; [infinity] marks unreachable vertices. *)
+val distances : Wgraph.t -> int -> float array
+
+(** [distances_and_parents g src] additionally returns the shortest-path
+    tree as a parent array ([-1] for [src] and unreachable vertices). *)
+val distances_and_parents : Wgraph.t -> int -> float array * int array
+
+(** [distance g src dst] is the shortest-path distance between two
+    vertices, [infinity] if disconnected. Early-exits at [dst]. *)
+val distance : Wgraph.t -> int -> int -> float
+
+(** [distance_upto g src dst ~bound] is like [distance] but abandons the
+    search once every frontier label exceeds [bound]; any return value
+    greater than [bound] means "no path within [bound]". *)
+val distance_upto : Wgraph.t -> int -> int -> bound:float -> float
+
+(** [within g src ~bound] is the list of [(v, d)] with
+    [d = sp(src, v) <= bound], including [(src, 0)]. This is the
+    cluster-ball primitive of Section 2.2.1. *)
+val within : Wgraph.t -> int -> bound:float -> (int * float) list
+
+(** [path g src dst] is the vertex sequence of a shortest path from
+    [src] to [dst] (inclusive), or [None] if disconnected. *)
+val path : Wgraph.t -> int -> int -> int list option
+
+(** [hop_bounded_distance g src dst ~max_hops ~bound] is the length of a
+    shortest path from [src] to [dst] that uses at most [max_hops] edges
+    and has length at most [bound]; [infinity] when no such path exists.
+    Implements the bounded-hop query of Lemma 8 by dynamic programming
+    over hop counts (Bellman-Ford style), so it is exact even though
+    hop-constrained prefixes of shortest paths are not themselves
+    shortest. *)
+val hop_bounded_distance :
+  Wgraph.t -> int -> int -> max_hops:int -> bound:float -> float

@@ -1,0 +1,98 @@
+(* Edmonds-Karp max-flow on an integer-capacity directed graph encoded as
+   a capacity table; small inputs only (analysis-time certification). *)
+
+type network = {
+  n : int;
+  cap : (int * int, int) Hashtbl.t;
+  succ : (int, int list ref) Hashtbl.t;
+}
+
+let network n = { n; cap = Hashtbl.create 64; succ = Hashtbl.create 64 }
+
+let add_arc net u v c =
+  let bump u v c =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt net.cap (u, v)) in
+    if cur = 0 && c >= 0 then begin
+      match Hashtbl.find_opt net.succ u with
+      | Some l -> l := v :: !l
+      | None -> Hashtbl.add net.succ u (ref [ v ])
+    end;
+    Hashtbl.replace net.cap (u, v) (cur + c)
+  in
+  bump u v c;
+  bump v u 0 (* residual arc *)
+
+let successors net u =
+  match Hashtbl.find_opt net.succ u with Some l -> !l | None -> []
+
+let capacity net u v =
+  Option.value ~default:0 (Hashtbl.find_opt net.cap (u, v))
+
+let max_flow net s t =
+  let rec augment total =
+    (* BFS for a shortest augmenting path in the residual network. *)
+    let parent = Array.make net.n (-1) in
+    parent.(s) <- s;
+    let q = Queue.create () in
+    Queue.add s q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if parent.(v) = -1 && capacity net u v > 0 then begin
+            parent.(v) <- u;
+            if v = t then found := true else Queue.add v q
+          end)
+        (successors net u)
+    done;
+    if not !found then total
+    else begin
+      (* Unit capacities: the bottleneck is always 1. *)
+      let rec push v =
+        if v <> s then begin
+          let u = parent.(v) in
+          Hashtbl.replace net.cap (u, v) (capacity net u v - 1);
+          Hashtbl.replace net.cap (v, u) (capacity net v u + 1);
+          push u
+        end
+      in
+      push t;
+      augment (total + 1)
+    end
+  in
+  augment 0
+
+let edge_disjoint_paths g s t =
+  if s = t then invalid_arg "Flow.edge_disjoint_paths: s = t";
+  let net = network (Wgraph.n_vertices g) in
+  Wgraph.iter_edges g (fun u v _ ->
+      add_arc net u v 1;
+      add_arc net v u 1);
+  max_flow net s t
+
+let vertex_disjoint_paths g s t =
+  if s = t then invalid_arg "Flow.vertex_disjoint_paths: s = t";
+  let n = Wgraph.n_vertices g in
+  (* v_in = 2v, v_out = 2v + 1; internal arc caps 1 except at s, t. *)
+  let net = network (2 * n) in
+  let big = Wgraph.n_vertices g + 1 in
+  for v = 0 to n - 1 do
+    add_arc net (2 * v) ((2 * v) + 1) (if v = s || v = t then big else 1)
+  done;
+  Wgraph.iter_edges g (fun u v _ ->
+      add_arc net ((2 * u) + 1) (2 * v) 1;
+      add_arc net ((2 * v) + 1) (2 * u) 1);
+  max_flow net ((2 * s) + 1) (2 * t)
+
+let edge_connectivity g =
+  let n = Wgraph.n_vertices g in
+  if n <= 1 then 0
+  else begin
+    (* A global minimum cut separates vertex 0 from some other vertex. *)
+    let best = ref max_int in
+    for v = 1 to n - 1 do
+      if !best > 0 then best := min !best (edge_disjoint_paths g 0 v)
+    done;
+    if !best = max_int then 0 else !best
+  end

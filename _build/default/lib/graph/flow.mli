@@ -1,0 +1,24 @@
+(** Disjoint-path counting via unit-capacity max-flow.
+
+    Supports the fault-tolerance extension (Section 1.6.1): a k-edge
+    fault-tolerant spanner must keep [k+1] edge-disjoint routes between
+    adjacent pairs, and the analysis suite certifies constructions by
+    counting disjoint paths (Menger's theorem). Edmonds–Karp on the
+    doubled directed graph. *)
+
+(** [edge_disjoint_paths g s t] is the maximum number of pairwise
+    edge-disjoint s-t paths in [g]; [0] when disconnected, and
+    [max_int] is never returned (bounded by degree). Requires
+    [s <> t]. *)
+val edge_disjoint_paths : Wgraph.t -> int -> int -> int
+
+(** [vertex_disjoint_paths g s t] is the maximum number of internally
+    vertex-disjoint s-t paths (via the standard vertex-splitting
+    reduction). Requires [s <> t]. *)
+val vertex_disjoint_paths : Wgraph.t -> int -> int -> int
+
+(** [edge_connectivity g] is the minimum over all vertex pairs of
+    [edge_disjoint_paths]; [0] on disconnected or single-vertex graphs.
+    Exact but quadratic in pairs — intended for analysis on small
+    graphs. *)
+val edge_connectivity : Wgraph.t -> int

@@ -1,0 +1,46 @@
+let kruskal g =
+  let es = Array.of_list (Wgraph.edges g) in
+  Array.sort (fun (a : Wgraph.edge) b -> compare a.w b.w) es;
+  let uf = Union_find.create (Wgraph.n_vertices g) in
+  let acc = ref [] in
+  Array.iter
+    (fun (e : Wgraph.edge) -> if Union_find.union uf e.u e.v then acc := e :: !acc)
+    es;
+  List.rev !acc
+
+let prim g =
+  let n = Wgraph.n_vertices g in
+  let in_tree = Array.make n false in
+  let best = Array.make n infinity in
+  let best_edge = Array.make n (-1) in
+  let acc = ref [] in
+  for root = 0 to n - 1 do
+    if not in_tree.(root) then begin
+      let heap = Heap.create n in
+      best.(root) <- 0.0;
+      Heap.insert heap root 0.0;
+      while not (Heap.is_empty heap) do
+        let u, _ = Heap.pop_min heap in
+        if not in_tree.(u) then begin
+          in_tree.(u) <- true;
+          if best_edge.(u) >= 0 then
+            acc := { Wgraph.u = best_edge.(u); v = u; w = best.(u) } :: !acc;
+          Wgraph.iter_neighbors g u (fun v w ->
+              if (not in_tree.(v)) && w < best.(v) then begin
+                best.(v) <- w;
+                best_edge.(v) <- u;
+                Heap.insert_or_decrease heap v w
+              end)
+        end
+      done
+    end
+  done;
+  !acc
+
+let forest g =
+  let f = Wgraph.create (Wgraph.n_vertices g) in
+  List.iter (fun (e : Wgraph.edge) -> Wgraph.add_edge f e.u e.v e.w) (kruskal g);
+  f
+
+let weight g =
+  List.fold_left (fun acc (e : Wgraph.edge) -> acc +. e.w) 0.0 (kruskal g)

@@ -1,0 +1,20 @@
+(** Minimum spanning trees and forests.
+
+    [w(MST(G))] is the paper's yardstick for spanner weight
+    (Theorem 13); on disconnected graphs all functions operate on the
+    minimum spanning forest. Kruskal (edge-list based) and Prim
+    (adjacency based) are both provided and are cross-checked in the
+    test suite. *)
+
+(** [kruskal g] is the list of MSF edges of [g]. *)
+val kruskal : Wgraph.t -> Wgraph.edge list
+
+(** [prim g] is the list of MSF edges computed by repeated Prim growth
+    from every unvisited vertex. *)
+val prim : Wgraph.t -> Wgraph.edge list
+
+(** [forest g] is the MSF of [g] as a graph on the same vertex set. *)
+val forest : Wgraph.t -> Wgraph.t
+
+(** [weight g] is the total weight of the MSF of [g]. *)
+val weight : Wgraph.t -> float

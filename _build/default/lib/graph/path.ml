@@ -1,0 +1,34 @@
+type t = int list
+
+let rec fold_pairs f acc = function
+  | a :: (b :: _ as rest) -> fold_pairs f (f acc a b) rest
+  | [ _ ] | [] -> acc
+
+let length g p =
+  fold_pairs
+    (fun acc u v ->
+      match Wgraph.weight g u v with
+      | Some w -> acc +. w
+      | None -> invalid_arg "Path.length: not a path of g")
+    0.0 p
+
+let hops p = max 0 (List.length p - 1)
+
+let is_valid g p =
+  match p with
+  | [] -> false
+  | [ v ] -> v >= 0 && v < Wgraph.n_vertices g
+  | _ -> (
+      try fold_pairs (fun acc u v -> acc && Wgraph.mem_edge g u v) true p
+      with Invalid_argument _ -> false)
+
+let is_simple p =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.add seen v ();
+        true
+      end)
+    p

@@ -1,0 +1,17 @@
+(** Vertex-sequence paths and their measures. *)
+
+type t = int list
+
+(** [length g p] is the total weight of path [p] in graph [g]. Raises
+    [Invalid_argument] if a consecutive pair is not an edge of [g]. *)
+val length : Wgraph.t -> t -> float
+
+(** [hops p] is the number of edges on [p]. *)
+val hops : t -> int
+
+(** [is_valid g p] tests that every consecutive pair of [p] is an edge
+    of [g]. The empty path is invalid; single vertices are valid. *)
+val is_valid : Wgraph.t -> t -> bool
+
+(** [is_simple p] tests that no vertex repeats. *)
+val is_simple : t -> bool

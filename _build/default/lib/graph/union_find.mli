@@ -1,0 +1,19 @@
+(** Disjoint-set forests with union by rank and path compression. *)
+
+type t
+
+(** [create n] is a partition of [{0, ..., n-1}] into singletons. *)
+val create : int -> t
+
+(** [find t x] is the canonical representative of [x]'s class. *)
+val find : t -> int -> int
+
+(** [union t x y] merges the classes of [x] and [y]; returns [true] iff
+    they were previously distinct. *)
+val union : t -> int -> int -> bool
+
+(** [same t x y] tests whether [x] and [y] are in the same class. *)
+val same : t -> int -> int -> bool
+
+(** [count t] is the current number of classes. *)
+val count : t -> int

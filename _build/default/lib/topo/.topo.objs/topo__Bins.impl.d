@@ -1,0 +1,1 @@
+lib/topo/bins.ml: Array Graph List Params

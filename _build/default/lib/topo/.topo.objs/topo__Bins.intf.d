@@ -1,0 +1,1 @@
+lib/topo/bins.mli: Graph Params

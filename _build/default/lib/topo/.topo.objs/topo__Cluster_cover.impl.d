@@ -1,0 +1,1 @@
+lib/topo/cluster_cover.ml: Array Graph Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/topo/cluster_cover.mli: Graph Hashtbl

@@ -1,0 +1,1 @@
+lib/topo/cluster_graph.ml: Array Cluster_cover Graph Hashtbl List Option Params

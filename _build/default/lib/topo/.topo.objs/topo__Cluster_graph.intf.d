@@ -1,0 +1,1 @@
+lib/topo/cluster_graph.mli: Cluster_cover Graph Params

@@ -1,0 +1,1 @@
+lib/topo/fault_tolerant.ml: Graph List

@@ -1,0 +1,1 @@
+lib/topo/params.mli: Format

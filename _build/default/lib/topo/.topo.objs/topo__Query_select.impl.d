@@ -1,0 +1,1 @@
+lib/topo/query_select.ml: Array Cluster_cover Graph Hashtbl List Option Params Ubg

@@ -1,0 +1,1 @@
+lib/topo/query_select.mli: Cluster_cover Graph Params Ubg

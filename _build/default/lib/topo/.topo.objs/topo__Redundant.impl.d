@@ -1,0 +1,1 @@
+lib/topo/redundant.ml: Array Cluster_graph Graph List Params

@@ -1,0 +1,1 @@
+lib/topo/redundant.mli: Cluster_graph Graph Params

@@ -1,0 +1,1 @@
+lib/topo/relaxed_greedy.ml: Array Bins Cluster_cover Cluster_graph Fun Geometry Graph Hashtbl List Logs Params Query_select Redundant Seq_greedy Ubg

@@ -1,0 +1,1 @@
+lib/topo/relaxed_greedy.mli: Bins Geometry Graph Params Ubg

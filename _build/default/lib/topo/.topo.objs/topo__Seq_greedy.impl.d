@@ -1,0 +1,1 @@
+lib/topo/seq_greedy.ml: Array Geometry Graph List

@@ -1,0 +1,1 @@
+lib/topo/seq_greedy.mli: Geometry Graph

@@ -1,0 +1,1 @@
+lib/topo/verify.ml: Array Graph Hashtbl List Option Params Printf Relaxed_greedy Ubg

@@ -1,0 +1,1 @@
+lib/topo/verify.mli: Graph Relaxed_greedy Ubg

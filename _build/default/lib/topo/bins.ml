@@ -1,0 +1,38 @@
+type t = { r : float; alpha : float; n : int; m : int }
+
+let make ~params ~n =
+  if n <= 0 then invalid_arg "Bins.make: n <= 0";
+  let r = params.Params.r and alpha = params.Params.alpha in
+  let m =
+    int_of_float (ceil (log (float_of_int n /. alpha) /. log r))
+  in
+  { r; alpha; n; m = max m 1 }
+
+let count b = b.m + 1
+
+let w b i =
+  if i < 0 || i > b.m then invalid_arg "Bins.w: index";
+  (b.r ** float_of_int i) *. b.alpha /. float_of_int b.n
+
+(* Walk the thresholds upward; m = O(log n) keeps this cheap and avoids
+   boundary misclassification from float logs. *)
+let index b len =
+  if len <= 0.0 || len > 1.0 +. 1e-12 then invalid_arg "Bins.index: length";
+  let rec go i threshold =
+    if len <= threshold || i = b.m then i
+    else go (i + 1) (threshold *. b.r)
+  in
+  go 0 (b.alpha /. float_of_int b.n)
+
+let interval b i =
+  if i < 0 || i > b.m then invalid_arg "Bins.interval: index";
+  if i = 0 then (0.0, w b 0) else (w b (i - 1), w b i)
+
+let partition b edges =
+  let out = Array.make (count b) [] in
+  List.iter
+    (fun (e : Graph.Wgraph.edge) ->
+      let i = index b e.w in
+      out.(i) <- e :: out.(i))
+    edges;
+  Array.map List.rev out

@@ -1,0 +1,113 @@
+module Wgraph = Graph.Wgraph
+module Dijkstra = Graph.Dijkstra
+
+type t = {
+  radius : float;
+  centers : int array;
+  center_of : int array;
+  dist_to_center : float array;
+  members : (int, int list) Hashtbl.t;
+}
+
+let pack ~radius ~centers ~center_of ~dist_to_center =
+  let members = Hashtbl.create (List.length centers) in
+  Array.iteri
+    (fun v c ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt members c) in
+      Hashtbl.replace members c (v :: cur))
+    center_of;
+  {
+    radius;
+    centers = Array.of_list (List.rev centers);
+    center_of;
+    dist_to_center;
+    members;
+  }
+
+let compute j ~radius =
+  if radius < 0.0 then invalid_arg "Cluster_cover.compute: radius < 0";
+  let n = Wgraph.n_vertices j in
+  let center_of = Array.make n (-1) in
+  let dist_to_center = Array.make n infinity in
+  let centers = ref [] in
+  for v = 0 to n - 1 do
+    if center_of.(v) = -1 then begin
+      centers := v :: !centers;
+      (* Claim every still-uncovered vertex within the radius ball; the
+         ball is measured in the full graph, per Section 2.2.1. *)
+      List.iter
+        (fun (x, d) ->
+          if center_of.(x) = -1 then begin
+            center_of.(x) <- v;
+            dist_to_center.(x) <- d
+          end)
+        (Dijkstra.within j v ~bound:radius)
+    end
+  done;
+  pack ~radius ~centers:!centers ~center_of ~dist_to_center
+
+let of_centers j ~radius ~centers =
+  if radius < 0.0 then invalid_arg "Cluster_cover.of_centers: radius < 0";
+  let n = Wgraph.n_vertices j in
+  let center_of = Array.make n (-1) in
+  let dist_to_center = Array.make n infinity in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (x, d) ->
+          let better =
+            d < dist_to_center.(x)
+            || (d = dist_to_center.(x) && c < center_of.(x))
+          in
+          if better then begin
+            center_of.(x) <- c;
+            dist_to_center.(x) <- d
+          end)
+        (Dijkstra.within j c ~bound:radius))
+    centers;
+  Array.iteri
+    (fun v c ->
+      if c = -1 then
+        invalid_arg
+          (Printf.sprintf "Cluster_cover.of_centers: vertex %d uncovered" v))
+    center_of;
+  pack ~radius ~centers:(List.rev centers) ~center_of ~dist_to_center
+
+let n_clusters ~c = Array.length c.centers
+
+let is_valid j c =
+  let n = Wgraph.n_vertices j in
+  let eps = 1e-9 in
+  let ok = ref (n = Array.length c.center_of) in
+  (* Coverage + radius + recorded distances are genuine sp values. *)
+  Array.iter
+    (fun center ->
+      let dist =
+        let table = Hashtbl.create 64 in
+        List.iter
+          (fun (x, d) -> Hashtbl.replace table x d)
+          (Dijkstra.within j center ~bound:c.radius);
+        table
+      in
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt dist v with
+          | Some d ->
+              if abs_float (d -. c.dist_to_center.(v)) > eps then ok := false
+          | None -> ok := false)
+        (Option.value ~default:[] (Hashtbl.find_opt c.members center)))
+    c.centers;
+  for v = 0 to n - 1 do
+    if c.center_of.(v) < 0 then ok := false;
+    if c.dist_to_center.(v) > c.radius +. eps then ok := false
+  done;
+  (* Center separation: no center inside another center's ball. *)
+  let center_set = Hashtbl.create 16 in
+  Array.iter (fun u -> Hashtbl.add center_set u ()) c.centers;
+  Array.iter
+    (fun u ->
+      List.iter
+        (fun (x, _) -> if x <> u && Hashtbl.mem center_set x then ok := false)
+        (Dijkstra.within j u ~bound:c.radius))
+    c.centers;
+  !ok

@@ -1,0 +1,69 @@
+module Wgraph = Graph.Wgraph
+module Dijkstra = Graph.Dijkstra
+
+type t = {
+  graph : Wgraph.t;
+  w_prev : float;
+  cover : Cluster_cover.t;
+  inter_degree : int array;
+}
+
+let build ~spanner ~cover ~w_prev =
+  if cover.Cluster_cover.radius > w_prev +. 1e-12 then
+    invalid_arg "Cluster_graph.build: cover radius exceeds W_{i-1}";
+  let n = Wgraph.n_vertices spanner in
+  let h = Wgraph.create n in
+  let inter_degree = Array.make n 0 in
+  (* Intra-cluster edges: center to every member, weighted by the true
+     sp distance recorded in the cover. *)
+  Array.iter
+    (fun a ->
+      List.iter
+        (fun x ->
+          if x <> a then
+            Wgraph.add_edge h a x cover.Cluster_cover.dist_to_center.(x))
+        (Option.value ~default:[]
+           (Hashtbl.find_opt cover.Cluster_cover.members a)))
+    cover.Cluster_cover.centers;
+  (* Cross-cluster spanner edges force inter-cluster edges (condition
+     (ii) of Section 2.2.3). *)
+  let crossing = Hashtbl.create 64 in
+  Wgraph.iter_edges spanner (fun u v _ ->
+      let a = cover.Cluster_cover.center_of.(u)
+      and b = cover.Cluster_cover.center_of.(v) in
+      if a <> b then Hashtbl.replace crossing (min a b, max a b) ());
+  let is_center = Array.make n false in
+  Array.iter (fun a -> is_center.(a) <- true) cover.Cluster_cover.centers;
+  (* One bounded Dijkstra per center reaches every qualifying partner:
+     condition (i) needs sp <= W, condition (ii) is bounded by
+     (2 delta + 1) W = W + 2 * radius (Lemma 5). *)
+  let reach = w_prev +. (2.0 *. cover.Cluster_cover.radius) +. 1e-12 in
+  Array.iter
+    (fun a ->
+      List.iter
+        (fun (b, d) ->
+          if b <> a && is_center.(b) && d > 0.0 then begin
+            let qualifies =
+              d <= w_prev +. 1e-12
+              || Hashtbl.mem crossing (min a b, max a b)
+            in
+            if qualifies && not (Wgraph.mem_edge h a b) then begin
+              Wgraph.add_edge h a b d;
+              inter_degree.(a) <- inter_degree.(a) + 1;
+              inter_degree.(b) <- inter_degree.(b) + 1
+            end
+          end)
+        (Dijkstra.within spanner a ~bound:reach))
+    cover.Cluster_cover.centers;
+  { graph = h; w_prev; cover; inter_degree }
+
+let sp_upto t ~max_hops x y ~bound =
+  Dijkstra.hop_bounded_distance t.graph x y ~max_hops ~bound
+
+let query t ~params ~x ~y ~len =
+  let budget = params.Params.t *. len in
+  let max_hops = Params.query_hop_limit params in
+  let d = sp_upto t ~max_hops x y ~bound:budget in
+  if d <= budget then `Short_path d else `No_path
+
+let max_inter_degree t = Array.fold_left max 0 t.inter_degree

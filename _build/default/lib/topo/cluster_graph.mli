@@ -1,0 +1,44 @@
+(** The Das–Narasimhan cluster graph [H_{i-1}] (paper Section 2.2.3).
+
+    Given the partial spanner [G'_{i-1}] and a cluster cover of radius
+    [delta * W_{i-1}], the cluster graph has the same vertex set,
+    an intra-cluster edge [{a, x}] for every member [x] of cluster
+    [C_a], and an inter-cluster edge [{a, b}] between centers such that
+    either [sp_{G'}(a, b) <= W_{i-1}] or some spanner edge crosses
+    between [C_a] and [C_b]. All cluster-edge weights are genuine
+    [sp_{G'}] distances, so path lengths in [H] dominate those in [G']
+    and approximate them within [(1+6delta)/(1-2delta)] (Lemma 7).
+
+    Shortest-path queries for bin-[i] edges are answered on [H] with a
+    hop budget of [2 + ceil (t r / delta)] (Lemma 8), which makes the
+    search exact for the accept/reject decision. *)
+
+type t = private {
+  graph : Graph.Wgraph.t;  (** H itself, on the spanner's vertex ids *)
+  w_prev : float;  (** the bin threshold [W_{i-1}] *)
+  cover : Cluster_cover.t;
+  inter_degree : int array;  (** center -> number of inter-cluster edges *)
+}
+
+(** [build ~spanner ~cover ~w_prev] constructs [H] from [G' = spanner]
+    and a cover of radius [<= w_prev]. *)
+val build :
+  spanner:Graph.Wgraph.t -> cover:Cluster_cover.t -> w_prev:float -> t
+
+(** [query h ~params ~x ~y ~len] decides a bin edge's fate:
+    [`Short_path d] when [H] has an [x]-[y] path of length [d <= t *
+    len] within the Lemma 8 hop budget (the edge is skipped), or
+    [`No_path] (the edge joins the spanner). *)
+val query :
+  t -> params:Params.t -> x:int -> y:int -> len:float ->
+  [ `Short_path of float | `No_path ]
+
+(** [sp_upto h ~max_hops x y ~bound] is the length of a shortest
+    [<= max_hops]-hop [x]-[y] path in [H] of length [<= bound],
+    [infinity] if none; the primitive behind {!query} and the
+    redundancy conditions of Section 2.2.5. *)
+val sp_upto : t -> max_hops:int -> int -> int -> bound:float -> float
+
+(** [max_inter_degree h] is the largest number of inter-cluster edges
+    at any center — the quantity Lemma 6 bounds by a constant. *)
+val max_inter_degree : t -> int

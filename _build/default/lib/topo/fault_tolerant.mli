@@ -1,0 +1,55 @@
+(** k-edge-fault-tolerant greedy spanners (paper Section 1.6.1).
+
+    The paper notes that the ideas of Czumaj and Zhao [2] extend the
+    algorithm to k-vertex/k-edge fault tolerance, without giving
+    details. We reproduce the sequential greedy variant: edges are
+    scanned in nondecreasing weight order and [{u, v}] is skipped only
+    when the partial spanner already carries [k + 1] pairwise
+    edge-disjoint [u]-[v] paths, each of length at most [t * w(u, v)]
+    (found greedily by repeated shortest-path extraction — a standard
+    constructive sufficient check; with [k = 0] this is exactly
+    [SEQ-GREEDY]). After any [k] edge faults at least one certified
+    path survives for every skipped edge, and surviving paths compose,
+    so the survivor graph t-spans the faulted input (experiment E12
+    measures this empirically). *)
+
+(** [spanner g ~t ~k] is the k-edge-fault-tolerant greedy t-spanner of
+    [g]. Requires [t >= 1] and [k >= 0]. *)
+val spanner : Graph.Wgraph.t -> t:float -> k:int -> Graph.Wgraph.t
+
+(** [vertex_spanner g ~t ~k] is the k-{e vertex}-fault-tolerant
+    variant: an edge [{u, v}] is skipped only when the partial spanner
+    already carries [k + 1] internally vertex-disjoint [u]-[v] paths of
+    length at most [t * w(u, v)] (greedy extraction removing interior
+    vertices instead of edges). After any [k] vertex failures (not
+    involving [u] or [v]) a certified path survives. *)
+val vertex_spanner : Graph.Wgraph.t -> t:float -> k:int -> Graph.Wgraph.t
+
+(** [vertex_disjoint_short_paths g ~u ~v ~budget ~want] greedily
+    extracts up to [want] internally vertex-disjoint [u]-[v] paths of
+    length [<= budget]; returns the number found. *)
+val vertex_disjoint_short_paths :
+  Graph.Wgraph.t -> u:int -> v:int -> budget:float -> want:int -> int
+
+(** [stretch_under_vertex_faults ~base ~spanner ~faults] removes the
+    vertex list [faults] (with all incident edges) from both graphs and
+    returns the edge stretch of the survivor spanner against the
+    survivor base. *)
+val stretch_under_vertex_faults :
+  base:Graph.Wgraph.t -> spanner:Graph.Wgraph.t -> faults:int list -> float
+
+(** [disjoint_short_paths g ~u ~v ~budget ~want] greedily extracts up to
+    [want] edge-disjoint [u]-[v] paths of length [<= budget] from a
+    scratch copy of [g]; returns the number found. Exposed for tests. *)
+val disjoint_short_paths :
+  Graph.Wgraph.t -> u:int -> v:int -> budget:float -> want:int -> int
+
+(** [stretch_under_faults ~base ~spanner ~faults] removes the edge list
+    [faults] from both graphs and returns the edge stretch of the
+    faulted spanner w.r.t. the faulted base (infinity when the fault
+    disconnects a base-connected pair). *)
+val stretch_under_faults :
+  base:Graph.Wgraph.t ->
+  spanner:Graph.Wgraph.t ->
+  faults:(int * int) list ->
+  float

@@ -1,0 +1,89 @@
+type t = {
+  t : float;
+  t1 : float;
+  delta : float;
+  r : float;
+  theta : float;
+  alpha : float;
+  dim : int;
+}
+
+let t_delta p = p.t1 *. (1.0 -. (2.0 *. p.delta)) /. (1.0 +. (6.0 *. p.delta))
+
+let max_theta ~t =
+  if t <= 1.0 then invalid_arg "Params.max_theta: t <= 1";
+  (* 1/(cos x - sin x) increases from 1 to infinity on [0, pi/4); find
+     the largest x with value <= t by bisection. *)
+  let value x = 1.0 /. (cos x -. sin x) in
+  let lo = ref 0.0 and hi = ref (Float.pi /. 4.0) in
+  for _ = 1 to 80 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if value mid <= t then lo := mid else hi := mid
+  done;
+  !lo
+
+let validate p =
+  let check cond msg = if cond then Ok () else Error msg in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let* () = check (p.t > 1.0) "t <= 1" in
+  let* () = check (p.alpha > 0.0 && p.alpha <= 1.0) "alpha out of (0, 1]" in
+  let* () = check (p.dim >= 2) "dim < 2" in
+  let* () = check (p.t1 > 1.0 && p.t1 < p.t) "t1 out of (1, t)" in
+  let* () =
+    check
+      (p.theta > 0.0 && p.theta < Float.pi /. 4.0
+      && p.t >= 1.0 /. (cos p.theta -. sin p.theta))
+      "theta violates Lemma 3 preconditions"
+  in
+  let* () =
+    check
+      (p.delta > 0.0
+      && p.delta < (p.t -. 1.0) /. (6.0 +. (2.0 *. p.t))
+      && p.delta <= (p.t -. p.t1) /. 4.0)
+      "delta violates Theorems 10/13 bounds"
+  in
+  let* () = check (t_delta p > 1.0) "t_delta <= 1 (delta too large for t1)" in
+  let* () =
+    check
+      (p.r > 1.0 && p.r < (t_delta p +. 1.0) /. 2.0 && p.r < 2.0)
+      "r out of (1, min((t_delta+1)/2, 2))"
+  in
+  Ok ()
+
+let make ?t1 ?delta ?r ?theta ~t ~alpha ~dim () =
+  if t <= 1.0 then invalid_arg "Params.make: t <= 1";
+  let t1 = match t1 with Some v -> v | None -> 1.0 +. ((t -. 1.0) /. 2.0) in
+  let delta =
+    match delta with
+    | Some v -> v
+    | None ->
+        let b1 = (t -. 1.0) /. (6.0 +. (2.0 *. t))
+        and b2 = (t -. t1) /. 4.0
+        and b3 = (t1 -. 1.0) /. (6.0 +. (2.0 *. t1)) in
+        0.5 *. min b1 (min b2 b3)
+  in
+  let theta = match theta with Some v -> v | None -> max_theta ~t in
+  let partial = { t; t1; delta; r = 1.5; theta; alpha; dim } in
+  let r =
+    match r with
+    | Some v -> v
+    | None ->
+        let cap = min ((t_delta partial +. 1.0) /. 2.0) 2.0 in
+        1.0 +. (0.5 *. (cap -. 1.0))
+  in
+  let p = { t; t1; delta; r; theta; alpha; dim } in
+  match validate p with
+  | Ok () -> p
+  | Error msg -> invalid_arg ("Params.make: " ^ msg)
+
+let of_epsilon ~eps ~alpha ~dim = make ~t:(1.0 +. eps) ~alpha ~dim ()
+
+let query_hop_limit p = 2 + int_of_float (ceil (p.t *. p.r /. p.delta))
+
+let gather_hop_limit p =
+  int_of_float (ceil (2.0 *. ((2.0 *. p.delta) +. 1.0) /. p.alpha))
+
+let pp ppf p =
+  Format.fprintf ppf
+    "{t=%g; t1=%g; delta=%g; r=%g; theta=%g; alpha=%g; dim=%d}" p.t p.t1
+    p.delta p.r p.theta p.alpha p.dim

@@ -1,0 +1,62 @@
+(** The parameter regime of the relaxed greedy algorithm.
+
+    Sections 2.2 and 2.3 of the paper constrain five interdependent
+    constants; this module is the single source of truth that derives a
+    valid assignment from the target stretch [t = 1 + ε] and checks every
+    published inequality:
+
+    - [theta]: cone half-angle with [0 < theta < pi/4] and
+      [t >= 1 / (cos theta - sin theta)] (Lemma 3, Czumaj–Zhao);
+    - [t1]: redundancy threshold with [1 < t1 < t] (Section 2.2.5);
+    - [delta]: cluster radius factor with
+      [0 < delta < min ((t-1)/(6+2t)) ((t-t1)/4)] (Theorems 10, 13) and
+      additionally [delta < (t1-1)/(6+2t1)] so that
+      [t_delta = t1 (1-2delta)/(1+6delta) > 1];
+    - [r]: bin growth factor with [1 < r < (t_delta+1)/2] (Theorem 13),
+      further capped below 2 so that a legal [t2 > 1] exists in
+      inequality (7) of the paper. *)
+
+type t = private {
+  t : float;  (** target stretch factor, > 1 *)
+  t1 : float;  (** redundancy threshold, 1 < t1 < t *)
+  delta : float;  (** cluster radius is delta * W_{i-1} *)
+  r : float;  (** geometric bin growth factor *)
+  theta : float;  (** covered-edge cone angle *)
+  alpha : float;  (** α-UBG parameter of the input *)
+  dim : int;  (** ambient dimension *)
+}
+
+(** [make ~t ~alpha ~dim ()] derives a valid parameter assignment for
+    target stretch [t]. Optional arguments override individual
+    parameters; overrides are validated and [Invalid_argument] is raised
+    on any violated constraint. *)
+val make :
+  ?t1:float -> ?delta:float -> ?r:float -> ?theta:float ->
+  t:float -> alpha:float -> dim:int -> unit -> t
+
+(** [of_epsilon ~eps ~alpha ~dim] is [make ~t:(1 +. eps) ~alpha ~dim ()]. *)
+val of_epsilon : eps:float -> alpha:float -> dim:int -> t
+
+(** [t_delta p] is [t1 (1 - 2 delta) / (1 + 6 delta)], the effective
+    threshold used to bound [r] (Theorem 13). *)
+val t_delta : t -> float
+
+(** [validate p] re-checks every constraint, returning a description of
+    the first violation if any. *)
+val validate : t -> (unit, string) result
+
+(** [max_theta ~t] is the largest [theta < pi/4] with
+    [1 / (cos theta - sin theta) <= t], found by bisection; raises
+    [Invalid_argument] when [t <= 1]. *)
+val max_theta : t:float -> float
+
+(** [query_hop_limit p] is [2 + ceil (t r / delta)], the hop budget that
+    makes cluster-graph queries exact (Lemma 8). *)
+val query_hop_limit : t -> int
+
+(** [gather_hop_limit p] is [ceil (2 (2 delta + 1) / alpha)], the
+    constant number of hops a node must gather in the distributed
+    implementation (Theorem 9). *)
+val gather_hop_limit : t -> int
+
+val pp : Format.formatter -> t -> unit

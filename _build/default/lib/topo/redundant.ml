@@ -1,0 +1,81 @@
+module Wgraph = Graph.Wgraph
+
+type result = {
+  kept : Wgraph.edge list;
+  removed : Wgraph.edge list;
+  n_conflict_nodes : int;
+  n_conflict_edges : int;
+}
+
+let sp h ~max_hops x y ~bound = Cluster_graph.sp_upto h ~max_hops x y ~bound
+
+(* Conditions (i) and (ii) for one fixed endpoint pairing
+   (u <-> u', v <-> v'). *)
+let redundant_oriented ~h ~max_hops ~t1 (e1 : Wgraph.edge) (e2 : Wgraph.edge) =
+  let b1 = (t1 *. e1.w) -. e2.w and b2 = (t1 *. e2.w) -. e1.w in
+  b1 >= 0.0 && b2 >= 0.0
+  &&
+  let duu = sp h ~max_hops e1.u e2.u ~bound:b1 in
+  duu < infinity
+  &&
+  let dvv = sp h ~max_hops e1.v e2.v ~bound:b1 in
+  duu +. e2.w +. dvv <= t1 *. e1.w && duu +. e1.w +. dvv <= t1 *. e2.w
+
+let swap (e : Wgraph.edge) = { e with Wgraph.u = e.v; v = e.u }
+
+let mutually_redundant ?max_hops ~h ~params (e1 : Wgraph.edge)
+    (e2 : Wgraph.edge) =
+  let t1 = params.Params.t1 in
+  let max_hops =
+    match max_hops with Some k -> k | None -> Params.query_hop_limit params
+  in
+  redundant_oriented ~h ~max_hops ~t1 e1 e2
+  || redundant_oriented ~h ~max_hops ~t1 e1 (swap e2)
+
+let d_j ~h ~max_hops ~bound (e1 : Wgraph.edge) (e2 : Wgraph.edge) =
+  let d x y = sp h ~max_hops x y ~bound in
+  min (d e1.u e2.u +. d e1.v e2.v) (d e1.u e2.v +. d e1.v e2.u)
+
+let conflict_graph ?max_hops ~h ~params edges =
+  let k = Array.length edges in
+  let j_graph = Graph.Wgraph.create k in
+  (* Pair scan; phases add few edges and the weight precondition inside
+     redundant_oriented rejects far pairs before any sp_H search. *)
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      if mutually_redundant ?max_hops ~h ~params edges.(i) edges.(j) then
+        Graph.Wgraph.add_edge j_graph i j 1.0
+    done
+  done;
+  j_graph
+
+let filter ?max_hops ~h ~params added =
+  let edges = Array.of_list added in
+  let k = Array.length edges in
+  let j_graph = conflict_graph ?max_hops ~h ~params edges in
+  let n_conflict_edges = Graph.Wgraph.n_edges j_graph in
+  let adj = Array.init k (fun i -> List.map fst (Graph.Wgraph.neighbors j_graph i)) in
+  let n_conflict_edges = ref n_conflict_edges in
+  (* Greedy MIS over conflict nodes in index order. *)
+  let in_mis = Array.make k true in
+  let conflicted = Array.make k false in
+  for i = 0 to k - 1 do
+    if adj.(i) <> [] then conflicted.(i) <- true
+  done;
+  for i = 0 to k - 1 do
+    if conflicted.(i) && in_mis.(i) then
+      List.iter (fun j -> if j > i then in_mis.(j) <- false) adj.(i)
+  done;
+  let kept = ref [] and removed = ref [] in
+  let n_conflict_nodes = ref 0 in
+  for i = k - 1 downto 0 do
+    if conflicted.(i) then incr n_conflict_nodes;
+    if in_mis.(i) then kept := edges.(i) :: !kept
+    else removed := edges.(i) :: !removed
+  done;
+  {
+    kept = !kept;
+    removed = !removed;
+    n_conflict_nodes = !n_conflict_nodes;
+    n_conflict_edges = !n_conflict_edges;
+  }

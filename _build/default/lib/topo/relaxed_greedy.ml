@@ -1,0 +1,262 @@
+module Wgraph = Graph.Wgraph
+module Model = Ubg.Model
+
+type phase_stats = {
+  phase : int;
+  w_prev : float;
+  n_bin_edges : int;
+  n_covered : int;
+  n_candidates : int;
+  n_query : int;
+  n_added : int;
+  n_removed : int;
+  n_clusters : int;
+  max_queries_per_cluster : int;
+  max_inter_degree : int;
+}
+
+type result = {
+  spanner : Wgraph.t;
+  params : Params.t;
+  bins : Bins.t;
+  stats : phase_stats list;
+}
+
+let log_src = Logs.Src.create "topo.relaxed_greedy" ~doc:"relaxed greedy spanner"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Phase 0, PROCESS-SHORT-EDGES: connected components of the short-edge
+   graph induce cliques in G (Lemma 1); run SEQ-GREEDY inside each. *)
+let process_short_edges ~model ~metric ~params ~bin_edges ~spanner =
+  let n = Model.n model in
+  let g0 = Wgraph.create n in
+  List.iter (fun (e : Wgraph.edge) -> Wgraph.add_edge g0 e.u e.v e.w) bin_edges;
+  let before = Wgraph.n_edges spanner in
+  List.iter
+    (fun members ->
+      match members with
+      | [] | [ _ ] -> ()
+      | _ ->
+          Seq_greedy.clique_spanner ~points:model.Model.points ~members ~metric
+            ~t:params.Params.t ~into:spanner)
+    (Graph.Components.groups g0);
+  {
+    phase = 0;
+    w_prev = 0.0;
+    n_bin_edges = List.length bin_edges;
+    n_covered = 0;
+    n_candidates = List.length bin_edges;
+    n_query = List.length bin_edges;
+    n_added = Wgraph.n_edges spanner - before;
+    n_removed = 0;
+    n_clusters = 0;
+    max_queries_per_cluster = 0;
+    max_inter_degree = 0;
+  }
+
+(* Phase i >= 1, PROCESS-LONG-EDGES, five steps of Section 2.2. Bin
+   edges carry Euclidean lengths; [phi] maps lengths into the spanner's
+   weight space. Pure with respect to [spanner]: returns the surviving
+   additions instead of inserting them. *)
+let phase_core ~model ~params ~phi ~phase ~w_prev_len ~w_len ~bin_edges
+    ~spanner =
+  let w_prev = phi w_prev_len in
+  let radius = params.Params.delta *. w_prev in
+  (* Step (i): cluster cover of radius delta * W_{i-1}. *)
+  let cover = Cluster_cover.compute spanner ~radius in
+  (* Step (ii): covered-edge filter + one query edge per cluster pair. *)
+  let selection =
+    Query_select.select ~weight_of_len:phi ~model ~spanner ~cover ~params
+      bin_edges
+  in
+  (* Step (iii): the cluster graph H_{i-1}. *)
+  let h = Cluster_graph.build ~spanner ~cover ~w_prev in
+  (* Step (iv): answer every query on the frozen H (lazy update: the
+     spanner is only touched after all queries are answered). *)
+  let ratio = phi w_len /. w_prev in
+  let max_hops =
+    2 + int_of_float (ceil (params.Params.t *. ratio /. params.Params.delta))
+  in
+  let added =
+    List.filter_map
+      (fun (e : Wgraph.edge) ->
+        let len_w = phi e.w in
+        let budget = params.Params.t *. len_w in
+        let d = Cluster_graph.sp_upto h ~max_hops e.u e.v ~bound:budget in
+        if d <= budget then None else Some { e with Wgraph.w = len_w })
+      selection.Query_select.query_edges
+  in
+  (* Step (v): strip mutually redundant additions via an MIS of the
+     conflict graph. *)
+  let redundancy = Redundant.filter ~max_hops ~h ~params added in
+  let stats =
+    {
+      phase;
+      w_prev = w_prev_len;
+      n_bin_edges = selection.Query_select.n_bin_edges;
+      n_covered = selection.Query_select.n_covered;
+      n_candidates = selection.Query_select.n_candidates;
+      n_query = List.length selection.Query_select.query_edges;
+      n_added = 0 (* filled by the caller after insertion *);
+      n_removed = List.length redundancy.Redundant.removed;
+      n_clusters = Cluster_cover.n_clusters ~c:cover;
+      max_queries_per_cluster = selection.Query_select.max_queries_per_cluster;
+      max_inter_degree = Cluster_graph.max_inter_degree h;
+    }
+  in
+  (redundancy.Redundant.kept, stats)
+
+let insert_kept ~spanner kept stats =
+  let n_added = ref 0 in
+  List.iter
+    (fun (e : Wgraph.edge) ->
+      if not (Wgraph.mem_edge spanner e.u e.v) then begin
+        Wgraph.add_edge spanner e.u e.v e.w;
+        incr n_added
+      end)
+    kept;
+  { stats with n_added = !n_added }
+
+let process_long_edges ~model ~params ~phi ~phase ~w_prev_len ~w_len
+    ~bin_edges ~spanner =
+  let kept, stats =
+    phase_core ~model ~params ~phi ~phase ~w_prev_len ~w_len ~bin_edges
+      ~spanner
+  in
+  insert_kept ~spanner kept stats
+
+(* Locality-optimized phase (DESIGN.md S4, mirroring Section 3's local
+   computation): everything a phase can possibly consult — t-spanner
+   paths for its queries, the clusters along them, the inter-cluster
+   Dijkstra reach — lies within Euclidean distance (t + 3) W_i of some
+   bin-edge endpoint, so the five steps run on the induced sub-instance
+   of that region only. Euclidean weights only (path weight bounds
+   Euclidean displacement). *)
+let process_long_edges_local ~model ~tree ~params ~phase ~w_prev_len ~w_len
+    ~bin_edges ~spanner =
+  let reach = (params.Params.t +. 3.0) *. w_len in
+  let n = Model.n model in
+  let in_region = Array.make n false in
+  List.iter
+    (fun (e : Wgraph.edge) ->
+      List.iter
+        (fun v ->
+          List.iter
+            (fun x -> in_region.(x) <- true)
+            (Geometry.Kdtree.range tree
+               ~center:model.Model.points.(v)
+               ~radius:reach))
+        [ e.u; e.v ])
+    bin_edges;
+  let region = ref [] in
+  for v = n - 1 downto 0 do
+    if in_region.(v) then region := v :: !region
+  done;
+  let region = Array.of_list !region in
+  let local_of = Hashtbl.create (Array.length region) in
+  Array.iteri (fun i v -> Hashtbl.add local_of v i) region;
+  (* Induced sub-instance: a valid α-UBG because short pairs inside the
+     region keep their edges. *)
+  let sub_points = Array.map (fun v -> model.Model.points.(v)) region in
+  let sub_graph = Wgraph.create (Array.length region) in
+  Array.iteri
+    (fun i v ->
+      Wgraph.iter_neighbors model.Model.graph v (fun u w ->
+          match Hashtbl.find_opt local_of u with
+          | Some j when i < j -> Wgraph.add_edge sub_graph i j w
+          | Some _ | None -> ()))
+    region;
+  let sub_model = Model.make ~alpha:model.Model.alpha sub_points sub_graph in
+  let sub_spanner = Wgraph.create (Array.length region) in
+  Array.iteri
+    (fun i v ->
+      Wgraph.iter_neighbors spanner v (fun u w ->
+          match Hashtbl.find_opt local_of u with
+          | Some j when i < j -> Wgraph.add_edge sub_spanner i j w
+          | Some _ | None -> ()))
+    region;
+  let sub_bin =
+    List.map
+      (fun (e : Wgraph.edge) ->
+        {
+          Wgraph.u = Hashtbl.find local_of e.u;
+          v = Hashtbl.find local_of e.v;
+          w = e.w;
+        })
+      bin_edges
+  in
+  let kept, stats =
+    phase_core ~model:sub_model ~params ~phi:Fun.id ~phase ~w_prev_len ~w_len
+      ~bin_edges:sub_bin ~spanner:sub_spanner
+  in
+  let kept_global =
+    List.map
+      (fun (e : Wgraph.edge) ->
+        { e with Wgraph.u = region.(e.u); v = region.(e.v) })
+      kept
+  in
+  insert_kept ~spanner kept_global stats
+
+let build ?(metric = Geometry.Metric.Euclidean) ?(mode = `Auto)
+    ?(observer = fun ~phase:_ ~spanner:_ -> ()) ~params model =
+  Geometry.Metric.validate metric;
+  if abs_float (params.Params.alpha -. model.Model.alpha) > 1e-12 then
+    invalid_arg "Relaxed_greedy.build: params/model alpha mismatch";
+  if params.Params.dim <> Model.dim model then
+    invalid_arg "Relaxed_greedy.build: params/model dimension mismatch";
+  let local =
+    match (mode, metric) with
+    | `Global, _ -> false
+    | `Local, Geometry.Metric.Euclidean -> true
+    | `Local, Geometry.Metric.Energy _ ->
+        invalid_arg "Relaxed_greedy.build: local mode needs Euclidean weights"
+    | `Auto, Geometry.Metric.Euclidean -> true
+    | `Auto, Geometry.Metric.Energy _ -> false
+  in
+  let phi = Geometry.Metric.of_distance metric in
+  let n = Model.n model in
+  let bins = Bins.make ~params ~n in
+  let binned = Bins.partition bins (Wgraph.edges model.Model.graph) in
+  let spanner = Wgraph.create n in
+  let tree =
+    if local then Some (Geometry.Kdtree.build model.Model.points) else None
+  in
+  let stats = ref [] in
+  let push s =
+    Log.debug (fun m ->
+        m "phase %d: |E_i|=%d covered=%d query=%d added=%d removed=%d" s.phase
+          s.n_bin_edges s.n_covered s.n_query s.n_added s.n_removed);
+    stats := s :: !stats
+  in
+  push
+    (process_short_edges ~model ~metric ~params ~bin_edges:binned.(0) ~spanner);
+  observer ~phase:0 ~spanner;
+  for i = 1 to bins.Bins.m do
+    if binned.(i) <> [] then begin
+      let w_prev_len = Bins.w bins (i - 1) and w_len = Bins.w bins i in
+      let s =
+        match tree with
+        | Some tree ->
+            process_long_edges_local ~model ~tree ~params ~phase:i ~w_prev_len
+              ~w_len ~bin_edges:binned.(i) ~spanner
+        | None ->
+            process_long_edges ~model ~params ~phi ~phase:i ~w_prev_len ~w_len
+              ~bin_edges:binned.(i) ~spanner
+      in
+      push s;
+      observer ~phase:i ~spanner
+    end
+  done;
+  { spanner; params; bins; stats = List.rev !stats }
+
+let build_eps ?metric ?mode ~eps model =
+  let params =
+    Params.of_epsilon ~eps ~alpha:model.Model.alpha ~dim:(Model.dim model)
+  in
+  build ?metric ?mode ~params model
+
+let total_added stats = List.fold_left (fun acc s -> acc + s.n_added) 0 stats
+
+let total_removed stats =
+  List.fold_left (fun acc s -> acc + s.n_removed) 0 stats

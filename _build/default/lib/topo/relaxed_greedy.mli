@@ -1,0 +1,76 @@
+(** The sequential relaxed greedy spanner — the paper's core algorithm
+    (Section 2).
+
+    The edge set of the input α-UBG is split into the geometric bins of
+    {!Bins}; phase 0 runs [SEQ-GREEDY] inside the short-edge cliques
+    (Section 2.1, [PROCESS-SHORT-EDGES]); each later phase [i] runs the
+    five steps of [PROCESS-LONG-EDGES] (Section 2.2): cluster cover,
+    query-edge selection, cluster graph, query answering, redundancy
+    removal. For valid {!Params} the output is a [t]-spanner of
+    constant degree and weight [O(w(MST))] (Theorems 10, 11, 13).
+
+    Edge weights may be transformed by a monotone {!Geometry.Metric}
+    (the Section 1.6.2 energy extension): phases remain keyed by
+    Euclidean length while path-length comparisons happen in weight
+    space. *)
+
+type phase_stats = {
+  phase : int;  (** bin index *)
+  w_prev : float;  (** [W_{i-1}] (0 for phase 0) *)
+  n_bin_edges : int;
+  n_covered : int;
+  n_candidates : int;
+  n_query : int;  (** query edges after per-cluster-pair selection *)
+  n_added : int;  (** edges that joined the spanner this phase *)
+  n_removed : int;  (** edges removed as redundant *)
+  n_clusters : int;  (** 0 for phase 0 *)
+  max_queries_per_cluster : int;  (** Lemma 4 quantity *)
+  max_inter_degree : int;  (** Lemma 6 quantity *)
+}
+
+type result = {
+  spanner : Graph.Wgraph.t;  (** G', weighted like the chosen metric *)
+  params : Params.t;
+  bins : Bins.t;
+  stats : phase_stats list;  (** one per nonempty phase, phase order *)
+}
+
+(** [build ?metric ?mode ~params model] runs the algorithm on [model].
+    The params' [alpha]/[dim] must match the model. Default metric:
+    Euclidean.
+
+    [mode] selects the phase engine: [`Global] runs every phase over
+    the whole graph (the literal Section 2 formulation); [`Local]
+    restricts each phase to the Euclidean neighborhood that its bin
+    can possibly consult — the sequential mirror of Section 3's local
+    computation, asymptotically faster on large instances and
+    Euclidean-only; [`Auto] (default) picks [`Local] when the metric
+    allows it. Both engines produce outputs with the same three
+    guarantees (they may differ in which equivalent edges they keep).
+
+    [observer], when given, is invoked after every executed phase with
+    the phase index and a read-only view of the partial spanner [G'_i];
+    the test suite uses it to check the Theorem 10 induction invariant
+    phase by phase. The spanner must not be mutated from the callback. *)
+val build :
+  ?metric:Geometry.Metric.t ->
+  ?mode:[ `Auto | `Global | `Local ] ->
+  ?observer:(phase:int -> spanner:Graph.Wgraph.t -> unit) ->
+  params:Params.t ->
+  Ubg.Model.t ->
+  result
+
+(** [build_eps ?metric ?mode ~eps model] derives params via
+    {!Params.of_epsilon} from the model's own alpha and dimension. *)
+val build_eps :
+  ?metric:Geometry.Metric.t ->
+  ?mode:[ `Auto | `Global | `Local ] ->
+  eps:float ->
+  Ubg.Model.t ->
+  result
+
+(** [total_added stats] and [total_removed stats] fold the per-phase
+    counters. *)
+val total_added : phase_stats list -> int
+
+val total_removed : phase_stats list -> int

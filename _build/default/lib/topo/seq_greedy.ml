@@ -1,0 +1,44 @@
+module Wgraph = Graph.Wgraph
+module Dijkstra = Graph.Dijkstra
+
+let process_sorted_edges edges ~t ~into =
+  List.iter
+    (fun (e : Wgraph.edge) ->
+      let budget = t *. e.w in
+      let d = Dijkstra.distance_upto into e.u e.v ~bound:budget in
+      if d > budget then Wgraph.add_edge into e.u e.v e.w)
+    edges;
+  into
+
+let sorted_edges g =
+  List.sort (fun (a : Wgraph.edge) b -> compare (a.w, a.u, a.v) (b.w, b.u, b.v))
+    (Wgraph.edges g)
+
+let spanner_into g ~t ~into =
+  if t < 1.0 then invalid_arg "Seq_greedy: t < 1";
+  if Wgraph.n_vertices into <> Wgraph.n_vertices g then
+    invalid_arg "Seq_greedy.spanner_into: vertex set mismatch";
+  process_sorted_edges (sorted_edges g) ~t ~into
+
+let spanner g ~t = spanner_into g ~t ~into:(Wgraph.create (Wgraph.n_vertices g))
+
+let clique_spanner ~points ~members ~metric ~t ~into =
+  if t < 1.0 then invalid_arg "Seq_greedy.clique_spanner: t < 1";
+  let edges = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | u :: rest ->
+        List.iter
+          (fun v ->
+            let w = Geometry.Metric.weight metric points.(u) points.(v) in
+            if w > 0.0 then edges := { Wgraph.u; v; w } :: !edges)
+          rest;
+        pairs rest
+  in
+  pairs members;
+  let sorted =
+    List.sort
+      (fun (a : Wgraph.edge) b -> compare (a.w, a.u, a.v) (b.w, b.u, b.v))
+      !edges
+  in
+  ignore (process_sorted_edges sorted ~t ~into)

@@ -1,0 +1,33 @@
+(** The classical greedy spanner, [SEQ-GREEDY] (paper Section 1.4).
+
+    Edges are examined in nondecreasing weight order; an edge is kept
+    iff the partial spanner does not already contain a path of length at
+    most [t] times its weight. Used three ways in this repository: as
+    the processing rule for the short-edge cliques of phase 0
+    (Section 2.1), as the quality baseline for experiment E8, and as the
+    reference implementation the relaxed algorithm is tested against. *)
+
+(** [spanner g ~t] is the greedy [t]-spanner of the weighted graph [g].
+    Requires [t >= 1]. Runs one bounded Dijkstra per edge —
+    [O(m (n log n + m))] worst case; intended for inputs that fit in
+    memory, not for the distributed path. *)
+val spanner : Graph.Wgraph.t -> t:float -> Graph.Wgraph.t
+
+(** [spanner_into g ~t ~into] is [spanner] but starting from the partial
+    spanner [into] (mutated in place and returned): an edge is kept iff
+    [into] has no sufficiently short path at the time it is examined.
+    [into] must be on the same vertex set. Phase 0 uses this to build
+    per-clique spanners into one shared output graph. *)
+val spanner_into : Graph.Wgraph.t -> t:float -> into:Graph.Wgraph.t -> Graph.Wgraph.t
+
+(** [clique_spanner ~points ~members ~metric ~t ~into] runs greedy on
+    the complete graph over the point subset [members] (vertex ids into
+    [points]), weighting edges by [metric]; kept edges are added to
+    [into]. This is exactly step (ii) of [PROCESS-SHORT-EDGES]. *)
+val clique_spanner :
+  points:Geometry.Point.t array ->
+  members:int list ->
+  metric:Geometry.Metric.t ->
+  t:float ->
+  into:Graph.Wgraph.t ->
+  unit

@@ -1,0 +1,44 @@
+module Wgraph = Graph.Wgraph
+
+let edge_stretch ~base ~spanner =
+  if Wgraph.n_vertices base <> Wgraph.n_vertices spanner then
+    invalid_arg "Verify.edge_stretch: vertex set mismatch";
+  let worst = ref 1.0 in
+  (* Group queries by source so each vertex costs one Dijkstra. *)
+  let by_src = Hashtbl.create 64 in
+  Wgraph.iter_edges base (fun u v w ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_src u) in
+      Hashtbl.replace by_src u ((v, w) :: cur));
+  Hashtbl.iter
+    (fun u targets ->
+      let dist = Graph.Dijkstra.distances spanner u in
+      List.iter
+        (fun (v, w) ->
+          let r = dist.(v) /. w in
+          if r > !worst then worst := r)
+        targets)
+    by_src;
+  !worst
+
+let is_t_spanner ~base ~spanner ~t = edge_stretch ~base ~spanner <= t +. 1e-9
+
+let exact_stretch ~base ~spanner =
+  Graph.Apsp.max_ratio
+    ~num:(Graph.Apsp.dijkstra_all spanner)
+    ~den:(Graph.Apsp.dijkstra_all base)
+
+let check (result : Relaxed_greedy.result) ~model =
+  let spanner = result.Relaxed_greedy.spanner in
+  let base = model.Ubg.Model.graph in
+  Wgraph.iter_edges spanner (fun u v _ ->
+      if not (Wgraph.mem_edge base u v) then
+        failwith
+          (Printf.sprintf "Verify.check: spanner edge {%d,%d} not in input" u v));
+  (* Stretch is measured in the weight space the spanner was built in;
+     on a Euclidean build the model graph is that space. *)
+  let stretch = edge_stretch ~base ~spanner in
+  let t = result.Relaxed_greedy.params.Params.t in
+  if stretch > t +. 1e-9 then
+    failwith (Printf.sprintf "Verify.check: stretch %g exceeds t = %g" stretch t);
+  let ratio = Wgraph.total_weight spanner /. Graph.Mst.weight base in
+  (stretch, Wgraph.max_degree spanner, ratio)

@@ -1,0 +1,1 @@
+lib/ubg/generator.ml: Array Float Geometry Graph Gray_zone Model Printf Random

@@ -1,0 +1,1 @@
+lib/ubg/generator.mli: Geometry Gray_zone Model

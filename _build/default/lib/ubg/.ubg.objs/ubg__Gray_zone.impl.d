@@ -1,0 +1,1 @@
+lib/ubg/gray_zone.ml: Format Geometry Hashtbl List

@@ -1,0 +1,1 @@
+lib/ubg/io.ml: Array Fun Geometry Graph In_channel List Model Printf String

@@ -1,0 +1,1 @@
+lib/ubg/io.mli: Graph Model

@@ -1,0 +1,1 @@
+lib/ubg/model.ml: Array Format Geometry Graph Printf

@@ -1,0 +1,1 @@
+lib/ubg/model.mli: Format Geometry Graph

@@ -1,0 +1,88 @@
+module Point = Geometry.Point
+module Wgraph = Graph.Wgraph
+
+type placement =
+  | Uniform of { side : float }
+  | Clusters of { blobs : int; spread : float; side : float }
+  | Perturbed_grid of { spacing : float; jitter : float }
+
+let points ~seed ~dim ~n placement =
+  if dim < 2 then invalid_arg "Generator.points: dim < 2";
+  if n <= 0 then invalid_arg "Generator.points: n <= 0";
+  let st = Random.State.make [| seed; dim; n; 0x7070 |] in
+  match placement with
+  | Uniform { side } ->
+      if side <= 0.0 then invalid_arg "Generator: side <= 0";
+      Array.init n (fun _ -> Point.random ~st ~dim ~lo:0.0 ~hi:side)
+  | Clusters { blobs; spread; side } ->
+      if blobs <= 0 then invalid_arg "Generator: blobs <= 0";
+      if spread <= 0.0 || side <= 0.0 then invalid_arg "Generator: sizes";
+      let centers =
+        Array.init blobs (fun _ -> Point.random ~st ~dim ~lo:0.0 ~hi:side)
+      in
+      Array.init n (fun i ->
+          let center = centers.(i mod blobs) in
+          Point.random_in_ball ~st ~center ~radius:spread)
+  | Perturbed_grid { spacing; jitter } ->
+      if spacing <= 0.0 then invalid_arg "Generator: spacing <= 0";
+      if jitter < 0.0 then invalid_arg "Generator: jitter < 0";
+      (* Smallest lattice cube with at least n sites; take the first n. *)
+      let per_axis =
+        int_of_float (ceil (float_of_int n ** (1.0 /. float_of_int dim)))
+      in
+      Array.init n (fun i ->
+          let coords = Array.make dim 0.0 in
+          let rest = ref i in
+          for k = 0 to dim - 1 do
+            let c = !rest mod per_axis in
+            rest := !rest / per_axis;
+            let noise = (Random.State.float st 2.0 -. 1.0) *. jitter in
+            coords.(k) <- (float_of_int c *. spacing) +. noise
+          done;
+          Point.create coords)
+
+let instance ~alpha ?(gray = Gray_zone.Keep_all) pts =
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Generator.instance: alpha";
+  let n = Array.length pts in
+  let g = Wgraph.create n in
+  let grid = Geometry.Grid.build ~cell:1.0 pts in
+  Geometry.Grid.iter_close_pairs grid ~radius:1.0 (fun u v dist ->
+      if dist <= 0.0 then
+        invalid_arg
+          (Printf.sprintf
+             "Generator.instance: coincident points %d and %d (general \
+              position required)"
+             u v);
+      if Gray_zone.decide gray ~alpha ~u ~v ~pu:pts.(u) ~pv:pts.(v) ~dist then
+        Wgraph.add_edge g u v dist);
+  Model.make ~alpha pts g
+
+let generate ~seed ~dim ~n ~alpha ?gray placement =
+  instance ~alpha ?gray (points ~seed ~dim ~n placement)
+
+let connected ~seed ~dim ~n ~alpha ?gray placement =
+  let rec attempt k =
+    if k >= 50 then failwith "Generator.connected: no connected instance in 50 draws"
+    else begin
+      let model = generate ~seed:(seed + (1000 * k)) ~dim ~n ~alpha ?gray placement in
+      if Graph.Components.is_connected model.Model.graph then model
+      else attempt (k + 1)
+    end
+  in
+  attempt 0
+
+(* Volume of the d-dimensional unit ball. *)
+let unit_ball_volume dim =
+  let rec gamma_half k =
+    (* Gamma(k/2) for integer k >= 1. *)
+    if k = 1 then sqrt Float.pi
+    else if k = 2 then 1.0
+    else (float_of_int (k - 2) /. 2.0) *. gamma_half (k - 2)
+  in
+  (Float.pi ** (float_of_int dim /. 2.0)) /. gamma_half (dim + 2)
+
+let side_for_expected_degree ~dim ~n ~alpha ~degree =
+  if degree <= 0.0 then invalid_arg "side_for_expected_degree: degree";
+  let ball = unit_ball_volume dim *. (alpha ** float_of_int dim) in
+  (* E[neighbors] = (n - 1) * ball / side^d  ==>  solve for side. *)
+  (float_of_int (n - 1) *. ball /. degree) ** (1.0 /. float_of_int dim)

@@ -1,0 +1,59 @@
+(** Synthetic α-UBG instance generation.
+
+    The paper evaluates nothing empirically, so all instances here are
+    synthetic (see DESIGN.md, Substitution 3). Generators cover the
+    standard wireless placements: uniform fields, clustered deployments,
+    and jittered grids, in any dimension [>= 2], combined with any
+    {!Gray_zone} policy for the (alpha, 1] band. *)
+
+type placement =
+  | Uniform of { side : float }
+      (** n points uniform in the cube [\[0, side\]^d] *)
+  | Clusters of { blobs : int; spread : float; side : float }
+      (** [blobs] uniform centers, points uniform in balls of radius
+          [spread] around centers — dense hotspots with sparse bridges *)
+  | Perturbed_grid of { spacing : float; jitter : float }
+      (** lattice with spacing [spacing], each point displaced uniformly
+          by up to [jitter] per coordinate — near-regular sensornets *)
+
+(** [points ~seed ~dim ~n placement] draws a placement of [n] points in
+    dimension [dim], deterministically in [seed]. *)
+val points : seed:int -> dim:int -> n:int -> placement -> Geometry.Point.t array
+
+(** [instance ~alpha ?gray points] builds the α-UBG on [points]: all
+    pairs at distance [<= alpha] are connected, pairs in [(alpha, 1]]
+    are decided by [gray] (default {!Gray_zone.Keep_all}), longer pairs
+    never. *)
+val instance :
+  alpha:float -> ?gray:Gray_zone.t -> Geometry.Point.t array -> Model.t
+
+(** [generate ~seed ~dim ~n ~alpha ?gray placement] composes {!points}
+    and {!instance}. *)
+val generate :
+  seed:int ->
+  dim:int ->
+  n:int ->
+  alpha:float ->
+  ?gray:Gray_zone.t ->
+  placement ->
+  Model.t
+
+(** [connected ~seed ~dim ~n ~alpha ?gray placement] retries [generate]
+    with derived seeds until the instance is connected (at most 50
+    attempts, then raises [Failure]). Experiments use connected
+    instances so that spanner stretch is finite everywhere. *)
+val connected :
+  seed:int ->
+  dim:int ->
+  n:int ->
+  alpha:float ->
+  ?gray:Gray_zone.t ->
+  placement ->
+  Model.t
+
+(** [side_for_expected_degree ~dim ~n ~alpha ~degree] is the cube side
+    making the expected number of α-neighbors of a uniform point roughly
+    [degree] — the knob for sweeping n at constant density, which is how
+    E1-E4 keep instances comparable across sizes. *)
+val side_for_expected_degree :
+  dim:int -> n:int -> alpha:float -> degree:float -> float

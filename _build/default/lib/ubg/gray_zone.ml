@@ -1,0 +1,70 @@
+module Point = Geometry.Point
+
+type t =
+  | Keep_all
+  | Drop_all
+  | Bernoulli of { p : float; seed : int }
+  | Obstructed of {
+      walls : (Point.t * Point.t) list;
+      thickness : float;
+    }
+  | Distance_threshold of float
+
+(* Order-independent deterministic hash of (seed, {u, v}) to [0, 1). *)
+let pair_uniform ~seed u v =
+  let a = min u v and b = max u v in
+  let h = Hashtbl.hash (seed, a, b, 0x9e3779b9) in
+  float_of_int (h land 0x3FFFFFFF) /. float_of_int 0x40000000
+
+(* Minimum distance between closed segments [p0,p1] and [q0,q1] in any
+   dimension (quadratic minimization with clamping, cf. Eberly). *)
+let segment_segment_distance p0 p1 q0 q1 =
+  let d1 = Point.sub p1 p0 and d2 = Point.sub q1 q0 in
+  let r = Point.sub p0 q0 in
+  let a = Point.dot d1 d1
+  and e = Point.dot d2 d2
+  and f = Point.dot d2 r in
+  let clamp x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x in
+  let s, t =
+    if a <= 1e-18 && e <= 1e-18 then (0.0, 0.0)
+    else if a <= 1e-18 then (0.0, clamp (f /. e))
+    else begin
+      let c = Point.dot d1 r in
+      if e <= 1e-18 then (clamp (-.c /. a), 0.0)
+      else begin
+        let b = Point.dot d1 d2 in
+        let denom = (a *. e) -. (b *. b) in
+        let s = if denom > 1e-18 then clamp (((b *. f) -. (c *. e)) /. denom) else 0.0 in
+        let t = ((b *. s) +. f) /. e in
+        if t < 0.0 then (clamp (-.c /. a), 0.0)
+        else if t > 1.0 then (clamp ((b -. c) /. a), 1.0)
+        else (s, t)
+      end
+    end
+  in
+  Point.distance (Point.lerp p0 p1 s) (Point.lerp q0 q1 t)
+
+let line_of_sight ~walls ~thickness pu pv =
+  List.for_all
+    (fun (w0, w1) -> segment_segment_distance pu pv w0 w1 > thickness)
+    walls
+
+let decide t ~alpha ~u ~v ~pu ~pv ~dist =
+  if dist <= alpha then true
+  else
+    match t with
+    | Keep_all -> true
+    | Drop_all -> false
+    | Bernoulli { p; seed } -> pair_uniform ~seed u v < p
+    | Obstructed { walls; thickness } -> line_of_sight ~walls ~thickness pu pv
+    | Distance_threshold threshold -> dist <= max alpha (min threshold 1.0)
+
+let pp ppf = function
+  | Keep_all -> Format.pp_print_string ppf "keep-all"
+  | Drop_all -> Format.pp_print_string ppf "drop-all"
+  | Bernoulli { p; seed } -> Format.fprintf ppf "bernoulli(p=%g, seed=%d)" p seed
+  | Obstructed { walls; thickness } ->
+      Format.fprintf ppf "obstructed(%d walls, thickness=%g)"
+        (List.length walls) thickness
+  | Distance_threshold threshold ->
+      Format.fprintf ppf "distance-threshold(%g)" threshold

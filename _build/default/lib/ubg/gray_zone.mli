@@ -1,0 +1,38 @@
+(** Edge policies for the gray zone [(alpha, 1]] of an α-UBG.
+
+    The model leaves adjacency of pairs with [alpha < |uv| <= 1]
+    unspecified (transmission errors, fading, obstructions — paper
+    Section 1.1). A policy decides those pairs; deterministic policies
+    take the pair's identity so that decisions are stable and
+    symmetric. *)
+
+type t =
+  | Keep_all  (** every gray pair is an edge — with [alpha = 1] a UDG *)
+  | Drop_all  (** no gray pair is an edge — the sparsest legal graph *)
+  | Bernoulli of { p : float; seed : int }
+      (** each gray pair is an edge independently with probability [p],
+          decided by a hash of (seed, u, v) so it is order-independent *)
+  | Obstructed of { walls : (Geometry.Point.t * Geometry.Point.t) list;
+                    thickness : float }
+      (** a gray pair is an edge iff the open segment between the two
+          nodes stays at distance more than [thickness] from every wall
+          segment — a crude line-of-sight model. Walls never block pairs
+          at distance [<= alpha] (the α-UBG constraint wins). *)
+  | Distance_threshold of float
+      (** a gray pair is an edge iff its length is at most the given
+          threshold; clamped to [(alpha, 1]]. Models a sharper radio. *)
+
+(** [decide t ~alpha ~u ~v ~pu ~pv ~dist] decides whether the gray pair
+    [(u, v)] (at Euclidean distance [dist], [alpha < dist <= 1]) is an
+    edge. Symmetric in the pair by construction. *)
+val decide :
+  t ->
+  alpha:float ->
+  u:int ->
+  v:int ->
+  pu:Geometry.Point.t ->
+  pv:Geometry.Point.t ->
+  dist:float ->
+  bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+module Point = Geometry.Point
+module Wgraph = Graph.Wgraph
+
+let save_instance path model =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let n = Model.n model and dim = Model.dim model in
+      Printf.fprintf oc "ubg-instance v1\n%d %d %.17g\n" n dim
+        model.Model.alpha;
+      Array.iter
+        (fun p ->
+          for i = 0 to dim - 1 do
+            if i > 0 then output_char oc ' ';
+            Printf.fprintf oc "%.17g" (Point.coord p i)
+          done;
+          output_char oc '\n')
+        model.Model.points;
+      Printf.fprintf oc "%d\n" (Wgraph.n_edges model.Model.graph);
+      Wgraph.iter_edges model.Model.graph (fun u v _ ->
+          Printf.fprintf oc "%d %d\n" u v))
+
+(* Line reader skipping blanks and # comments, tracking line numbers
+   for error messages. *)
+type reader = { ic : in_channel; mutable line : int }
+
+let next_line r =
+  let rec go () =
+    match In_channel.input_line r.ic with
+    | None -> failwith (Printf.sprintf "line %d: unexpected end of file" r.line)
+    | Some raw ->
+        r.line <- r.line + 1;
+        let s = String.trim raw in
+        if s = "" || s.[0] = '#' then go () else s
+  in
+  go ()
+
+let fields s = String.split_on_char ' ' s |> List.filter (fun f -> f <> "")
+
+let parse_err r what = failwith (Printf.sprintf "line %d: expected %s" r.line what)
+
+let load_instance path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let r = { ic; line = 0 } in
+      if next_line r <> "ubg-instance v1" then parse_err r "header";
+      let n, dim, alpha =
+        match fields (next_line r) with
+        | [ a; b; c ] -> (
+            try (int_of_string a, int_of_string b, float_of_string c)
+            with Failure _ -> parse_err r "n dim alpha")
+        | _ -> parse_err r "n dim alpha"
+      in
+      let points =
+        Array.init n (fun _ ->
+            let coords = fields (next_line r) in
+            if List.length coords <> dim then parse_err r "point coordinates";
+            try Point.of_list (List.map float_of_string coords)
+            with Failure _ -> parse_err r "point coordinates")
+      in
+      let m =
+        match fields (next_line r) with
+        | [ a ] -> ( try int_of_string a with Failure _ -> parse_err r "edge count")
+        | _ -> parse_err r "edge count"
+      in
+      let g = Wgraph.create n in
+      for _ = 1 to m do
+        match fields (next_line r) with
+        | [ a; b ] -> (
+            try
+              let u = int_of_string a and v = int_of_string b in
+              Wgraph.add_edge g u v (Point.distance points.(u) points.(v))
+            with Failure _ | Invalid_argument _ -> parse_err r "edge")
+        | _ -> parse_err r "edge"
+      done;
+      Model.make ~alpha points g)
+
+let save_topology path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "ubg-topology v1\n%d %d\n" (Wgraph.n_vertices g)
+        (Wgraph.n_edges g);
+      Wgraph.iter_edges g (fun u v _ -> Printf.fprintf oc "%d %d\n" u v))
+
+let load_topology path ~model =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let r = { ic; line = 0 } in
+      if next_line r <> "ubg-topology v1" then parse_err r "header";
+      let n, m =
+        match fields (next_line r) with
+        | [ a; b ] -> (
+            try (int_of_string a, int_of_string b)
+            with Failure _ -> parse_err r "n m")
+        | _ -> parse_err r "n m"
+      in
+      if n <> Model.n model then failwith "load_topology: vertex count mismatch";
+      let g = Wgraph.create n in
+      for _ = 1 to m do
+        match fields (next_line r) with
+        | [ a; b ] ->
+            let u, v =
+              try (int_of_string a, int_of_string b)
+              with Failure _ -> parse_err r "edge"
+            in
+            if u < 0 || u >= n || v < 0 || v >= n then parse_err r "edge ids";
+            if not (Wgraph.mem_edge model.Model.graph u v) then
+              failwith
+                (Printf.sprintf "load_topology: {%d,%d} not an instance edge" u v);
+            Wgraph.add_edge g u v (Model.distance model u v)
+        | _ -> parse_err r "edge"
+      done;
+      g)

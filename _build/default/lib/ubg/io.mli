@@ -1,0 +1,33 @@
+(** Plain-text persistence for instances and topologies.
+
+    Instance format (line-oriented, `#` comments allowed):
+    {v
+    ubg-instance v1
+    <n> <dim> <alpha>
+    <x_1> ... <x_dim>        (n point lines)
+    <m>
+    <u> <v>                  (m edge lines; weights are recomputed
+                              from the coordinates on load)
+    v}
+
+    Topology files reference an instance's vertex ids:
+    {v
+    ubg-topology v1
+    <n> <m>
+    <u> <v>                  (m edge lines)
+    v} *)
+
+(** [save_instance path model] writes [model] to [path]. *)
+val save_instance : string -> Model.t -> unit
+
+(** [load_instance path] reads an instance; raises [Failure] with a
+    line-numbered message on malformed input. *)
+val load_instance : string -> Model.t
+
+(** [save_topology path g] writes the edge list of [g]. *)
+val save_topology : string -> Graph.Wgraph.t -> unit
+
+(** [load_topology path ~model] reads a topology and weighs its edges
+    by the Euclidean distances of [model]; raises [Failure] if an edge
+    is not an edge of [model] or ids are out of range. *)
+val load_topology : string -> model:Model.t -> Graph.Wgraph.t

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Fun Geometry Graph List Random String Test_helpers Topo Ubg

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Geometry Graph List Random Test_helpers Ubg

@@ -1,0 +1,1 @@
+test/test_bins.ml: Alcotest Array Fun Graph List Random Test_helpers Topo Ubg

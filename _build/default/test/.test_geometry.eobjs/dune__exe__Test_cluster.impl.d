@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Distrib Graph Hashtbl List Random Test_helpers Topo Ubg

@@ -1,0 +1,1 @@
+test/test_distrib.ml: Alcotest Array Distrib Fun Graph List Random Test_helpers Topo Ubg

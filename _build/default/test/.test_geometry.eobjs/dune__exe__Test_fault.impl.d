@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Graph List Random Test_helpers Topo Ubg

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Float Fun Geometry List Random Test_helpers

@@ -1,0 +1,1 @@
+test/test_helpers.ml: Alcotest Geometry Graph QCheck QCheck_alcotest Random Ubg

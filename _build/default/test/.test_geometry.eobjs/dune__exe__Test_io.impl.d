@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Filename Fun Graph List Printf Random Sys Test_helpers Topo Ubg

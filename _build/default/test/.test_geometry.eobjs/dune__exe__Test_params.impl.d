@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Float Random Test_helpers Topo

@@ -1,0 +1,1 @@
+test/test_planar.ml: Alcotest Analysis Array Baselines Geometry Graph List Random Test_helpers Topo Ubg

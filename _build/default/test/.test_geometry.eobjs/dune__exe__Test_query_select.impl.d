@@ -1,0 +1,1 @@
+test/test_query_select.ml: Alcotest Array Graph Hashtbl List Option Test_helpers Topo Ubg

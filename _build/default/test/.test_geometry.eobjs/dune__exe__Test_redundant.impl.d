@@ -1,0 +1,1 @@
+test/test_redundant.ml: Alcotest Array Distrib Geometry Graph Hashtbl List Test_helpers Topo Ubg

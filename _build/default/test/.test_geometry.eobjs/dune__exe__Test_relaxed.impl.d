@@ -1,0 +1,1 @@
+test/test_relaxed.ml: Alcotest Array Geometry Graph List Random Test_helpers Topo Ubg

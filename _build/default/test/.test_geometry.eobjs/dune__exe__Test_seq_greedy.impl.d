@@ -1,0 +1,1 @@
+test/test_seq_greedy.ml: Alcotest Array Fun Geometry Graph List Random Test_helpers Topo

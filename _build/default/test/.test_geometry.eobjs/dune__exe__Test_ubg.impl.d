@@ -1,0 +1,1 @@
+test/test_ubg.ml: Alcotest Array Float Geometry Graph List Random Test_helpers Ubg

@@ -1,0 +1,1 @@
+test/test_wspd.ml: Alcotest Array Baselines Geometry Graph Hashtbl List Random Test_helpers Topo

@@ -1,0 +1,312 @@
+module Wgraph = Graph.Wgraph
+module Metrics = Analysis.Metrics
+module Leapfrog = Analysis.Leapfrog
+module Report = Analysis.Report
+module Point = Geometry.Point
+open Test_helpers
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_power_cost_known () =
+  (* Star around 0 with arms 1.0, 2.0, 3.0: power(0) = 3, leaves pay
+     their arm. *)
+  let g = Wgraph.of_edges ~n:4 [ (0, 1, 1.0); (0, 2, 2.0); (0, 3, 3.0) ] in
+  check_float "star power" (3.0 +. 1.0 +. 2.0 +. 3.0) (Metrics.power_cost g);
+  Alcotest.(check bool) "isolated pays zero" true
+    (Metrics.power_cost (Wgraph.create 5) = 0.0)
+
+let test_hop_diameter () =
+  let path = Wgraph.of_edges ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ] in
+  Alcotest.(check int) "path graph" 3 (Metrics.hop_diameter path);
+  let disconnected = Wgraph.of_edges ~n:3 [ (0, 1, 1.0) ] in
+  Alcotest.(check int) "disconnected" max_int (Metrics.hop_diameter disconnected);
+  Alcotest.(check int) "singleton" 0 (Metrics.hop_diameter (Wgraph.create 1))
+
+let test_degree_histogram () =
+  let g = Wgraph.of_edges ~n:4 [ (0, 1, 1.0); (0, 2, 1.0); (0, 3, 1.0) ] in
+  Alcotest.(check (array int)) "star histogram" [| 0; 3; 0; 1 |]
+    (Metrics.degree_histogram g);
+  Alcotest.(check (array int)) "edgeless histogram" [| 5 |]
+    (Metrics.degree_histogram (Wgraph.create 5))
+
+let prop_histogram_sums_to_n =
+  qtest ~count:20 "metrics: histogram counts every vertex once" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 40 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 30) in
+      Array.fold_left ( + ) 0 (Metrics.degree_histogram g) = n)
+
+let prop_summary_coherent =
+  qtest ~count:20 "metrics: summary fields are mutually consistent" seed_arb
+    (fun seed ->
+      let model = connected_model ~seed ~n:40 ~dim:2 ~alpha:0.8 in
+      let base = model.Ubg.Model.graph in
+      let spanner =
+        (Topo.Relaxed_greedy.build_eps ~eps:0.5 model).Topo.Relaxed_greedy.spanner
+      in
+      let s = Metrics.summarize ~base spanner in
+      s.Metrics.n = Wgraph.n_vertices spanner
+      && s.Metrics.n_edges = Wgraph.n_edges spanner
+      && s.Metrics.edge_stretch >= 1.0 -. 1e-9
+      && s.Metrics.edge_stretch <= 1.5 +. 1e-9
+      && s.Metrics.mst_ratio >= 1.0 -. 1e-9
+      && s.Metrics.power_cost > 0.0
+      && s.Metrics.max_degree >= 1
+      && s.Metrics.avg_degree <= float_of_int s.Metrics.max_degree +. 1e-9
+      && s.Metrics.hop_diameter < max_int)
+
+let test_summary_of_base_itself () =
+  let model = connected_model ~seed:9 ~n:30 ~dim:2 ~alpha:0.8 in
+  let base = model.Ubg.Model.graph in
+  let s = Metrics.summarize ~base base in
+  check_float ~eps:1e-9 "stretch of self" 1.0 s.Metrics.edge_stretch
+
+(* ------------------------------------------------------------------ *)
+(* Leapfrog checker (Theorem 13 / Figure 4)                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_leapfrog_detects_parallel_pair () =
+  (* Two near-identical parallel segments: the RHS ≈ |u2v2| + tiny,
+     so t2 > 1 + tiny violates the property. *)
+  let points =
+    [|
+      Point.make2 0.0 0.0; Point.make2 1.0 0.0;
+      Point.make2 0.0 0.001; Point.make2 1.0 0.001;
+    |]
+  in
+  let edges = [ (0, 1); (2, 3) ] in
+  match Leapfrog.check ~points ~edges ~t2:1.5 ~t:2.0 ~max_subset:2 with
+  | Some v ->
+      Alcotest.(check bool) "violation reported correctly" true
+        (v.Leapfrog.lhs >= v.Leapfrog.rhs)
+  | None -> Alcotest.fail "expected a violation"
+
+let test_leapfrog_accepts_far_segments () =
+  (* Segments far apart relative to their length satisfy any modest
+     t2. *)
+  let points =
+    [|
+      Point.make2 0.0 0.0; Point.make2 1.0 0.0;
+      Point.make2 10.0 0.0; Point.make2 11.0 0.0;
+    |]
+  in
+  let edges = [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "no violation" true
+    (Leapfrog.check ~points ~edges ~t2:1.5 ~t:2.0 ~max_subset:2 = None)
+
+let prop_greedy_spanner_satisfies_leapfrog =
+  (* Das-Narasimhan: greedy t-spanner edges satisfy the (t2, t)-leapfrog
+     property for t2 slightly above 1. We check subsets up to size 3. *)
+  qtest ~count:10 "leapfrog: greedy spanner passes the checker" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 8 + Random.State.int st 10 in
+      let points =
+        Array.init n (fun _ -> Point.random ~st ~dim:2 ~lo:0.0 ~hi:1.0)
+      in
+      let complete = Wgraph.create n in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let d = Point.distance points.(u) points.(v) in
+          if d > 0.0 then Wgraph.add_edge complete u v d
+        done
+      done;
+      let t = 2.0 in
+      let s = Topo.Seq_greedy.spanner complete ~t in
+      let edges =
+        List.map (fun (e : Wgraph.edge) -> (e.u, e.v)) (Wgraph.edges s)
+      in
+      Leapfrog.check ~points ~edges ~t2:1.05 ~t ~max_subset:2 = None)
+
+let prop_sampled_consistent_with_exhaustive =
+  qtest ~count:10 "leapfrog: sampling finds no violation when none exists"
+    seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 6 in
+      let points =
+        Array.init n (fun i ->
+            Point.make2 (float_of_int i *. 5.0) (Random.State.float st 0.1))
+      in
+      (* A path of well-separated segments — leapfrog-safe. *)
+      let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+      Leapfrog.check ~points ~edges ~t2:1.2 ~t:1.5 ~max_subset:3 = None
+      && Leapfrog.check_sampled ~st ~points ~edges ~t2:1.2 ~t:1.5
+           ~subset_size:3 ~samples:30
+         = None)
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_layout () =
+  let t = Report.create ~title:"demo" ~columns:[ "a"; "bb"; "ccc" ] in
+  Report.add_row t [ "1"; "2"; "3" ];
+  Report.add_row t [ "10" ] (* short row gets padded *);
+  let s = Report.to_string t in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "line count" 6 (List.length lines)
+
+let test_report_cells () =
+  Alcotest.(check string) "float" "1.500" (Report.cell_f 1.5);
+  Alcotest.(check string) "nan" "-" (Report.cell_f nan);
+  Alcotest.(check string) "inf" "inf" (Report.cell_f infinity);
+  Alcotest.(check string) "int" "42" (Report.cell_i 42)
+
+(* ------------------------------------------------------------------ *)
+(* Doubling-constant estimation (Lemmas 15, 20)                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_doubling_path_metric () =
+  (* The line metric {0..9} with d(i,j) = |i-j|: any R-ball is covered
+     by 2-3 half-balls. *)
+  let dist i j = abs_float (float_of_int (i - j)) in
+  let members = Array.init 10 Fun.id in
+  let c =
+    Analysis.Doubling.estimate ~dist ~members
+      ~centers:[ 0; 4; 9 ] ~radii:[ 2.0; 4.0; 8.0 ]
+  in
+  Alcotest.(check bool) "small constant" true (c >= 1 && c <= 3)
+
+let test_doubling_star_metric () =
+  (* A uniform star: all leaves at distance 1 from the hub, 2 from each
+     other — the classic non-doubling metric. The estimator must blow
+     up with the leaf count. *)
+  let n = 30 in
+  let dist i j = if i = j then 0.0 else if i = 0 || j = 0 then 1.0 else 2.0 in
+  let members = Array.init n Fun.id in
+  let c =
+    Analysis.Doubling.estimate ~dist ~members ~centers:[ 0 ] ~radii:[ 1.0 ]
+  in
+  Alcotest.(check int) "one ball per leaf plus hub" n c
+
+let prop_doubling_euclidean_plane =
+  qtest ~count:15 "doubling: planar Euclidean point sets are doubling"
+    seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 20 + Random.State.int st 60 in
+      let pts =
+        Array.init n (fun _ -> Point.random ~st ~dim:2 ~lo:0.0 ~hi:10.0)
+      in
+      let dist i j = Point.distance pts.(i) pts.(j) in
+      let members = Array.init n Fun.id in
+      let c =
+        Analysis.Doubling.estimate ~dist ~members
+          ~centers:[ 0; n / 2; n - 1 ]
+          ~radii:[ 1.0; 3.0; 10.0 ]
+      in
+      (* Greedy covering in the plane needs at most a small constant. *)
+      c >= 1 && c <= 12)
+
+let prop_doubling_spanner_metric_lemma15 =
+  (* Lemma 15's metric: sp distances in a partial spanner of a UBG.
+     The doubling constant must stay small — this is what licenses the
+     O(log* n) MIS on the coverage graph. *)
+  qtest ~count:10 "doubling: partial-spanner sp metric (Lemma 15)" seed_arb
+    (fun seed ->
+      let model = connected_model ~seed ~n:50 ~dim:2 ~alpha:0.8 in
+      let w_prev = 0.3 in
+      let short = Wgraph.create (Ubg.Model.n model) in
+      Wgraph.iter_edges model.Ubg.Model.graph (fun u v w ->
+          if w <= w_prev then Wgraph.add_edge short u v w);
+      let spanner = Topo.Seq_greedy.spanner short ~t:1.5 in
+      let apsp = Graph.Apsp.dijkstra_all spanner in
+      let dist i j = apsp.(i).(j) in
+      let members = Array.init (Ubg.Model.n model) Fun.id in
+      let c =
+        Analysis.Doubling.estimate ~dist ~members ~centers:[ 0; 10; 25 ]
+          ~radii:[ 0.3; 0.8; 2.0 ]
+      in
+      c >= 1 && c <= 25)
+
+(* ------------------------------------------------------------------ *)
+(* SVG rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let count_occurrences needle haystack =
+  let n = String.length needle in
+  let rec go from acc =
+    match String.index_from_opt haystack from needle.[0] with
+    | Some i when i + n <= String.length haystack ->
+        if String.sub haystack i n = needle then go (i + 1) (acc + 1)
+        else go (i + 1) acc
+    | Some _ | None -> acc
+  in
+  if n = 0 then 0 else go 0 0
+
+let test_svg_structure () =
+  let model = connected_model ~seed:21 ~n:25 ~dim:2 ~alpha:0.9 in
+  let spanner =
+    (Topo.Relaxed_greedy.build_eps ~eps:0.5 model).Topo.Relaxed_greedy.spanner
+  in
+  let svg = Analysis.Svg.render ~model spanner in
+  let lines = count_occurrences "<line" svg in
+  let circles = count_occurrences "<circle" svg in
+  Alcotest.(check int) "one line per input+topology edge"
+    (Wgraph.n_edges model.Ubg.Model.graph + Wgraph.n_edges spanner)
+    lines;
+  Alcotest.(check int) "one circle per node" 25 circles;
+  Alcotest.(check bool) "closes the document" true
+    (count_occurrences "</svg>" svg = 1)
+
+let test_svg_no_input_layer () =
+  let model = connected_model ~seed:22 ~n:15 ~dim:2 ~alpha:0.9 in
+  let g = Graph.Mst.forest model.Ubg.Model.graph in
+  let style = { Analysis.Svg.default_style with show_input = false } in
+  let svg = Analysis.Svg.render ~style ~model g in
+  Alcotest.(check int) "only topology edges" (Wgraph.n_edges g)
+    (count_occurrences "<line" svg)
+
+let test_svg_rejects_3d () =
+  let model = connected_model ~seed:23 ~n:15 ~dim:3 ~alpha:0.8 in
+  Alcotest.(check bool) "3-d rejected" true
+    (try
+       ignore (Analysis.Svg.render ~model model.Ubg.Model.graph);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "power cost" `Quick test_power_cost_known;
+          Alcotest.test_case "hop diameter" `Quick test_hop_diameter;
+          Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
+          prop_histogram_sums_to_n;
+          prop_summary_coherent;
+          Alcotest.test_case "self summary" `Quick test_summary_of_base_itself;
+        ] );
+      ( "leapfrog",
+        [
+          Alcotest.test_case "detects parallel pair" `Quick
+            test_leapfrog_detects_parallel_pair;
+          Alcotest.test_case "accepts far segments" `Quick
+            test_leapfrog_accepts_far_segments;
+          prop_greedy_spanner_satisfies_leapfrog;
+          prop_sampled_consistent_with_exhaustive;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "layout" `Quick test_report_layout;
+          Alcotest.test_case "cells" `Quick test_report_cells;
+        ] );
+      ( "doubling",
+        [
+          Alcotest.test_case "path metric" `Quick test_doubling_path_metric;
+          Alcotest.test_case "star metric blows up" `Quick
+            test_doubling_star_metric;
+          prop_doubling_euclidean_plane;
+          prop_doubling_spanner_metric_lemma15;
+        ] );
+      ( "svg",
+        [
+          Alcotest.test_case "structure" `Quick test_svg_structure;
+          Alcotest.test_case "hide input layer" `Quick test_svg_no_input_layer;
+          Alcotest.test_case "rejects 3-d" `Quick test_svg_rejects_3d;
+        ] );
+    ]

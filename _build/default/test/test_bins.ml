@@ -1,0 +1,102 @@
+module Params = Topo.Params
+module Bins = Topo.Bins
+module Wgraph = Graph.Wgraph
+open Test_helpers
+
+let params = Params.make ~t:1.5 ~alpha:0.8 ~dim:2 ()
+
+let test_bin_structure () =
+  let b = Bins.make ~params ~n:100 in
+  Alcotest.(check bool) "at least two bins" true (Bins.count b >= 2);
+  check_float "W_0 = alpha / n" (0.8 /. 100.0) (Bins.w b 0);
+  (* W grows geometrically with ratio r. *)
+  check_float ~eps:1e-12 "geometric growth"
+    (Bins.w b 0 *. params.Params.r)
+    (Bins.w b 1);
+  (* The top bin reaches length 1 (no α-UBG edge is longer). *)
+  Alcotest.(check bool) "covers unit lengths" true (Bins.w b b.Bins.m >= 1.0)
+
+let prop_index_within_interval =
+  qtest ~count:200 "bins: index places length inside its interval" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 1000 in
+      let b = Bins.make ~params ~n in
+      let len = 1e-6 +. Random.State.float st (1.0 -. 1e-6) in
+      let i = Bins.index b len in
+      let lo, hi = Bins.interval b i in
+      lo < len +. 1e-15 && len <= hi +. 1e-12)
+
+let prop_intervals_partition =
+  qtest ~count:50 "bins: intervals abut with no gap" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 1000 in
+      let b = Bins.make ~params ~n in
+      let ok = ref true in
+      for i = 1 to b.Bins.m do
+        let _, hi_prev = Bins.interval b (i - 1) in
+        let lo, _ = Bins.interval b i in
+        if not (close ~eps:1e-15 hi_prev lo) then ok := false
+      done;
+      !ok)
+
+let test_index_boundaries () =
+  let b = Bins.make ~params ~n:10 in
+  Alcotest.(check int) "exact W_0 is bin 0" 0 (Bins.index b (Bins.w b 0));
+  Alcotest.(check int) "just above W_0 is bin 1" 1
+    (Bins.index b (Bins.w b 0 +. 1e-12));
+  Alcotest.(check int) "exact W_1 is bin 1" 1 (Bins.index b (Bins.w b 1))
+
+let prop_partition_preserves_edges =
+  qtest ~count:30 "bins: partition loses no edge and respects intervals"
+    seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 10 + Random.State.int st 50 in
+      let model = random_model ~seed ~n ~dim:2 ~alpha:0.8 in
+      let b = Bins.make ~params ~n in
+      let edges = Wgraph.edges model.Ubg.Model.graph in
+      let binned = Bins.partition b edges in
+      let total = Array.fold_left (fun acc l -> acc + List.length l) 0 binned in
+      total = List.length edges
+      && Array.for_all Fun.id
+           (Array.mapi
+              (fun i l ->
+                List.for_all
+                  (fun (e : Wgraph.edge) ->
+                    let lo, hi = Bins.interval b i in
+                    lo < e.w +. 1e-15 && e.w <= hi +. 1e-12)
+                  l)
+              binned)
+      && Random.State.int st 2 >= 0)
+
+let test_errors () =
+  let b = Bins.make ~params ~n:10 in
+  Alcotest.(check bool) "length 0 rejected" true
+    (try
+       ignore (Bins.index b 0.0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "length > 1 rejected" true
+    (try
+       ignore (Bins.index b 1.5);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative bin rejected" true
+    (try
+       ignore (Bins.w b (-1));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "bins"
+    [
+      ( "bins",
+        [
+          Alcotest.test_case "structure" `Quick test_bin_structure;
+          prop_index_within_interval;
+          prop_intervals_partition;
+          Alcotest.test_case "boundaries" `Quick test_index_boundaries;
+          prop_partition_preserves_edges;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

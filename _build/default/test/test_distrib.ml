@@ -1,0 +1,325 @@
+module Wgraph = Graph.Wgraph
+module Runtime = Distrib.Runtime
+module Flood = Distrib.Flood
+module Mis = Distrib.Mis
+module Dist_greedy = Distrib.Dist_greedy
+open Test_helpers
+
+(* ------------------------------------------------------------------ *)
+(* Runtime semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Ping-pong: node 0 sends a counter to node 1 and back, k times. The
+   run must take exactly 2k + 1 rounds (the final round only observes
+   quiescence). *)
+let test_runtime_ping_pong () =
+  let g = Wgraph.of_edges ~n:2 [ (0, 1, 1.0) ] in
+  let k = 5 in
+  let limit = 2 * k in
+  let step ~round ~node state ~inbox =
+    match inbox with
+    | [ (_, c) ] ->
+        if c >= limit then (c, [], `Halt)
+        else (c, [ (1 - node, c + 1) ], (if c + 1 >= limit then `Halt else `Continue))
+    | [] when node = 0 && round = 1 -> (0, [ (1, 1) ], `Continue)
+    | [] -> (state, [], `Continue)
+    | _ :: _ :: _ -> Alcotest.fail "duplicate delivery"
+  in
+  let states, stats =
+    Runtime.run ~graph:g ~init:(fun _ -> -1) ~step ~max_rounds:100 ()
+  in
+  Alcotest.(check int) "messages total" limit stats.Runtime.messages;
+  Alcotest.(check int) "rounds" (limit + 1) stats.Runtime.rounds;
+  Alcotest.(check bool) "final counter reached" true
+    (states.(0) = limit || states.(1) = limit)
+
+let test_runtime_rejects_non_neighbor () =
+  let g = Wgraph.of_edges ~n:3 [ (0, 1, 1.0) ] in
+  let step ~round:_ ~node:_ _ ~inbox:_ = ((), [ (2, ()) ], `Halt) in
+  Alcotest.(check bool) "non-neighbor send rejected" true
+    (try
+       ignore (Runtime.run ~graph:g ~init:(fun _ -> ()) ~step ~max_rounds:5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_runtime_round_cap () =
+  (* A chatty protocol that never halts is cut at max_rounds. *)
+  let g = Wgraph.of_edges ~n:2 [ (0, 1, 1.0) ] in
+  let step ~round:_ ~node _ ~inbox:_ = ((), [ (1 - node, ()) ], `Continue) in
+  let _, stats =
+    Runtime.run ~graph:g ~init:(fun _ -> ()) ~step ~max_rounds:7 ()
+  in
+  Alcotest.(check int) "capped" 7 stats.Runtime.rounds
+
+let test_runtime_message_size_accounting () =
+  let g = Wgraph.of_edges ~n:2 [ (0, 1, 1.0) ] in
+  let step ~round:_ ~node state ~inbox:_ =
+    if node = 0 && state then (false, [ (1, [ 1; 2; 3 ]) ], `Halt)
+    else (false, [], `Halt)
+  in
+  let _, stats =
+    Runtime.run ~graph:g ~init:(fun _ -> true) ~step ~size_of:List.length
+      ~max_rounds:5 ()
+  in
+  Alcotest.(check int) "peak words" 3 stats.Runtime.max_words_per_message
+
+(* ------------------------------------------------------------------ *)
+(* Flooding vs BFS                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_flood_equals_bfs_ball =
+  qtest ~count:25 "flood: gather learns exactly the hop ball" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 25 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 20) in
+      let hops = Random.State.int st 4 in
+      let views, _ = Flood.gather ~graph:g ~hops ~datum:(fun v -> 10 * v) () in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let got = List.sort compare (List.map fst views.(v)) in
+        let want = List.sort compare (Graph.Bfs.ball g v ~radius:hops) in
+        if got <> want then ok := false;
+        (* Payloads intact. *)
+        List.iter (fun (u, d) -> if d <> 10 * u then ok := false) views.(v)
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* MIS                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_greedy_mis_valid =
+  qtest ~count:40 "mis: greedy is independent and maximal" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 1 + Random.State.int st 50 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 80) in
+      Mis.is_mis g (Mis.greedy g))
+
+let prop_luby_mis_valid =
+  qtest ~count:30 "mis: Luby is independent and maximal" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 1 + Random.State.int st 50 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 80) in
+      let mis, stats = Mis.luby ~seed g in
+      Mis.is_mis g mis && stats.Runtime.rounds > 0)
+
+let prop_luby_deterministic_in_seed =
+  qtest ~count:15 "mis: Luby deterministic in seed" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 40 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 40) in
+      let m1, _ = Mis.luby ~seed g and m2, _ = Mis.luby ~seed g in
+      m1 = m2)
+
+let test_luby_edgeless () =
+  let g = Wgraph.create 5 in
+  let mis, _ = Mis.luby ~seed:3 g in
+  Alcotest.(check bool) "all isolated nodes join" true
+    (Array.for_all Fun.id mis)
+
+let test_luby_clique () =
+  let n = 8 in
+  let g = Wgraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Wgraph.add_edge g u v 1.0
+    done
+  done;
+  let mis, _ = Mis.luby ~seed:4 g in
+  Alcotest.(check int) "exactly one in a clique" 1
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mis)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed relaxed greedy                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_dist_greedy_is_spanner =
+  qtest ~count:8 "dist: distributed output t-spans the input" seed_arb
+    (fun seed ->
+      let model = random_model ~seed ~n:(25 + (seed mod 25)) ~dim:2 ~alpha:0.8 in
+      let eps = 0.6 in
+      let r = Dist_greedy.build_eps ~seed ~eps model in
+      Topo.Verify.is_t_spanner ~base:model.Ubg.Model.graph
+        ~spanner:r.Dist_greedy.spanner ~t:(1.0 +. eps))
+
+let prop_dist_greedy_structure =
+  qtest ~count:6 "dist: trace covers all phases, rounds accumulate" seed_arb
+    (fun seed ->
+      let model = random_model ~seed ~n:30 ~dim:2 ~alpha:0.8 in
+      let r = Dist_greedy.build_eps ~seed ~eps:0.6 model in
+      let params = r.Dist_greedy.params in
+      let bins = Topo.Bins.make ~params ~n:(Ubg.Model.n model) in
+      List.length r.Dist_greedy.traces = Topo.Bins.count bins
+      && r.Dist_greedy.rounds
+         = List.fold_left
+             (fun acc (tr : Dist_greedy.phase_trace) ->
+               acc + tr.gather_rounds + tr.cover_mis_rounds
+               + tr.redundant_mis_rounds)
+             0 r.Dist_greedy.traces)
+
+let prop_dist_vs_sequential_same_guarantees =
+  qtest ~count:6 "dist: matches sequential guarantees on the same input"
+    seed_arb (fun seed ->
+      let model = random_model ~seed ~n:30 ~dim:2 ~alpha:0.8 in
+      let eps = 0.6 in
+      let rd = Dist_greedy.build_eps ~seed ~eps model in
+      let rs = Topo.Relaxed_greedy.build_eps ~eps model in
+      let base = model.Ubg.Model.graph in
+      let t = 1.0 +. eps in
+      Topo.Verify.is_t_spanner ~base ~spanner:rd.Dist_greedy.spanner ~t
+      && Topo.Verify.is_t_spanner ~base
+           ~spanner:rs.Topo.Relaxed_greedy.spanner ~t
+      && Graph.Components.labels rd.Dist_greedy.spanner
+         = Graph.Components.labels rs.Topo.Relaxed_greedy.spanner)
+
+let prop_protocol_coverage_graph_equals_oracle =
+  (* The justification for DESIGN.md substitution 4: the coverage graph
+     built purely from flooded local views equals the one built with
+     full knowledge. *)
+  qtest ~count:10 "dist: flooded coverage graph equals the oracle's" seed_arb
+    (fun seed ->
+      let alpha = 0.7 in
+      let model = connected_model ~seed ~n:35 ~dim:2 ~alpha in
+      let comm = model.Ubg.Model.graph in
+      let spanner = Topo.Seq_greedy.spanner comm ~t:1.5 in
+      let radius = 0.02 +. (0.001 *. float_of_int (seed mod 50)) in
+      let by_protocol, _ =
+        Distrib.Dist_cluster_cover.coverage_graph_by_flooding ~comm ~spanner
+          ~radius ~alpha
+      in
+      let oracle = Wgraph.create (Ubg.Model.n model) in
+      for u = 0 to Ubg.Model.n model - 1 do
+        List.iter
+          (fun (v, d) -> if v > u && d > 0.0 then Wgraph.add_edge oracle u v d)
+          (Graph.Dijkstra.within spanner u ~bound:radius)
+      done;
+      let same = ref (Wgraph.n_edges by_protocol = Wgraph.n_edges oracle) in
+      Wgraph.iter_edges oracle (fun u v w ->
+          match Wgraph.weight by_protocol u v with
+          | Some w' when close ~eps:1e-9 w w' -> ()
+          | Some _ | None -> same := false);
+      !same)
+
+let prop_protocol_cover_valid =
+  qtest ~count:8 "dist: protocol-built cluster cover is valid" seed_arb
+    (fun seed ->
+      let alpha = 0.8 in
+      let model = connected_model ~seed ~n:30 ~dim:2 ~alpha in
+      let comm = model.Ubg.Model.graph in
+      let spanner = Topo.Seq_greedy.spanner comm ~t:1.5 in
+      let radius = 0.05 in
+      let c, rounds =
+        Distrib.Dist_cluster_cover.cover ~seed ~comm ~spanner ~radius ~alpha
+      in
+      rounds > 0 && Topo.Cluster_cover.is_valid spanner c)
+
+let prop_theorem9_hop_containment =
+  (* Theorem 9's engine: any G'-path of length L lies within
+     ceil(2L / alpha) hops in G, because vertices two hops apart on a
+     shortest path are more than alpha apart. Hence constant-hop
+     gathers suffice for every per-phase step. *)
+  qtest ~count:10 "dist: sp-balls fit in the Theorem 9 hop radius" seed_arb
+    (fun seed ->
+      let alpha = 0.7 in
+      let model = connected_model ~seed ~n:40 ~dim:2 ~alpha in
+      let g = model.Ubg.Model.graph in
+      let spanner = Topo.Seq_greedy.spanner g ~t:1.5 in
+      let bound = 0.4 in
+      let hops = max 1 (int_of_float (ceil (2.0 *. bound /. alpha))) in
+      let ok = ref true in
+      for u = 0 to Ubg.Model.n model - 1 do
+        let ball_g = Graph.Bfs.ball g u ~radius:hops in
+        List.iter
+          (fun (v, _) -> if not (List.mem v ball_g) then ok := false)
+          (Graph.Dijkstra.within spanner u ~bound)
+      done;
+      !ok)
+
+let prop_trace_message_accounting =
+  qtest ~count:5 "dist: message accounting is populated and O(1)-word"
+    seed_arb (fun seed ->
+      let model = random_model ~seed ~n:30 ~dim:2 ~alpha:0.8 in
+      let r = Dist_greedy.build_eps ~seed ~eps:0.6 model in
+      (* Luby messages carry (value, id): never more than 2 words —
+         the O(log n)-bit message discipline of Section 1.1. A sparse
+         coverage graph may legitimately exchange zero messages. *)
+      List.for_all
+        (fun (tr : Dist_greedy.phase_trace) ->
+          tr.mis_messages >= 0 && tr.max_message_words <= 2)
+        r.Dist_greedy.traces)
+
+let prop_protocol_engine_guarantees =
+  (* The all-protocol engine (no oracle gathers anywhere) still meets
+     every output guarantee. *)
+  qtest ~count:6 "dist: all-protocol engine produces a t-spanner" seed_arb
+    (fun seed ->
+      let model = random_model ~seed ~n:(25 + (seed mod 15)) ~dim:2 ~alpha:0.8 in
+      let eps = 0.6 in
+      let r = Distrib.Dist_protocol.build_eps ~seed ~eps model in
+      let base = model.Ubg.Model.graph in
+      Topo.Verify.is_t_spanner ~base ~spanner:r.Distrib.Dist_protocol.spanner
+        ~t:(1.0 +. eps)
+      && Graph.Components.labels base
+         = Graph.Components.labels r.Distrib.Dist_protocol.spanner
+      && r.Distrib.Dist_protocol.rounds > 0
+      && r.Distrib.Dist_protocol.messages > 0)
+
+let prop_protocol_engine_reports =
+  qtest ~count:4 "dist: all-protocol reports cover every phase" seed_arb
+    (fun seed ->
+      let model = random_model ~seed ~n:25 ~dim:2 ~alpha:0.8 in
+      let r = Distrib.Dist_protocol.build_eps ~seed ~eps:0.6 model in
+      let bins =
+        Topo.Bins.make ~params:r.Distrib.Dist_protocol.params
+          ~n:(Ubg.Model.n model)
+      in
+      List.length r.Distrib.Dist_protocol.reports = Topo.Bins.count bins
+      && r.Distrib.Dist_protocol.rounds
+         = List.fold_left
+             (fun acc (p : Distrib.Dist_protocol.phase_report) ->
+               acc + p.rounds)
+             0 r.Distrib.Dist_protocol.reports)
+
+let test_log_star () =
+  Alcotest.(check int) "log* 1" 0 (Dist_greedy.log_star 1.0);
+  Alcotest.(check int) "log* 2" 1 (Dist_greedy.log_star 2.0);
+  Alcotest.(check int) "log* 16" 3 (Dist_greedy.log_star 16.0);
+  Alcotest.(check int) "log* 65536" 4 (Dist_greedy.log_star 65536.0)
+
+let () =
+  Alcotest.run "distrib"
+    [
+      ( "runtime",
+        [
+          Alcotest.test_case "ping pong" `Quick test_runtime_ping_pong;
+          Alcotest.test_case "non-neighbor rejected" `Quick
+            test_runtime_rejects_non_neighbor;
+          Alcotest.test_case "round cap" `Quick test_runtime_round_cap;
+          Alcotest.test_case "size accounting" `Quick
+            test_runtime_message_size_accounting;
+        ] );
+      ("flood", [ prop_flood_equals_bfs_ball ]);
+      ( "mis",
+        [
+          prop_greedy_mis_valid;
+          prop_luby_mis_valid;
+          prop_luby_deterministic_in_seed;
+          Alcotest.test_case "edgeless" `Quick test_luby_edgeless;
+          Alcotest.test_case "clique" `Quick test_luby_clique;
+        ] );
+      ( "dist_greedy",
+        [
+          prop_dist_greedy_is_spanner;
+          prop_dist_greedy_structure;
+          prop_dist_vs_sequential_same_guarantees;
+          prop_theorem9_hop_containment;
+          prop_trace_message_accounting;
+          prop_protocol_coverage_graph_equals_oracle;
+          prop_protocol_cover_valid;
+          prop_protocol_engine_guarantees;
+          prop_protocol_engine_reports;
+          Alcotest.test_case "log star" `Quick test_log_star;
+        ] );
+    ]

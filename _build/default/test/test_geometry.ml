@@ -1,0 +1,290 @@
+module Point = Geometry.Point
+module Cone = Geometry.Cone
+module Grid = Geometry.Grid
+module Kdtree = Geometry.Kdtree
+module Metric = Geometry.Metric
+open Test_helpers
+
+let random_point st dim = Point.random ~st ~dim ~lo:(-5.0) ~hi:5.0
+
+(* ------------------------------------------------------------------ *)
+(* Point                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_point_basics () =
+  let p = Point.make2 3.0 4.0 and q = Point.make2 0.0 0.0 in
+  check_float "distance 3-4-5" 5.0 (Point.distance p q);
+  check_float "sq_distance" 25.0 (Point.sq_distance p q);
+  Alcotest.(check int) "dim" 2 (Point.dim p);
+  check_float "coord" 4.0 (Point.coord p 1);
+  let m = Point.midpoint p q in
+  check_float "midpoint x" 1.5 (Point.coord m 0);
+  check_float "norm" 5.0 (Point.norm p);
+  check_float "dot" 0.0 (Point.dot (Point.make2 1.0 0.0) (Point.make2 0.0 2.0));
+  Alcotest.(check bool) "equal self" true (Point.equal p p);
+  Alcotest.(check bool) "not equal" false (Point.equal p q)
+
+let test_point_errors () =
+  Alcotest.check_raises "empty create" (Invalid_argument "Point.create: empty")
+    (fun () -> ignore (Point.create [||]));
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Point: dimension mismatch") (fun () ->
+      ignore (Point.distance (Point.make2 0.0 0.0) (Point.make3 0.0 0.0 0.0)));
+  Alcotest.check_raises "normalize zero"
+    (Invalid_argument "Point.normalize: zero vector") (fun () ->
+      ignore (Point.normalize (Point.origin 3)))
+
+let test_angle () =
+  let apex = Point.make2 0.0 0.0 in
+  check_float "right angle" (Float.pi /. 2.0)
+    (Point.angle ~apex (Point.make2 1.0 0.0) (Point.make2 0.0 1.0));
+  check_float "straight" Float.pi
+    (Point.angle ~apex (Point.make2 1.0 0.0) (Point.make2 (-2.0) 0.0));
+  check_float ~eps:1e-6 "zero angle" 0.0
+    (Point.angle ~apex (Point.make2 1.0 1.0) (Point.make2 2.0 2.0))
+
+let test_segment_point_distance () =
+  let a = Point.make2 0.0 0.0 and b = Point.make2 2.0 0.0 in
+  check_float "above middle" 1.0
+    (Point.segment_point_distance a b (Point.make2 1.0 1.0));
+  check_float "beyond end" 1.0
+    (Point.segment_point_distance a b (Point.make2 3.0 0.0));
+  check_float "on segment" 0.0
+    (Point.segment_point_distance a b (Point.make2 0.5 0.0));
+  check_float "degenerate segment" 5.0
+    (Point.segment_point_distance a a (Point.make2 3.0 4.0))
+
+let prop_triangle_inequality =
+  qtest "point: triangle inequality" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let dim = 2 + Random.State.int st 3 in
+      let p = random_point st dim
+      and q = random_point st dim
+      and r = random_point st dim in
+      Point.distance p r <= Point.distance p q +. Point.distance q r +. 1e-9)
+
+let prop_distance_symmetric =
+  qtest "point: distance symmetric and nonnegative" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let dim = 2 + Random.State.int st 3 in
+      let p = random_point st dim and q = random_point st dim in
+      let d = Point.distance p q in
+      d >= 0.0 && close d (Point.distance q p))
+
+let prop_law_of_cosines =
+  qtest "point: angle consistent with law of cosines" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let apex = random_point st 2
+      and p = random_point st 2
+      and q = random_point st 2 in
+      if Point.distance apex p < 1e-6 || Point.distance apex q < 1e-6 then true
+      else begin
+        let a = Point.distance apex p
+        and b = Point.distance apex q
+        and c = Point.distance p q in
+        let lhs = c *. c in
+        let rhs =
+          (a *. a) +. (b *. b)
+          -. (2.0 *. a *. b *. cos (Point.angle ~apex p q))
+        in
+        close ~eps:1e-6 lhs rhs
+      end)
+
+let prop_lerp_endpoints =
+  qtest "point: lerp hits endpoints" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let p = random_point st 3 and q = random_point st 3 in
+      Point.equal ~eps:1e-9 (Point.lerp p q 0.0) p
+      && Point.equal ~eps:1e-9 (Point.lerp p q 1.0) q)
+
+(* ------------------------------------------------------------------ *)
+(* Cone partitions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_cone_2d_count () =
+  let c = Cone.make ~dim:2 ~theta:(Float.pi /. 6.0) in
+  Alcotest.(check int) "pi/theta sectors" 6 (Cone.cone_count c);
+  Alcotest.(check int) "dim" 2 (Cone.dim c)
+
+let prop_cone_assign_within_theta =
+  qtest ~count:100 "cone: assigned axis within theta" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let dim = 2 + Random.State.int st 2 in
+      let theta = 0.3 +. Random.State.float st 0.8 in
+      let c = Cone.make ~dim ~theta in
+      let v =
+        let rec nonzero () =
+          let v = random_point st dim in
+          if Point.norm v > 1e-6 then v else nonzero ()
+        in
+        nonzero ()
+      in
+      let i = Cone.assign c v in
+      Cone.angle_to_axis c i v <= theta +. 1e-9)
+
+let test_cone_errors () =
+  Alcotest.check_raises "dim 1" (Invalid_argument "Cone.make: dim < 2")
+    (fun () -> ignore (Cone.make ~dim:1 ~theta:0.5));
+  Alcotest.check_raises "theta range"
+    (Invalid_argument "Cone.make: theta out of (0, pi/2)") (fun () ->
+      ignore (Cone.make ~dim:2 ~theta:2.0))
+
+let test_cone_axes_unit () =
+  let c = Cone.make ~dim:3 ~theta:0.7 in
+  for i = 0 to Cone.cone_count c - 1 do
+    check_float ~eps:1e-9 "unit axis" 1.0 (Point.norm (Cone.axis c i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Grid                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let brute_close_pairs points radius =
+  let acc = ref [] in
+  Array.iteri
+    (fun i p ->
+      Array.iteri
+        (fun j q ->
+          if i < j && Point.distance p q <= radius then acc := (i, j) :: !acc)
+        points)
+    points;
+  List.sort compare !acc
+
+let prop_grid_close_pairs =
+  qtest ~count:40 "grid: close pairs match brute force" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 60 in
+      let dim = 2 + Random.State.int st 2 in
+      let points = Array.init n (fun _ -> random_point st dim) in
+      let radius = 0.5 +. Random.State.float st 1.5 in
+      let grid = Grid.build ~cell:radius points in
+      let got = ref [] in
+      Grid.iter_close_pairs grid ~radius (fun i j _ -> got := (i, j) :: !got);
+      List.sort compare !got = brute_close_pairs points radius)
+
+let prop_grid_neighbors =
+  qtest ~count:40 "grid: neighbors match brute force" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 40 in
+      let points = Array.init n (fun _ -> random_point st 2) in
+      let radius = 1.0 in
+      let grid = Grid.build ~cell:radius points in
+      let i = Random.State.int st n in
+      let got = List.sort compare (Grid.neighbors grid i ~radius) in
+      let want =
+        List.sort compare
+          (List.filter_map
+             (fun j ->
+               if j <> i && Point.distance points.(i) points.(j) <= radius then
+                 Some j
+               else None)
+             (List.init n Fun.id))
+      in
+      got = want)
+
+(* ------------------------------------------------------------------ *)
+(* Kdtree                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_kdtree_range =
+  qtest ~count:40 "kdtree: range query matches brute force" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 1 + Random.State.int st 80 in
+      let dim = 2 + Random.State.int st 2 in
+      let points = Array.init n (fun _ -> random_point st dim) in
+      let tree = Kdtree.build points in
+      let center = random_point st dim in
+      let radius = Random.State.float st 4.0 in
+      let got = List.sort compare (Kdtree.range tree ~center ~radius) in
+      let want =
+        List.sort compare
+          (List.filter
+             (fun i -> Point.distance points.(i) center <= radius)
+             (List.init n Fun.id))
+      in
+      got = want)
+
+let prop_kdtree_nearest =
+  qtest ~count:60 "kdtree: nearest matches brute force" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 1 + Random.State.int st 80 in
+      let points = Array.init n (fun _ -> random_point st 3) in
+      let tree = Kdtree.build points in
+      let query = random_point st 3 in
+      let _, d = Kdtree.nearest tree ~query in
+      let want =
+        Array.fold_left
+          (fun acc p -> min acc (Point.distance p query))
+          infinity points
+      in
+      close ~eps:1e-9 d want)
+
+let test_kdtree_excluding () =
+  let points = [| Point.make2 0.0 0.0; Point.make2 1.0 0.0 |] in
+  let tree = Kdtree.build points in
+  (match Kdtree.nearest_excluding tree ~query:(Point.make2 0.1 0.0)
+           ~excluded:(fun i -> i = 0)
+   with
+  | Some (i, _) -> Alcotest.(check int) "skips excluded" 1 i
+  | None -> Alcotest.fail "expected a result");
+  Alcotest.(check bool) "all excluded" true
+    (Kdtree.nearest_excluding tree ~query:(Point.make2 0.0 0.0)
+       ~excluded:(fun _ -> true)
+    = None)
+
+(* ------------------------------------------------------------------ *)
+(* Metric                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metric () =
+  let p = Point.make2 0.0 0.0 and q = Point.make2 0.5 0.0 in
+  check_float "euclidean" 0.5 (Metric.weight Metric.Euclidean p q);
+  check_float "energy gamma=2" 0.5
+    (Metric.weight (Metric.Energy { c = 2.0; gamma = 2.0 }) p q);
+  Alcotest.check_raises "gamma < 1" (Invalid_argument "Metric: gamma < 1")
+    (fun () -> Metric.validate (Metric.Energy { c = 1.0; gamma = 0.5 }));
+  Alcotest.check_raises "c <= 0" (Invalid_argument "Metric: c <= 0") (fun () ->
+      Metric.validate (Metric.Energy { c = 0.0; gamma = 2.0 }))
+
+let prop_metric_monotone =
+  qtest "metric: energy weight monotone in distance" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let c = 0.1 +. Random.State.float st 3.0 in
+      let gamma = 1.0 +. Random.State.float st 3.0 in
+      let m = Metric.Energy { c; gamma } in
+      let d1 = Random.State.float st 2.0 and d2 = Random.State.float st 2.0 in
+      let lo, hi = if d1 <= d2 then (d1, d2) else (d2, d1) in
+      Metric.of_distance m lo <= Metric.of_distance m hi +. 1e-12)
+
+let () =
+  Alcotest.run "geometry"
+    [
+      ( "point",
+        [
+          Alcotest.test_case "basics" `Quick test_point_basics;
+          Alcotest.test_case "errors" `Quick test_point_errors;
+          Alcotest.test_case "angle" `Quick test_angle;
+          Alcotest.test_case "segment-point distance" `Quick
+            test_segment_point_distance;
+          prop_triangle_inequality;
+          prop_distance_symmetric;
+          prop_law_of_cosines;
+          prop_lerp_endpoints;
+        ] );
+      ( "cone",
+        [
+          Alcotest.test_case "2d sector count" `Quick test_cone_2d_count;
+          Alcotest.test_case "errors" `Quick test_cone_errors;
+          Alcotest.test_case "axes are unit" `Quick test_cone_axes_unit;
+          prop_cone_assign_within_theta;
+        ] );
+      ("grid", [ prop_grid_close_pairs; prop_grid_neighbors ]);
+      ( "kdtree",
+        [
+          prop_kdtree_range;
+          prop_kdtree_nearest;
+          Alcotest.test_case "nearest excluding" `Quick test_kdtree_excluding;
+        ] );
+      ("metric", [ Alcotest.test_case "weights" `Quick test_metric; prop_metric_monotone ]);
+    ]

@@ -1,0 +1,398 @@
+module Wgraph = Graph.Wgraph
+module Heap = Graph.Heap
+module Union_find = Graph.Union_find
+module Dijkstra = Graph.Dijkstra
+module Bfs = Graph.Bfs
+module Mst = Graph.Mst
+module Components = Graph.Components
+module Apsp = Graph.Apsp
+module Flow = Graph.Flow
+module Path = Graph.Path
+open Test_helpers
+
+(* ------------------------------------------------------------------ *)
+(* Wgraph                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_wgraph_basics () =
+  let g = Wgraph.create 4 in
+  Alcotest.(check int) "no edges" 0 (Wgraph.n_edges g);
+  Wgraph.add_edge g 0 1 1.0;
+  Wgraph.add_edge g 1 2 2.0;
+  Alcotest.(check int) "two edges" 2 (Wgraph.n_edges g);
+  Alcotest.(check bool) "mem" true (Wgraph.mem_edge g 1 0);
+  Alcotest.(check (option (float 1e-12))) "weight" (Some 2.0) (Wgraph.weight g 2 1);
+  Alcotest.(check int) "degree" 2 (Wgraph.degree g 1);
+  Wgraph.add_edge g 0 1 5.0;
+  Alcotest.(check int) "reweight keeps count" 2 (Wgraph.n_edges g);
+  Alcotest.(check (option (float 1e-12))) "reweighted" (Some 5.0) (Wgraph.weight g 0 1);
+  Alcotest.(check bool) "remove" true (Wgraph.remove_edge g 0 1);
+  Alcotest.(check bool) "remove again" false (Wgraph.remove_edge g 0 1);
+  Alcotest.(check int) "one edge" 1 (Wgraph.n_edges g)
+
+let test_wgraph_errors () =
+  let g = Wgraph.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Wgraph.add_edge: self loop")
+    (fun () -> Wgraph.add_edge g 1 1 1.0);
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Wgraph.add_edge: nonpositive weight") (fun () ->
+      Wgraph.add_edge g 0 1 0.0);
+  Alcotest.check_raises "range" (Invalid_argument "Wgraph: vertex out of range")
+    (fun () -> Wgraph.add_edge g 0 7 1.0)
+
+let test_wgraph_copy_independent () =
+  let g = Wgraph.create 3 in
+  Wgraph.add_edge g 0 1 1.0;
+  let h = Wgraph.copy g in
+  Wgraph.add_edge h 1 2 1.0;
+  Alcotest.(check int) "copy gained" 2 (Wgraph.n_edges h);
+  Alcotest.(check int) "original untouched" 1 (Wgraph.n_edges g)
+
+let test_wgraph_union () =
+  let g = Wgraph.of_edges ~n:3 [ (0, 1, 2.0) ] in
+  let h = Wgraph.of_edges ~n:3 [ (0, 1, 1.0); (1, 2, 3.0) ] in
+  Wgraph.union g h;
+  Alcotest.(check (option (float 1e-12))) "min weight wins" (Some 1.0)
+    (Wgraph.weight g 0 1);
+  Alcotest.(check int) "merged" 2 (Wgraph.n_edges g)
+
+let prop_wgraph_consistent =
+  qtest "wgraph: symmetric adjacency invariant" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 30 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 20) in
+      for _ = 0 to 5 do
+        let u = Random.State.int st n and v = Random.State.int st n in
+        if u <> v then ignore (Wgraph.remove_edge g u v)
+      done;
+      Wgraph.is_symmetric_consistent g)
+
+let prop_wgraph_edges_roundtrip =
+  qtest "wgraph: edges list round-trips" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 20 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 10) in
+      let rebuilt =
+        Wgraph.of_edges ~n
+          (List.map (fun (e : Wgraph.edge) -> (e.u, e.v, e.w)) (Wgraph.edges g))
+      in
+      Wgraph.n_edges rebuilt = Wgraph.n_edges g
+      && List.for_all
+           (fun (e : Wgraph.edge) -> Wgraph.weight rebuilt e.u e.v = Some e.w)
+           (Wgraph.edges g))
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_heap_sorts =
+  qtest "heap: pops in priority order" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 1 + Random.State.int st 100 in
+      let h = Heap.create n in
+      let prios = Array.init n (fun _ -> Random.State.float st 100.0) in
+      Array.iteri (fun k p -> Heap.insert h k p) prios;
+      let rec drain last =
+        if Heap.is_empty h then true
+        else begin
+          let _, p = Heap.pop_min h in
+          p >= last && drain p
+        end
+      in
+      drain neg_infinity)
+
+let prop_heap_decrease =
+  qtest "heap: decrease-key moves element forward" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 50 in
+      let h = Heap.create n in
+      for k = 0 to n - 1 do
+        Heap.insert h k (10.0 +. Random.State.float st 10.0)
+      done;
+      let k = Random.State.int st n in
+      Heap.decrease h k 1.0;
+      fst (Heap.pop_min h) = k)
+
+let test_heap_errors () =
+  let h = Heap.create 2 in
+  Heap.insert h 0 1.0;
+  Alcotest.check_raises "duplicate" (Invalid_argument "Heap.insert: duplicate key")
+    (fun () -> Heap.insert h 0 2.0);
+  Alcotest.check_raises "increase"
+    (Invalid_argument "Heap.decrease: priority increase") (fun () ->
+      Heap.decrease h 0 5.0);
+  Alcotest.(check bool) "mem" true (Heap.mem h 0);
+  Alcotest.(check bool) "not mem" false (Heap.mem h 1);
+  ignore (Heap.pop_min h);
+  Alcotest.check_raises "empty pop" Not_found (fun () -> ignore (Heap.pop_min h))
+
+(* ------------------------------------------------------------------ *)
+(* Union-find                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_union_find () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "initial classes" 5 (Union_find.count uf);
+  Alcotest.(check bool) "union 0 1" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "union again" false (Union_find.union uf 1 0);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 2);
+  Alcotest.(check int) "classes after" 4 (Union_find.count uf)
+
+(* ------------------------------------------------------------------ *)
+(* Dijkstra                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_dijkstra_vs_floyd =
+  qtest ~count:40 "dijkstra: matches Floyd-Warshall" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 25 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 30) in
+      let fw = Apsp.floyd_warshall g in
+      let dj = Apsp.dijkstra_all g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if not (close ~eps:1e-9 fw.(u).(v) dj.(u).(v)) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_dijkstra_path_length =
+  qtest "dijkstra: reported path realizes the distance" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 25 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 20) in
+      let u = Random.State.int st n and v = Random.State.int st n in
+      match Dijkstra.path g u v with
+      | None -> false (* random_graph is connected *)
+      | Some p ->
+          Path.is_valid g p
+          && close ~eps:1e-9 (Path.length g p) (Dijkstra.distance g u v))
+
+let prop_hop_bounded_unbounded_agrees =
+  qtest "dijkstra: hop-bounded with n hops equals exact" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 20 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 20) in
+      let u = Random.State.int st n and v = Random.State.int st n in
+      let exact = Dijkstra.distance g u v in
+      close ~eps:1e-9 exact
+        (Dijkstra.hop_bounded_distance g u v ~max_hops:n ~bound:infinity))
+
+let test_hop_bounded_respects_hops () =
+  (* Triangle detour: 0-1 direct weight 10, 0-2-1 weight 2. *)
+  let g = Wgraph.of_edges ~n:3 [ (0, 1, 10.0); (0, 2, 1.0); (2, 1, 1.0) ] in
+  check_float "one hop takes direct edge" 10.0
+    (Dijkstra.hop_bounded_distance g 0 1 ~max_hops:1 ~bound:infinity);
+  check_float "two hops takes detour" 2.0
+    (Dijkstra.hop_bounded_distance g 0 1 ~max_hops:2 ~bound:infinity);
+  Alcotest.(check bool) "bound excludes all" true
+    (Dijkstra.hop_bounded_distance g 0 1 ~max_hops:1 ~bound:5.0 = infinity)
+
+let prop_within_bound =
+  qtest "dijkstra: within returns exactly the ball" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 25 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 15) in
+      let src = Random.State.int st n in
+      let bound = Random.State.float st 3.0 in
+      let dist = Dijkstra.distances g src in
+      let ball = Dijkstra.within g src ~bound in
+      List.for_all (fun (v, d) -> close ~eps:1e-9 dist.(v) d && d <= bound) ball
+      && List.length ball
+         = Array.fold_left
+             (fun acc d -> if d <= bound then acc + 1 else acc)
+             0 dist)
+
+(* ------------------------------------------------------------------ *)
+(* BFS                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_bfs_path_graph () =
+  let g = Wgraph.of_edges ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ] in
+  Alcotest.(check int) "3 hops" 3 (Bfs.hop_distance g 0 3);
+  Alcotest.(check (list int)) "2-ball" [ 0; 1; 2 ]
+    (List.sort compare (Bfs.ball g 0 ~radius:2))
+
+let prop_induced_ball =
+  qtest "bfs: induced ball preserves inner edges" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 25 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 20) in
+      let src = Random.State.int st n in
+      let radius = 1 + Random.State.int st 3 in
+      let h, vertices = Bfs.induced_ball g src ~radius in
+      let index = Hashtbl.create 16 in
+      Array.iteri (fun i v -> Hashtbl.add index v i) vertices;
+      let ok = ref true in
+      Wgraph.iter_edges h (fun i j w ->
+          if Wgraph.weight g vertices.(i) vertices.(j) <> Some w then ok := false);
+      Wgraph.iter_edges g (fun u v w ->
+          match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
+          | Some i, Some j ->
+              if Wgraph.weight h i j <> Some w then ok := false
+          | (Some _ | None), _ -> ());
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* MST                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_mst_kruskal_eq_prim =
+  qtest "mst: kruskal and prim agree on weight" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 30 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 40) in
+      let wk =
+        List.fold_left (fun a (e : Wgraph.edge) -> a +. e.w) 0.0 (Mst.kruskal g)
+      and wp =
+        List.fold_left (fun a (e : Wgraph.edge) -> a +. e.w) 0.0 (Mst.prim g)
+      in
+      close ~eps:1e-9 wk wp)
+
+let prop_mst_is_spanning_forest =
+  qtest "mst: forest spans with n - c edges" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 30 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 10) in
+      List.iteri
+        (fun i (e : Wgraph.edge) ->
+          if i mod 3 = 0 then ignore (Wgraph.remove_edge g e.u e.v))
+        (Wgraph.edges g);
+      let f = Mst.forest g in
+      Components.count f = Components.count g
+      && Wgraph.n_edges f = n - Components.count g)
+
+let test_mst_known () =
+  (* Square with a heavy diagonal: the MST avoids it. *)
+  let g =
+    Wgraph.of_edges ~n:4
+      [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (3, 0, 2.0); (0, 2, 5.0) ]
+  in
+  check_float "mst weight" 3.0 (Mst.weight g)
+
+(* ------------------------------------------------------------------ *)
+(* Components                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_components () =
+  let g = Wgraph.of_edges ~n:5 [ (0, 1, 1.0); (3, 4, 1.0) ] in
+  Alcotest.(check int) "three components" 3 (Components.count g);
+  Alcotest.(check bool) "not connected" false (Components.is_connected g);
+  Alcotest.(check bool) "same" true (Components.same g 0 1);
+  Alcotest.(check bool) "different" false (Components.same g 0 3);
+  Alcotest.(check (list (list int))) "groups" [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ]
+    (Components.groups g);
+  let lbl = Components.labels g in
+  Alcotest.(check int) "label is min member" 3 lbl.(4)
+
+(* ------------------------------------------------------------------ *)
+(* Flow                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_cycle () =
+  let g =
+    Wgraph.of_edges ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (3, 0, 1.0) ]
+  in
+  Alcotest.(check int) "edge disjoint" 2 (Flow.edge_disjoint_paths g 0 2);
+  Alcotest.(check int) "vertex disjoint" 2 (Flow.vertex_disjoint_paths g 0 2);
+  Alcotest.(check int) "edge connectivity" 2 (Flow.edge_connectivity g)
+
+let test_flow_bridge () =
+  let g =
+    Wgraph.of_edges ~n:6
+      [
+        (0, 1, 1.0); (1, 2, 1.0); (2, 0, 1.0);
+        (3, 4, 1.0); (4, 5, 1.0); (5, 3, 1.0);
+        (2, 3, 1.0);
+      ]
+  in
+  Alcotest.(check int) "across bridge" 1 (Flow.edge_disjoint_paths g 0 5);
+  Alcotest.(check int) "connectivity" 1 (Flow.edge_connectivity g)
+
+let test_flow_hub () =
+  (* All three routes from 0 to 4 pass through hub 2: edge-disjointness
+     3, vertex-disjointness 1. *)
+  let g =
+    Wgraph.of_edges ~n:5
+      [ (0, 1, 1.0); (1, 2, 1.0); (0, 2, 1.0); (0, 3, 1.0); (3, 2, 1.0);
+        (2, 4, 1.0) ]
+  in
+  Alcotest.(check int) "vertex disjoint through hub" 1
+    (Flow.vertex_disjoint_paths g 0 4);
+  Alcotest.(check int) "edge disjoint limited by last edge" 1
+    (Flow.edge_disjoint_paths g 0 4)
+
+let prop_flow_menger_bound =
+  qtest "flow: disjoint paths bounded by min degree" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 15 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 20) in
+      let s = 0 and t = n - 1 in
+      if s = t then true
+      else begin
+        let f = Flow.edge_disjoint_paths g s t in
+        let fv = Flow.vertex_disjoint_paths g s t in
+        fv <= f && f <= min (Wgraph.degree g s) (Wgraph.degree g t)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Path                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_path () =
+  let g = Wgraph.of_edges ~n:3 [ (0, 1, 1.5); (1, 2, 2.5) ] in
+  check_float "length" 4.0 (Path.length g [ 0; 1; 2 ]);
+  Alcotest.(check int) "hops" 2 (Path.hops [ 0; 1; 2 ]);
+  Alcotest.(check bool) "valid" true (Path.is_valid g [ 0; 1; 2 ]);
+  Alcotest.(check bool) "invalid" false (Path.is_valid g [ 0; 2 ]);
+  Alcotest.(check bool) "empty invalid" false (Path.is_valid g []);
+  Alcotest.(check bool) "simple" true (Path.is_simple [ 0; 1; 2 ]);
+  Alcotest.(check bool) "not simple" false (Path.is_simple [ 0; 1; 0 ])
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "wgraph",
+        [
+          Alcotest.test_case "basics" `Quick test_wgraph_basics;
+          Alcotest.test_case "errors" `Quick test_wgraph_errors;
+          Alcotest.test_case "copy independent" `Quick test_wgraph_copy_independent;
+          Alcotest.test_case "union" `Quick test_wgraph_union;
+          prop_wgraph_consistent;
+          prop_wgraph_edges_roundtrip;
+        ] );
+      ( "heap",
+        [
+          prop_heap_sorts;
+          prop_heap_decrease;
+          Alcotest.test_case "errors" `Quick test_heap_errors;
+        ] );
+      ("union_find", [ Alcotest.test_case "basics" `Quick test_union_find ]);
+      ( "dijkstra",
+        [
+          prop_dijkstra_vs_floyd;
+          prop_dijkstra_path_length;
+          prop_hop_bounded_unbounded_agrees;
+          Alcotest.test_case "hop bound honored" `Quick test_hop_bounded_respects_hops;
+          prop_within_bound;
+        ] );
+      ( "bfs",
+        [ Alcotest.test_case "path graph" `Quick test_bfs_path_graph; prop_induced_ball ] );
+      ( "mst",
+        [
+          prop_mst_kruskal_eq_prim;
+          prop_mst_is_spanning_forest;
+          Alcotest.test_case "known instance" `Quick test_mst_known;
+        ] );
+      ("components", [ Alcotest.test_case "basics" `Quick test_components ]);
+      ( "flow",
+        [
+          Alcotest.test_case "cycle" `Quick test_flow_cycle;
+          Alcotest.test_case "bridge" `Quick test_flow_bridge;
+          Alcotest.test_case "hub" `Quick test_flow_hub;
+          prop_flow_menger_bound;
+        ] );
+      ("path", [ Alcotest.test_case "basics" `Quick test_path ]);
+    ]

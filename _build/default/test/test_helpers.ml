@@ -1,0 +1,51 @@
+(* Shared generators and checkers for the test suites. *)
+
+module Point = Geometry.Point
+module Wgraph = Graph.Wgraph
+
+let rand_state seed = Random.State.make [| seed; 0xfeed |]
+
+(* A small random connected weighted graph (not geometric). *)
+let random_graph ~st ~n ~extra_edges =
+  let g = Wgraph.create n in
+  (* Random spanning tree first, then extra random edges. *)
+  for v = 1 to n - 1 do
+    let u = Random.State.int st v in
+    Wgraph.add_edge g u v (0.1 +. Random.State.float st 1.0)
+  done;
+  let capacity = (n * (n - 1) / 2) - (n - 1) in
+  let added = ref 0 in
+  while !added < min extra_edges capacity do
+    let u = Random.State.int st n and v = Random.State.int st n in
+    if u <> v && not (Wgraph.mem_edge g u v) then begin
+      Wgraph.add_edge g u v (0.1 +. Random.State.float st 1.0);
+      incr added
+    end
+  done;
+  g
+
+(* A random α-UBG model: uniform points at moderate density. *)
+let random_model ~seed ~n ~dim ~alpha =
+  let side =
+    Ubg.Generator.side_for_expected_degree ~dim ~n ~alpha ~degree:8.0
+  in
+  Ubg.Generator.generate ~seed ~dim ~n ~alpha
+    (Ubg.Generator.Uniform { side })
+
+let connected_model ~seed ~n ~dim ~alpha =
+  let side =
+    Ubg.Generator.side_for_expected_degree ~dim ~n ~alpha ~degree:9.0
+  in
+  Ubg.Generator.connected ~seed ~dim ~n ~alpha
+    (Ubg.Generator.Uniform { side })
+
+(* QCheck arbitrary for seeds. *)
+let seed_arb = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 10_000)
+
+let qtest ?(count = 50) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let close ?(eps = 1e-9) a b = abs_float (a -. b) <= eps
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check bool) msg true (close ~eps expected actual)

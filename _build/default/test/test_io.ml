@@ -1,0 +1,122 @@
+module Wgraph = Graph.Wgraph
+module Io = Ubg.Io
+module Model = Ubg.Model
+open Test_helpers
+
+let temp_file suffix = Filename.temp_file "topo_test" suffix
+
+let prop_instance_roundtrip =
+  qtest ~count:20 "io: instance save/load round-trips" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let dim = 2 + Random.State.int st 2 in
+      let model = random_model ~seed ~n:(5 + Random.State.int st 40) ~dim ~alpha:0.8 in
+      let path = temp_file ".ubg" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Io.save_instance path model;
+          let loaded = Io.load_instance path in
+          Model.n loaded = Model.n model
+          && Model.dim loaded = Model.dim model
+          && loaded.Model.alpha = model.Model.alpha
+          && Wgraph.n_edges loaded.Model.graph = Wgraph.n_edges model.Model.graph
+          && List.for_all
+               (fun (e : Wgraph.edge) ->
+                 match Wgraph.weight loaded.Model.graph e.u e.v with
+                 | Some w -> close ~eps:1e-9 w e.w
+                 | None -> false)
+               (Wgraph.edges model.Model.graph)))
+
+let prop_topology_roundtrip =
+  qtest ~count:15 "io: topology save/load round-trips" seed_arb (fun seed ->
+      let model = random_model ~seed ~n:30 ~dim:2 ~alpha:0.8 in
+      let spanner =
+        (Topo.Relaxed_greedy.build_eps ~eps:0.5 model).Topo.Relaxed_greedy.spanner
+      in
+      let path = temp_file ".topo" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Io.save_topology path spanner;
+          let loaded = Io.load_topology path ~model in
+          List.sort compare (Wgraph.edges loaded)
+          = List.sort compare (Wgraph.edges spanner)))
+
+let write_file content =
+  let path = temp_file ".bad" in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let expect_failure what content =
+  let path = write_file content in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Alcotest.(check bool) what true
+        (try
+           ignore (Io.load_instance path);
+           false
+         with Failure _ -> true))
+
+let test_malformed_inputs () =
+  expect_failure "bad header" "not-a-header\n1 2 0.5\n";
+  expect_failure "truncated points" "ubg-instance v1\n3 2 0.5\n0 0\n";
+  expect_failure "bad coordinate" "ubg-instance v1\n1 2 0.5\n0 zero\n0\n";
+  expect_failure "bad edge" "ubg-instance v1\n2 2 0.9\n0 0\n0.5 0\n1\n0 7\n";
+  expect_failure "missing edge count" "ubg-instance v1\n1 2 0.5\n0 0\n"
+
+let test_comments_and_blanks () =
+  let path =
+    write_file
+      "# a comment\nubg-instance v1\n\n2 2 0.9\n0 0\n# midway comment\n0.5 0\n1\n0 1\n"
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let m = Io.load_instance path in
+      Alcotest.(check int) "n" 2 (Model.n m);
+      Alcotest.(check int) "m" 1 (Wgraph.n_edges m.Model.graph))
+
+let test_topology_must_be_subgraph () =
+  let model = random_model ~seed:3 ~n:10 ~dim:2 ~alpha:0.8 in
+  (* Find a non-edge. *)
+  let non_edge =
+    let found = ref None in
+    for u = 0 to 9 do
+      for v = u + 1 to 9 do
+        if !found = None && not (Wgraph.mem_edge model.Model.graph u v) then
+          found := Some (u, v)
+      done
+    done;
+    !found
+  in
+  match non_edge with
+  | None -> () (* dense instance; nothing to test *)
+  | Some (u, v) ->
+      let path =
+        write_file (Printf.sprintf "ubg-topology v1\n10 1\n%d %d\n" u v)
+      in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Alcotest.(check bool) "foreign edge rejected" true
+            (try
+               ignore (Io.load_topology path ~model);
+               false
+             with Failure _ -> true))
+
+let () =
+  Alcotest.run "io"
+    [
+      ( "io",
+        [
+          prop_instance_roundtrip;
+          prop_topology_roundtrip;
+          Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
+          Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+          Alcotest.test_case "topology subgraph check" `Quick
+            test_topology_must_be_subgraph;
+        ] );
+    ]

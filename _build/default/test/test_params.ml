@@ -1,0 +1,99 @@
+module Params = Topo.Params
+open Test_helpers
+
+(* The derived regime must satisfy every published inequality for any
+   reasonable target stretch — this is Theorems 10/13's precondition. *)
+let prop_derived_regime_valid =
+  qtest ~count:200 "params: derived regime passes validate" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let t = 1.01 +. Random.State.float st 3.0 in
+      let alpha = 0.2 +. Random.State.float st 0.8 in
+      let dim = 2 + Random.State.int st 3 in
+      let p = Params.make ~t ~alpha ~dim () in
+      Params.validate p = Ok ())
+
+let prop_theta_satisfies_lemma3 =
+  qtest ~count:100 "params: theta satisfies the Czumaj-Zhao bound" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let t = 1.001 +. Random.State.float st 4.0 in
+      let theta = Params.max_theta ~t in
+      theta > 0.0
+      && theta < Float.pi /. 4.0
+      && 1.0 /. (cos theta -. sin theta) <= t +. 1e-9)
+
+let test_theta_monotone () =
+  let th1 = Params.max_theta ~t:1.1
+  and th2 = Params.max_theta ~t:1.5
+  and th3 = Params.max_theta ~t:3.0 in
+  Alcotest.(check bool) "larger t allows wider cones" true (th1 < th2 && th2 < th3)
+
+let test_make_rejects_bad_overrides () =
+  let reject f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "t <= 1" true
+    (reject (fun () -> Params.make ~t:1.0 ~alpha:0.8 ~dim:2 ()));
+  Alcotest.(check bool) "t1 >= t" true
+    (reject (fun () -> Params.make ~t1:1.6 ~t:1.5 ~alpha:0.8 ~dim:2 ()));
+  Alcotest.(check bool) "delta too big" true
+    (reject (fun () -> Params.make ~delta:0.3 ~t:1.5 ~alpha:0.8 ~dim:2 ()));
+  Alcotest.(check bool) "r too big" true
+    (reject (fun () -> Params.make ~r:1.99 ~t:1.2 ~alpha:0.8 ~dim:2 ()));
+  Alcotest.(check bool) "theta too big" true
+    (reject (fun () -> Params.make ~theta:0.9 ~t:1.2 ~alpha:0.8 ~dim:2 ()));
+  Alcotest.(check bool) "dim 1" true
+    (reject (fun () -> Params.make ~t:1.5 ~alpha:0.8 ~dim:1 ()));
+  Alcotest.(check bool) "alpha 0" true
+    (reject (fun () -> Params.make ~t:1.5 ~alpha:0.0 ~dim:2 ()))
+
+let prop_t_delta_above_one =
+  qtest ~count:100 "params: t_delta > 1 so bin growth is legal" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let t = 1.01 +. Random.State.float st 3.0 in
+      let p = Params.make ~t ~alpha:0.7 ~dim:2 () in
+      Params.t_delta p > 1.0
+      && p.Params.r > 1.0
+      && p.Params.r < (Params.t_delta p +. 1.0) /. 2.0)
+
+let prop_hop_limits_positive =
+  qtest "params: hop limits positive and finite" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let t = 1.05 +. Random.State.float st 2.0 in
+      let alpha = 0.3 +. Random.State.float st 0.7 in
+      let p = Params.make ~t ~alpha ~dim:2 () in
+      Params.query_hop_limit p >= 3 && Params.gather_hop_limit p >= 2)
+
+let test_of_epsilon () =
+  let p = Params.of_epsilon ~eps:0.5 ~alpha:0.8 ~dim:3 in
+  check_float "t = 1 + eps" 1.5 p.Params.t;
+  Alcotest.(check int) "dim" 3 p.Params.dim
+
+let test_accepts_valid_overrides () =
+  let p = Params.make ~t1:1.2 ~delta:0.01 ~t:1.5 ~alpha:0.8 ~dim:2 () in
+  check_float "t1 kept" 1.2 p.Params.t1;
+  check_float "delta kept" 0.01 p.Params.delta;
+  Alcotest.(check bool) "valid" true (Params.validate p = Ok ())
+
+let () =
+  Alcotest.run "params"
+    [
+      ( "regime",
+        [
+          prop_derived_regime_valid;
+          prop_theta_satisfies_lemma3;
+          prop_t_delta_above_one;
+          prop_hop_limits_positive;
+          Alcotest.test_case "theta monotone" `Quick test_theta_monotone;
+          Alcotest.test_case "rejects bad overrides" `Quick
+            test_make_rejects_bad_overrides;
+          Alcotest.test_case "of_epsilon" `Quick test_of_epsilon;
+          Alcotest.test_case "accepts valid overrides" `Quick
+            test_accepts_valid_overrides;
+        ] );
+    ]

@@ -1,0 +1,321 @@
+module Point = Geometry.Point
+module Delaunay = Geometry.Delaunay
+module Wgraph = Graph.Wgraph
+module Planarity = Analysis.Planarity
+module Planar_routing = Baselines.Planar_routing
+open Test_helpers
+
+let random_points ~st ~n =
+  Array.init n (fun _ -> Point.random ~st ~dim:2 ~lo:0.0 ~hi:10.0)
+
+(* ------------------------------------------------------------------ *)
+(* Delaunay triangulation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_delaunay_square () =
+  (* Unit square with center: 8 edges (4 sides + 4 spokes), diagonal
+     between corners excluded by the center point. *)
+  let pts =
+    [|
+      Point.make2 0.0 0.0; Point.make2 1.0 0.0; Point.make2 1.0 1.0;
+      Point.make2 0.0 1.0; Point.make2 0.5 0.5;
+    |]
+  in
+  let edges = Delaunay.triangulate pts in
+  Alcotest.(check int) "8 edges" 8 (List.length edges);
+  Alcotest.(check bool) "spoke present" true (List.mem (0, 4) edges);
+  Alcotest.(check bool) "corner diagonal absent" true
+    (not (List.mem (0, 2) edges || List.mem (1, 3) edges))
+
+let test_delaunay_collinear () =
+  let pts = Array.init 5 (fun i -> Point.make2 (float_of_int i) 0.0) in
+  Alcotest.(check (list (pair int int))) "path"
+    [ (0, 1); (1, 2); (2, 3); (3, 4) ]
+    (List.sort compare (Delaunay.triangulate pts));
+  Alcotest.(check (list (triple int int int))) "no triangles" []
+    (Delaunay.triangles pts)
+
+let test_delaunay_rejects () =
+  Alcotest.(check bool) "duplicates" true
+    (try
+       ignore (Delaunay.triangulate [| Point.make2 0.0 0.0; Point.make2 0.0 0.0 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "3-d points" true
+    (try
+       ignore (Delaunay.triangulate [| Point.make3 0.0 0.0 0.0; Point.make3 1.0 0.0 0.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_delaunay_empty_circumcircle =
+  qtest ~count:25 "delaunay: triangles have empty circumcircles" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 4 + Random.State.int st 30 in
+      let pts = random_points ~st ~n in
+      List.for_all
+        (fun (a, b, c) ->
+          let ok = ref true in
+          Array.iteri
+            (fun i p ->
+              if i <> a && i <> b && i <> c then
+                if Delaunay.in_circumcircle pts.(a) pts.(b) pts.(c) p then
+                  ok := false)
+            pts;
+          !ok)
+        (Delaunay.triangles pts))
+
+let prop_delaunay_is_plane =
+  qtest ~count:25 "delaunay: triangulation is a plane graph" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 4 + Random.State.int st 40 in
+      let pts = random_points ~st ~n in
+      let g = Wgraph.create n in
+      List.iter
+        (fun (u, v) -> Wgraph.add_edge g u v (Point.distance pts.(u) pts.(v)))
+        (Delaunay.triangulate pts);
+      Planarity.is_plane ~points:pts g)
+
+let prop_delaunay_connected_spanning =
+  qtest ~count:25 "delaunay: triangulation is connected and contains EMST"
+    seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 4 + Random.State.int st 40 in
+      let pts = random_points ~st ~n in
+      let g = Wgraph.create n in
+      List.iter
+        (fun (u, v) -> Wgraph.add_edge g u v (Point.distance pts.(u) pts.(v)))
+        (Delaunay.triangulate pts);
+      let complete = Wgraph.create n in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          Wgraph.add_edge complete u v (Point.distance pts.(u) pts.(v))
+        done
+      done;
+      Graph.Components.is_connected g
+      && List.for_all
+           (fun (e : Wgraph.edge) -> Wgraph.mem_edge g e.u e.v)
+           (Graph.Mst.kruskal complete))
+
+let prop_delaunay_euler =
+  (* V - E + F = 2 for a connected plane graph (with the outer face),
+     checked through the rotation-system face count. *)
+  qtest ~count:25 "delaunay: Euler's formula via face walks" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 4 + Random.State.int st 40 in
+      let pts = random_points ~st ~n in
+      let model = Ubg.Generator.instance ~alpha:1.0 (Array.map (fun p -> Point.scale 0.05 p) pts) in
+      (* Scaled into the unit range so the UBG keep-all graph is
+         complete; the Delaunay edges are then all present. *)
+      let g = Wgraph.create n in
+      List.iter
+        (fun (u, v) ->
+          Wgraph.add_edge g u v (Ubg.Model.distance model u v))
+        (Geometry.Delaunay.triangulate model.Ubg.Model.points);
+      let r = Planar_routing.rotation model g in
+      Wgraph.n_vertices g - Wgraph.n_edges g + Planar_routing.face_count r = 2)
+
+(* ------------------------------------------------------------------ *)
+(* Planarity checks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_crossing_cases () =
+  let p a b = Point.make2 a b in
+  Alcotest.(check bool) "X crossing" true
+    (Planarity.segments_properly_cross (p 0.0 0.0) (p 1.0 1.0) (p 0.0 1.0)
+       (p 1.0 0.0));
+  Alcotest.(check bool) "shared endpoint" false
+    (Planarity.segments_properly_cross (p 0.0 0.0) (p 1.0 1.0) (p 0.0 0.0)
+       (p 1.0 0.0));
+  Alcotest.(check bool) "disjoint" false
+    (Planarity.segments_properly_cross (p 0.0 0.0) (p 1.0 0.0) (p 0.0 1.0)
+       (p 1.0 1.0));
+  Alcotest.(check bool) "T touch (endpoint on interior)" true
+    (Planarity.segments_properly_cross (p 0.0 0.0) (p 2.0 0.0) (p 1.0 0.0)
+       (p 1.0 1.0))
+
+let test_crossings_count () =
+  let pts =
+    [| Point.make2 0.0 0.0; Point.make2 1.0 1.0; Point.make2 0.0 1.0;
+       Point.make2 1.0 0.0 |]
+  in
+  let g = Wgraph.of_edges ~n:4 [ (0, 1, 1.4); (2, 3, 1.4) ] in
+  Alcotest.(check int) "one crossing" 1 (Planarity.crossings ~points:pts g);
+  Alcotest.(check bool) "not plane" false (Planarity.is_plane ~points:pts g)
+
+let prop_gabriel_is_plane =
+  qtest ~count:20 "planarity: gabriel graphs are plane" seed_arb (fun seed ->
+      let model = connected_model ~seed ~n:40 ~dim:2 ~alpha:1.0 in
+      Planarity.is_plane ~points:model.Ubg.Model.points
+        (Baselines.Proximity_graphs.gabriel model))
+
+let prop_udel_is_plane_spanning =
+  qtest ~count:20 "udel: plane, connected, contains gabriel" seed_arb
+    (fun seed ->
+      let model = connected_model ~seed ~n:40 ~dim:2 ~alpha:1.0 in
+      let ud = Baselines.Udel.build model in
+      let gg = Baselines.Proximity_graphs.gabriel model in
+      let contains_gabriel = ref true in
+      Wgraph.iter_edges gg (fun u v _ ->
+          if not (Wgraph.mem_edge ud u v) then contains_gabriel := false);
+      Planarity.is_plane ~points:model.Ubg.Model.points ud
+      && Graph.Components.is_connected ud
+      && !contains_gabriel)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded-degree planar spanner (paper reference [15])               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_bounded_planar_properties =
+  qtest ~count:15 "bounded planar: plane, connected, small degree" seed_arb
+    (fun seed ->
+      let model = connected_model ~seed ~n:60 ~dim:2 ~alpha:1.0 in
+      let g = Baselines.Bounded_planar.build model in
+      Planarity.is_plane ~points:model.Ubg.Model.points g
+      && Graph.Components.is_connected g
+      && Wgraph.max_degree g <= 12
+      && Wgraph.n_edges g <= Wgraph.n_edges (Baselines.Udel.build model))
+
+let prop_bounded_planar_is_subgraph_of_udel =
+  qtest ~count:15 "bounded planar: subgraph of unit Delaunay" seed_arb
+    (fun seed ->
+      let model = connected_model ~seed ~n:50 ~dim:2 ~alpha:1.0 in
+      let g = Baselines.Bounded_planar.build model in
+      let ud = Baselines.Udel.build model in
+      let ok = ref true in
+      Wgraph.iter_edges g (fun u v _ ->
+          if not (Wgraph.mem_edge ud u v) then ok := false);
+      !ok)
+
+let prop_bounded_planar_constant_stretch_regime =
+  (* [15]'s regime: constant stretch, not arbitrarily close to 1. We
+     only check it stays a finite small constant on random UDGs. *)
+  qtest ~count:10 "bounded planar: stretch stays a small constant" seed_arb
+    (fun seed ->
+      let model = connected_model ~seed ~n:60 ~dim:2 ~alpha:1.0 in
+      let g = Baselines.Bounded_planar.build model in
+      let s =
+        Topo.Verify.edge_stretch ~base:model.Ubg.Model.graph ~spanner:g
+      in
+      s >= 1.0 && s < 10.0)
+
+let test_bounded_planar_rejects () =
+  Alcotest.(check bool) "cones < 5" true
+    (try
+       let model = connected_model ~seed:1 ~n:10 ~dim:2 ~alpha:1.0 in
+       ignore (Baselines.Bounded_planar.build ~cones:3 model);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Face routing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_face_route_always_delivers =
+  qtest ~count:20 "face routing: guaranteed delivery on plane graphs"
+    seed_arb (fun seed ->
+      let st = rand_state seed in
+      let model = connected_model ~seed ~n:(20 + Random.State.int st 30) ~dim:2 ~alpha:1.0 in
+      let topology = Baselines.Proximity_graphs.gabriel model in
+      let n = Ubg.Model.n model in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        let src = Random.State.int st n in
+        let dst = (src + 1 + Random.State.int st (n - 1)) mod n in
+        match Planar_routing.face_route ~model ~topology ~src ~dst with
+        | Baselines.Routing.Delivered { path; _ } ->
+            if not (Graph.Path.is_valid topology path) then ok := false
+        | Baselines.Routing.Stuck _ -> ok := false
+      done;
+      !ok)
+
+let prop_gfg_always_delivers =
+  qtest ~count:20 "gfg: guaranteed delivery on plane graphs" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let model = connected_model ~seed ~n:(20 + Random.State.int st 30) ~dim:2 ~alpha:1.0 in
+      let topology = Baselines.Udel.build model in
+      let n = Ubg.Model.n model in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        let src = Random.State.int st n in
+        let dst = (src + 1 + Random.State.int st (n - 1)) mod n in
+        match Planar_routing.gfg ~model ~topology ~src ~dst with
+        | Baselines.Routing.Delivered { path; length; hops } ->
+            if not (Graph.Path.is_valid topology path) then ok := false;
+            if hops <> List.length path - 1 then ok := false;
+            if length <= 0.0 then ok := false
+        | Baselines.Routing.Stuck _ -> ok := false
+      done;
+      !ok)
+
+let prop_gfg_no_worse_than_greedy =
+  (* Wherever pure greedy already succeeds, GFG must also succeed (it
+     only adds a recovery mode). *)
+  qtest ~count:15 "gfg: succeeds whenever pure greedy does" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let model = connected_model ~seed ~n:30 ~dim:2 ~alpha:1.0 in
+      let topology = Baselines.Proximity_graphs.gabriel model in
+      let n = Ubg.Model.n model in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        let src = Random.State.int st n in
+        let dst = (src + 1 + Random.State.int st (n - 1)) mod n in
+        match Baselines.Routing.greedy ~model ~topology ~src ~dst with
+        | Baselines.Routing.Delivered _ -> (
+            match Planar_routing.gfg ~model ~topology ~src ~dst with
+            | Baselines.Routing.Delivered _ -> ()
+            | Baselines.Routing.Stuck _ -> ok := false)
+        | Baselines.Routing.Stuck _ -> ()
+      done;
+      !ok)
+
+let test_gfg_trial_full_delivery () =
+  let model = connected_model ~seed:33 ~n:60 ~dim:2 ~alpha:1.0 in
+  let topology = Baselines.Proximity_graphs.gabriel model in
+  let stats =
+    Planar_routing.trial ~seed:1 ~model ~topology ~pairs:60
+      ~route:Planar_routing.gfg
+  in
+  check_float "full delivery" 1.0 stats.Baselines.Routing.delivery_rate
+
+let () =
+  Alcotest.run "planar"
+    [
+      ( "delaunay",
+        [
+          Alcotest.test_case "square" `Quick test_delaunay_square;
+          Alcotest.test_case "collinear" `Quick test_delaunay_collinear;
+          Alcotest.test_case "rejects bad input" `Quick test_delaunay_rejects;
+          prop_delaunay_empty_circumcircle;
+          prop_delaunay_is_plane;
+          prop_delaunay_connected_spanning;
+          prop_delaunay_euler;
+        ] );
+      ( "planarity",
+        [
+          Alcotest.test_case "segment cases" `Quick test_crossing_cases;
+          Alcotest.test_case "crossing count" `Quick test_crossings_count;
+          prop_gabriel_is_plane;
+          prop_udel_is_plane_spanning;
+        ] );
+      ( "bounded planar [15]",
+        [
+          prop_bounded_planar_properties;
+          prop_bounded_planar_is_subgraph_of_udel;
+          prop_bounded_planar_constant_stretch_regime;
+          Alcotest.test_case "rejects bad cones" `Quick
+            test_bounded_planar_rejects;
+        ] );
+      ( "face routing",
+        [
+          prop_face_route_always_delivers;
+          prop_gfg_always_delivers;
+          prop_gfg_no_worse_than_greedy;
+          Alcotest.test_case "gfg full delivery" `Quick
+            test_gfg_trial_full_delivery;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+module Wgraph = Graph.Wgraph
+module Redundant = Topo.Redundant
+module Cluster_cover = Topo.Cluster_cover
+module Cluster_graph = Topo.Cluster_graph
+open Test_helpers
+
+let params = Topo.Params.make ~t:1.5 ~alpha:0.8 ~dim:2 ()
+
+(* A phase context plus a batch of "newly added" edges drawn from the
+   bin above W_{i-1}. *)
+let phase_with_added ~seed ~n =
+  let model = connected_model ~seed ~n ~dim:2 ~alpha:0.8 in
+  let w_prev = 0.3 in
+  let short = Wgraph.create (Ubg.Model.n model) in
+  Wgraph.iter_edges model.Ubg.Model.graph (fun u v w ->
+      if w <= w_prev then Wgraph.add_edge short u v w);
+  let spanner = Topo.Seq_greedy.spanner short ~t:1.5 in
+  let radius = params.Topo.Params.delta *. w_prev in
+  let cover = Cluster_cover.compute spanner ~radius in
+  let h = Cluster_graph.build ~spanner ~cover ~w_prev in
+  let added =
+    List.filter
+      (fun (e : Wgraph.edge) ->
+        e.w > w_prev && e.w <= w_prev *. params.Topo.Params.r)
+      (Wgraph.edges model.Ubg.Model.graph)
+  in
+  (h, added)
+
+let prop_mutually_redundant_symmetric =
+  qtest ~count:20 "redundant: relation is symmetric" seed_arb (fun seed ->
+      let h, added = phase_with_added ~seed ~n:40 in
+      match added with
+      | e1 :: e2 :: _ ->
+          Redundant.mutually_redundant ~h ~params e1 e2
+          = Redundant.mutually_redundant ~h ~params e2 e1
+      | [ _ ] | [] -> true)
+
+let prop_filter_partitions =
+  qtest ~count:20 "redundant: kept + removed = added" seed_arb (fun seed ->
+      let h, added = phase_with_added ~seed ~n:40 in
+      let r = Redundant.filter ~h ~params added in
+      List.length r.Redundant.kept + List.length r.Redundant.removed
+      = List.length added)
+
+let prop_filter_kept_is_mis =
+  qtest ~count:20 "redundant: kept set is an MIS of the conflict graph"
+    seed_arb (fun seed ->
+      let h, added = phase_with_added ~seed ~n:40 in
+      let r = Redundant.filter ~h ~params added in
+      let edges = Array.of_list added in
+      let jg = Redundant.conflict_graph ~h ~params edges in
+      let kept = Hashtbl.create 16 in
+      List.iter
+        (fun (e : Wgraph.edge) -> Hashtbl.replace kept (e.u, e.v, e.w) ())
+        r.Redundant.kept;
+      let in_mis =
+        Array.map (fun (e : Wgraph.edge) -> Hashtbl.mem kept (e.u, e.v, e.w)) edges
+      in
+      Distrib.Mis.is_mis jg in_mis)
+
+let prop_removed_have_surviving_partner =
+  (* Theorem 10's safety argument: every removed edge keeps at least
+     one mutually redundant partner in the spanner. *)
+  qtest ~count:20 "redundant: removed edges keep a surviving partner"
+    seed_arb (fun seed ->
+      let h, added = phase_with_added ~seed ~n:40 in
+      let r = Redundant.filter ~h ~params added in
+      List.for_all
+        (fun removed ->
+          List.exists
+            (fun kept -> Redundant.mutually_redundant ~h ~params removed kept)
+            r.Redundant.kept)
+        r.Redundant.removed)
+
+let prop_no_conflicts_no_removal =
+  qtest ~count:20 "redundant: nothing removed without conflicts" seed_arb
+    (fun seed ->
+      let h, added = phase_with_added ~seed ~n:40 in
+      let r = Redundant.filter ~h ~params added in
+      r.Redundant.n_conflict_edges > 0 || r.Redundant.removed = [])
+
+(* d_J metric axioms (Lemma 20, Figures 5-6). *)
+let prop_dj_metric_axioms =
+  qtest ~count:20 "redundant: d_J is symmetric and triangular" seed_arb
+    (fun seed ->
+      let h, added = phase_with_added ~seed ~n:40 in
+      let max_hops = 1000 and bound = infinity in
+      let d = Redundant.d_j ~h ~max_hops ~bound in
+      let eq x y = x = y || close ~eps:1e-9 x y in
+      match added with
+      | a :: b :: c :: _ ->
+          let ok_sym = eq (d a b) (d b a) in
+          let ok_tri = d a c <= d a b +. d b c +. 1e-9 in
+          let ok_self = d a a = 0.0 in
+          ok_sym && ok_tri && ok_self
+      | _ -> true)
+
+(* Crafted instance with a forced redundant pair: two parallel edges of
+   equal length whose endpoints are joined by negligible-length paths.
+   Both conditions hold, so the conflict graph must see the pair and
+   the filter must drop exactly one. *)
+let test_forced_redundant_pair () =
+  let pts =
+    [|
+      Geometry.Point.make2 0.0 0.0; (* u *)
+      Geometry.Point.make2 0.0 0.01; (* u' *)
+      Geometry.Point.make2 0.5 0.0; (* v *)
+      Geometry.Point.make2 0.5 0.01; (* v' *)
+    |]
+  in
+  let spanner = Wgraph.create 4 in
+  Wgraph.add_edge spanner 0 1 0.01;
+  Wgraph.add_edge spanner 2 3 0.01;
+  let w_prev = 0.3 in
+  let cover =
+    Cluster_cover.compute spanner ~radius:(params.Topo.Params.delta *. w_prev)
+  in
+  let h = Cluster_graph.build ~spanner ~cover ~w_prev in
+  let e1 = { Wgraph.u = 0; v = 2; w = Geometry.Point.distance pts.(0) pts.(2) }
+  and e2 = { Wgraph.u = 1; v = 3; w = Geometry.Point.distance pts.(1) pts.(3) } in
+  Alcotest.(check bool) "pair detected" true
+    (Redundant.mutually_redundant ~h ~params e1 e2);
+  let r = Redundant.filter ~h ~params [ e1; e2 ] in
+  Alcotest.(check int) "one kept" 1 (List.length r.Redundant.kept);
+  Alcotest.(check int) "one removed" 1 (List.length r.Redundant.removed);
+  Alcotest.(check int) "two conflict nodes" 2 r.Redundant.n_conflict_nodes;
+  Alcotest.(check int) "one conflict edge" 1 r.Redundant.n_conflict_edges
+
+(* Far-apart additions can never be redundant: condition (i) cannot
+   bridge the gap within t1 |uv|. *)
+let test_far_pair_not_redundant () =
+  let spanner = Wgraph.create 4 in
+  let w_prev = 0.3 in
+  let cover =
+    Cluster_cover.compute spanner ~radius:(params.Topo.Params.delta *. w_prev)
+  in
+  let h = Cluster_graph.build ~spanner ~cover ~w_prev in
+  let e1 = { Wgraph.u = 0; v = 1; w = 0.35 }
+  and e2 = { Wgraph.u = 2; v = 3; w = 0.35 } in
+  (* Empty spanner: sp_H between distinct vertices is infinite. *)
+  Alcotest.(check bool) "not redundant" false
+    (Redundant.mutually_redundant ~h ~params e1 e2)
+
+let () =
+  Alcotest.run "redundant"
+    [
+      ( "relation",
+        [
+          prop_mutually_redundant_symmetric;
+          prop_dj_metric_axioms;
+          Alcotest.test_case "forced pair" `Quick test_forced_redundant_pair;
+          Alcotest.test_case "far pair" `Quick test_far_pair_not_redundant;
+        ] );
+      ( "filter",
+        [
+          prop_filter_partitions;
+          prop_filter_kept_is_mis;
+          prop_removed_have_surviving_partner;
+          prop_no_conflicts_no_removal;
+        ] );
+    ]

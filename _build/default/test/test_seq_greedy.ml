@@ -1,0 +1,170 @@
+module Wgraph = Graph.Wgraph
+module Seq_greedy = Topo.Seq_greedy
+module Verify = Topo.Verify
+open Test_helpers
+
+(* ------------------------------------------------------------------ *)
+(* Classical greedy on arbitrary weighted graphs                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_greedy_is_t_spanner =
+  qtest ~count:40 "seq_greedy: output t-spans the input" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 40 in
+      let t = 1.2 +. Random.State.float st 2.0 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 60) in
+      let s = Seq_greedy.spanner g ~t in
+      Verify.is_t_spanner ~base:g ~spanner:s ~t)
+
+let prop_greedy_subgraph =
+  qtest ~count:40 "seq_greedy: output is a subgraph" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 40 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 60) in
+      let s = Seq_greedy.spanner g ~t:1.5 in
+      let ok = ref true in
+      Wgraph.iter_edges s (fun u v w ->
+          if Wgraph.weight g u v <> Some w then ok := false);
+      !ok)
+
+let prop_greedy_preserves_connectivity =
+  qtest ~count:40 "seq_greedy: component structure preserved" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 40 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 30) in
+      let s = Seq_greedy.spanner g ~t:2.0 in
+      Graph.Components.labels g = Graph.Components.labels s)
+
+let prop_greedy_contains_mst =
+  (* The first edge between two components is always kept, so the greedy
+     spanner contains a minimum spanning forest. *)
+  qtest ~count:40 "seq_greedy: weight at least the MSF, at most the input"
+    seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 40 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 60) in
+      let s = Seq_greedy.spanner g ~t:1.5 in
+      let w = Wgraph.total_weight s in
+      Graph.Mst.weight g <= w +. 1e-9 && w <= Wgraph.total_weight g +. 1e-9)
+
+let test_greedy_huge_t_gives_forest () =
+  (* With an enormous t every non-tree edge is skippable. *)
+  let st = rand_state 99 in
+  let g = random_graph ~st ~n:25 ~extra_edges:40 in
+  let s = Seq_greedy.spanner g ~t:1e9 in
+  Alcotest.(check int) "spanning tree size" 24 (Wgraph.n_edges s)
+
+let test_greedy_t_one_keeps_shortest_paths () =
+  (* Triangle: at t = 1 the heavy edge survives only while the detour
+     is strictly longer (1 + 1 > 1.9 keeps it) ... *)
+  let g = Wgraph.of_edges ~n:3 [ (0, 1, 1.0); (1, 2, 1.0); (0, 2, 1.9) ] in
+  let s = Seq_greedy.spanner g ~t:1.0 in
+  Alcotest.(check int) "all kept" 3 (Wgraph.n_edges s);
+  (* ... and is dropped as soon as the detour matches it. *)
+  let g' = Wgraph.of_edges ~n:3 [ (0, 1, 1.0); (1, 2, 1.0); (0, 2, 2.0) ] in
+  let s' = Seq_greedy.spanner g' ~t:1.0 in
+  Alcotest.(check int) "redundant dropped" 2 (Wgraph.n_edges s')
+
+let test_greedy_rejects_bad_t () =
+  let g = Wgraph.create 2 in
+  Alcotest.(check bool) "t < 1 rejected" true
+    (try
+       ignore (Seq_greedy.spanner g ~t:0.9);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy on point cliques (phase 0 workhorse)                        *)
+(* ------------------------------------------------------------------ *)
+
+let random_points st n =
+  Array.init n (fun _ -> Geometry.Point.random ~st ~dim:2 ~lo:0.0 ~hi:1.0)
+
+let prop_clique_spanner_stretch =
+  qtest ~count:30 "clique_spanner: t-spans the complete graph" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 25 in
+      let t = 1.2 +. Random.State.float st 1.5 in
+      let points = random_points st n in
+      let members = List.init n Fun.id in
+      let out = Wgraph.create n in
+      Seq_greedy.clique_spanner ~points ~members
+        ~metric:Geometry.Metric.Euclidean ~t ~into:out;
+      (* Stretch against the complete Euclidean graph. *)
+      let complete = Wgraph.create n in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let d = Geometry.Point.distance points.(u) points.(v) in
+          if d > 0.0 then Wgraph.add_edge complete u v d
+        done
+      done;
+      Verify.is_t_spanner ~base:complete ~spanner:out ~t)
+
+let prop_clique_spanner_degree_bounded =
+  (* Theorem: greedy on points has O(1) degree; empirically well under
+     20 in the plane for t = 1.5. *)
+  qtest ~count:30 "clique_spanner: bounded degree in the plane" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 5 + Random.State.int st 60 in
+      let points = random_points st n in
+      let out = Wgraph.create n in
+      Seq_greedy.clique_spanner ~points ~members:(List.init n Fun.id)
+        ~metric:Geometry.Metric.Euclidean ~t:1.5 ~into:out;
+      Wgraph.max_degree out <= 20)
+
+let prop_clique_spanner_lightweight =
+  qtest ~count:30 "clique_spanner: weight O(MST) empirically" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 5 + Random.State.int st 60 in
+      let points = random_points st n in
+      let out = Wgraph.create n in
+      Seq_greedy.clique_spanner ~points ~members:(List.init n Fun.id)
+        ~metric:Geometry.Metric.Euclidean ~t:1.5 ~into:out;
+      let complete = Wgraph.create n in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let d = Geometry.Point.distance points.(u) points.(v) in
+          if d > 0.0 then Wgraph.add_edge complete u v d
+        done
+      done;
+      Wgraph.total_weight out <= 10.0 *. Graph.Mst.weight complete)
+
+let prop_spanner_into_respects_existing =
+  qtest ~count:30 "spanner_into: existing paths suppress new edges" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 30 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 30) in
+      (* Seeding with the full graph means nothing further is added. *)
+      let into = Wgraph.copy g in
+      let before = Wgraph.n_edges into in
+      ignore (Seq_greedy.spanner_into g ~t:1.5 ~into);
+      Wgraph.n_edges into = before)
+
+let () =
+  Alcotest.run "seq_greedy"
+    [
+      ( "weighted-graph greedy",
+        [
+          prop_greedy_is_t_spanner;
+          prop_greedy_subgraph;
+          prop_greedy_preserves_connectivity;
+          prop_greedy_contains_mst;
+          Alcotest.test_case "huge t gives forest" `Quick
+            test_greedy_huge_t_gives_forest;
+          Alcotest.test_case "t = 1 semantics" `Quick
+            test_greedy_t_one_keeps_shortest_paths;
+          Alcotest.test_case "rejects t < 1" `Quick test_greedy_rejects_bad_t;
+        ] );
+      ( "clique greedy",
+        [
+          prop_clique_spanner_stretch;
+          prop_clique_spanner_degree_bounded;
+          prop_clique_spanner_lightweight;
+          prop_spanner_into_respects_existing;
+        ] );
+    ]

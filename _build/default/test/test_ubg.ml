@@ -1,0 +1,235 @@
+module Point = Geometry.Point
+module Wgraph = Graph.Wgraph
+module Model = Ubg.Model
+module Gray_zone = Ubg.Gray_zone
+module Generator = Ubg.Generator
+open Test_helpers
+
+(* ------------------------------------------------------------------ *)
+(* Model validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let three_points =
+  (* 0 and 1 are alpha-close, 2 is in the gray zone from both. *)
+  [| Point.make2 0.0 0.0; Point.make2 0.3 0.0; Point.make2 0.0 0.9 |]
+
+let test_model_accepts_legal () =
+  let g = Wgraph.create 3 in
+  Wgraph.add_edge g 0 1 0.3;
+  let m = Model.make ~alpha:0.5 three_points g in
+  Alcotest.(check int) "n" 3 (Model.n m);
+  Alcotest.(check int) "dim" 2 (Model.dim m);
+  check_float "distance oracle" 0.3 (Model.distance m 0 1);
+  Alcotest.(check bool) "check ok" true (Model.check m = Ok ())
+
+let test_model_rejects_missing_short_edge () =
+  let g = Wgraph.create 3 in
+  Alcotest.(check bool) "missing short edge rejected" true
+    (try
+       ignore (Model.make ~alpha:0.5 three_points g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_model_rejects_long_edge () =
+  let points = [| Point.make2 0.0 0.0; Point.make2 2.0 0.0 |] in
+  let g = Wgraph.create 2 in
+  Wgraph.add_edge g 0 1 2.0;
+  Alcotest.(check bool) "edge longer than 1 rejected" true
+    (try
+       ignore (Model.make ~alpha:0.5 points g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_model_rejects_bad_weight () =
+  let g = Wgraph.create 3 in
+  Wgraph.add_edge g 0 1 0.7 (* true distance is 0.3 *);
+  Alcotest.(check bool) "wrong weight rejected" true
+    (try
+       ignore (Model.make ~alpha:0.5 three_points g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_model_rejects_bad_alpha () =
+  let g = Wgraph.create 3 in
+  Wgraph.add_edge g 0 1 0.3;
+  Alcotest.(check bool) "alpha > 1 rejected" true
+    (try
+       ignore (Model.make ~alpha:1.5 three_points g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_model_angle_law () =
+  let g = Wgraph.create 3 in
+  Wgraph.add_edge g 0 1 0.3;
+  let m = Model.make ~alpha:0.5 three_points g in
+  check_float ~eps:1e-9 "right angle at 0" (Float.pi /. 2.0)
+    (Model.angle m ~apex:0 1 2)
+
+let test_model_reweight () =
+  let g = Wgraph.create 3 in
+  Wgraph.add_edge g 0 1 0.3;
+  let m = Model.make ~alpha:0.5 three_points g in
+  let energy =
+    Model.reweight m (Geometry.Metric.Energy { c = 2.0; gamma = 2.0 })
+  in
+  Alcotest.(check (option (float 1e-9))) "energy weight" (Some 0.18)
+    (Wgraph.weight energy 0 1)
+
+(* ------------------------------------------------------------------ *)
+(* Gray-zone policies                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gray_pair = (Point.make2 0.0 0.0, Point.make2 0.0 0.9)
+
+let decide policy =
+  let pu, pv = gray_pair in
+  Gray_zone.decide policy ~alpha:0.5 ~u:0 ~v:1 ~pu ~pv ~dist:0.9
+
+let test_gray_keep_drop () =
+  Alcotest.(check bool) "keep-all" true (decide Gray_zone.Keep_all);
+  Alcotest.(check bool) "drop-all" false (decide Gray_zone.Drop_all)
+
+let test_gray_short_always_kept () =
+  let pu, pv = gray_pair in
+  Alcotest.(check bool) "alpha rule overrides drop-all" true
+    (Gray_zone.decide Gray_zone.Drop_all ~alpha:0.5 ~u:0 ~v:1 ~pu ~pv ~dist:0.4)
+
+let prop_gray_bernoulli_symmetric =
+  qtest "gray: bernoulli decision is order-independent" seed_arb (fun seed ->
+      let policy = Gray_zone.Bernoulli { p = 0.5; seed } in
+      let pu, pv = gray_pair in
+      Gray_zone.decide policy ~alpha:0.5 ~u:3 ~v:9 ~pu ~pv ~dist:0.9
+      = Gray_zone.decide policy ~alpha:0.5 ~u:9 ~v:3 ~pu:pv ~pv:pu ~dist:0.9)
+
+let test_gray_bernoulli_extremes () =
+  let pu, pv = gray_pair in
+  for seed = 0 to 20 do
+    Alcotest.(check bool) "p=1 keeps" true
+      (Gray_zone.decide
+         (Gray_zone.Bernoulli { p = 1.0; seed })
+         ~alpha:0.5 ~u:0 ~v:1 ~pu ~pv ~dist:0.9);
+    Alcotest.(check bool) "p=0 drops" false
+      (Gray_zone.decide
+         (Gray_zone.Bernoulli { p = 0.0; seed })
+         ~alpha:0.5 ~u:0 ~v:1 ~pu ~pv ~dist:0.9)
+  done
+
+let test_gray_obstruction () =
+  (* A wall crossing the segment blocks it; a far wall does not. *)
+  let wall_through = (Point.make2 (-0.5) 0.45, Point.make2 0.5 0.45) in
+  let wall_far = (Point.make2 5.0 0.0, Point.make2 6.0 0.0) in
+  let blocked =
+    Gray_zone.Obstructed { walls = [ wall_through ]; thickness = 0.01 }
+  and clear = Gray_zone.Obstructed { walls = [ wall_far ]; thickness = 0.01 } in
+  Alcotest.(check bool) "wall blocks" false (decide blocked);
+  Alcotest.(check bool) "far wall passes" true (decide clear)
+
+let test_gray_threshold () =
+  Alcotest.(check bool) "below threshold kept" true
+    (decide (Gray_zone.Distance_threshold 0.95));
+  Alcotest.(check bool) "above threshold dropped" false
+    (decide (Gray_zone.Distance_threshold 0.8))
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_generator_valid_model =
+  qtest ~count:30 "generator: output satisfies the α-UBG constraints"
+    seed_arb (fun seed ->
+      let st = rand_state seed in
+      let dim = 2 + Random.State.int st 2 in
+      let n = 10 + Random.State.int st 60 in
+      let alpha = 0.5 +. Random.State.float st 0.5 in
+      let model = random_model ~seed ~n ~dim ~alpha in
+      Model.check model = Ok ())
+
+let prop_generator_deterministic =
+  qtest ~count:20 "generator: deterministic in the seed" seed_arb (fun seed ->
+      let m1 = random_model ~seed ~n:40 ~dim:2 ~alpha:0.7
+      and m2 = random_model ~seed ~n:40 ~dim:2 ~alpha:0.7 in
+      Wgraph.n_edges m1.Model.graph = Wgraph.n_edges m2.Model.graph
+      && Array.for_all2 (Point.equal ~eps:0.0) m1.Model.points m2.Model.points)
+
+let prop_gray_policies_nested =
+  qtest ~count:20 "generator: drop-all ⊆ bernoulli ⊆ keep-all" seed_arb
+    (fun seed ->
+      let pts = Generator.points ~seed ~dim:2 ~n:50 (Generator.Uniform { side = 4.0 }) in
+      let count gray =
+        Wgraph.n_edges (Generator.instance ~alpha:0.6 ~gray pts).Model.graph
+      in
+      let all = count Gray_zone.Keep_all
+      and none = count Gray_zone.Drop_all
+      and some = count (Gray_zone.Bernoulli { p = 0.5; seed }) in
+      none <= some && some <= all)
+
+let test_generator_placements () =
+  List.iter
+    (fun placement ->
+      let pts = Generator.points ~seed:11 ~dim:3 ~n:64 placement in
+      Alcotest.(check int) "count" 64 (Array.length pts);
+      Array.iter
+        (fun p -> Alcotest.(check int) "dim" 3 (Point.dim p))
+        pts)
+    [
+      Generator.Uniform { side = 3.0 };
+      Generator.Clusters { blobs = 4; spread = 0.5; side = 3.0 };
+      Generator.Perturbed_grid { spacing = 0.5; jitter = 0.1 };
+    ]
+
+let test_generator_connected () =
+  let model = connected_model ~seed:5 ~n:60 ~dim:2 ~alpha:0.8 in
+  Alcotest.(check bool) "connected" true
+    (Graph.Components.is_connected model.Model.graph)
+
+let test_side_for_degree_monotone () =
+  let s8 = Generator.side_for_expected_degree ~dim:2 ~n:100 ~alpha:0.8 ~degree:8.0
+  and s4 = Generator.side_for_expected_degree ~dim:2 ~n:100 ~alpha:0.8 ~degree:4.0 in
+  Alcotest.(check bool) "lower degree means larger field" true (s4 > s8)
+
+let test_generator_errors () =
+  Alcotest.(check bool) "dim 1 rejected" true
+    (try
+       ignore (Generator.points ~seed:0 ~dim:1 ~n:5 (Generator.Uniform { side = 1.0 }));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "n = 0 rejected" true
+    (try
+       ignore (Generator.points ~seed:0 ~dim:2 ~n:0 (Generator.Uniform { side = 1.0 }));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "ubg"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "accepts legal" `Quick test_model_accepts_legal;
+          Alcotest.test_case "rejects missing short edge" `Quick
+            test_model_rejects_missing_short_edge;
+          Alcotest.test_case "rejects long edge" `Quick test_model_rejects_long_edge;
+          Alcotest.test_case "rejects bad weight" `Quick test_model_rejects_bad_weight;
+          Alcotest.test_case "rejects bad alpha" `Quick test_model_rejects_bad_alpha;
+          Alcotest.test_case "angle oracle" `Quick test_model_angle_law;
+          Alcotest.test_case "reweight" `Quick test_model_reweight;
+        ] );
+      ( "gray_zone",
+        [
+          Alcotest.test_case "keep/drop" `Quick test_gray_keep_drop;
+          Alcotest.test_case "alpha overrides" `Quick test_gray_short_always_kept;
+          Alcotest.test_case "bernoulli extremes" `Quick test_gray_bernoulli_extremes;
+          Alcotest.test_case "obstruction" `Quick test_gray_obstruction;
+          Alcotest.test_case "threshold" `Quick test_gray_threshold;
+          prop_gray_bernoulli_symmetric;
+        ] );
+      ( "generator",
+        [
+          prop_generator_valid_model;
+          prop_generator_deterministic;
+          prop_gray_policies_nested;
+          Alcotest.test_case "placements" `Quick test_generator_placements;
+          Alcotest.test_case "connected" `Quick test_generator_connected;
+          Alcotest.test_case "side monotone" `Quick test_side_for_degree_monotone;
+          Alcotest.test_case "errors" `Quick test_generator_errors;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+module Point = Geometry.Point
+module Wgraph = Graph.Wgraph
+module Wspd = Baselines.Wspd
+open Test_helpers
+
+let random_points ~st ~dim ~n =
+  Array.init n (fun _ -> Point.random ~st ~dim ~lo:0.0 ~hi:5.0)
+
+let complete points =
+  let n = Array.length points in
+  let g = Wgraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Point.distance points.(u) points.(v) in
+      if d > 0.0 then Wgraph.add_edge g u v d
+    done
+  done;
+  g
+
+let prop_decomposition_covers_all_pairs =
+  qtest ~count:30 "wspd: every point pair in exactly one wspd pair" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let dim = 2 + Random.State.int st 2 in
+      let n = 2 + Random.State.int st 40 in
+      let points = random_points ~st ~dim ~n in
+      let sep = 1.0 +. Random.State.float st 8.0 in
+      let seen = Hashtbl.create 64 in
+      let dups = ref false in
+      List.iter
+        (fun (p : Wspd.pair) ->
+          List.iter
+            (fun u ->
+              List.iter
+                (fun v ->
+                  let k = (min u v, max u v) in
+                  if Hashtbl.mem seen k then dups := true
+                  else Hashtbl.add seen k ())
+                p.Wspd.right)
+            p.Wspd.left)
+        (Wspd.decompose ~separation:sep points);
+      (not !dups) && Hashtbl.length seen = n * (n - 1) / 2)
+
+let prop_pairs_are_separated =
+  qtest ~count:30 "wspd: every pair meets the separation criterion" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 40 in
+      let points = random_points ~st ~dim:2 ~n in
+      let sep = 2.0 +. Random.State.float st 6.0 in
+      List.for_all
+        (Wspd.is_well_separated ~separation:sep points)
+        (Wspd.decompose ~separation:sep points))
+
+let prop_spanner_stretch =
+  qtest ~count:25 "wspd: spanner achieves the target stretch" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 35 in
+      let t = 1.5 +. Random.State.float st 1.5 in
+      let points = random_points ~st ~dim:2 ~n in
+      let s = Wspd.spanner ~t points in
+      Topo.Verify.is_t_spanner ~base:(complete points) ~spanner:s ~t)
+
+let prop_spanner_linear_size =
+  qtest ~count:20 "wspd: spanner has O(n) edges" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 10 + Random.State.int st 60 in
+      let points = random_points ~st ~dim:2 ~n in
+      let s = Wspd.spanner ~t:2.0 points in
+      (* s = 12 for t = 2; the constant is generous but must be O(n),
+         far below the complete graph for larger n. *)
+      Wgraph.n_edges s <= 60 * n)
+
+let test_two_points () =
+  let points = [| Point.make2 0.0 0.0; Point.make2 1.0 0.0 |] in
+  let pairs = Wspd.decompose ~separation:4.0 points in
+  Alcotest.(check int) "one pair" 1 (List.length pairs);
+  let s = Wspd.spanner ~t:2.0 points in
+  Alcotest.(check int) "one edge" 1 (Wgraph.n_edges s)
+
+let test_rejects () =
+  Alcotest.(check bool) "duplicates rejected" true
+    (try
+       ignore
+         (Wspd.decompose ~separation:4.0
+            [| Point.make2 0.0 0.0; Point.make2 0.0 0.0 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "t <= 1 rejected" true
+    (try
+       ignore (Wspd.spanner ~t:1.0 [| Point.make2 0.0 0.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "wspd"
+    [
+      ( "wspd",
+        [
+          prop_decomposition_covers_all_pairs;
+          prop_pairs_are_separated;
+          prop_spanner_stretch;
+          prop_spanner_linear_size;
+          Alcotest.test_case "two points" `Quick test_two_points;
+          Alcotest.test_case "rejects bad input" `Quick test_rejects;
+        ] );
+    ]
