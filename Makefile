@@ -1,0 +1,19 @@
+.PHONY: all check test fmt bench clean
+
+all:
+	dune build @all
+
+check:
+	dune build @all && dune runtest
+
+test:
+	dune runtest
+
+fmt:
+	dune fmt
+
+bench:
+	dune exec bench/main.exe -- quick
+
+clean:
+	dune clean

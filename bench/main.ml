@@ -765,6 +765,65 @@ let e18 () =
     "   (flat small constants across n are what Lemmas 15/20 assert)"
 
 (* ------------------------------------------------------------------ *)
+(* E-csr: hashtable adjacency vs frozen CSR snapshots.                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Two measurements at n = 1200: (a) a full neighbor sweep (sum of all
+   incident weights at every vertex) on the hashtable builder vs the
+   CSR snapshot, repeated enough to dominate timer noise; (b) the whole
+   Relaxed_greedy.build, whose phases now freeze one snapshot each. *)
+let e_csr () =
+  let n = if !quick then 300 else 1200 in
+  let model = model_of ~seed:7 ~n ~dim:2 ~alpha:0.8 in
+  let g = model.Model.graph in
+  let c = Graph.Csr.of_wgraph g in
+  let reps = if !quick then 200 else 500 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let acc = ref 0.0 in
+    for _ = 1 to reps do
+      for u = 0 to n - 1 do
+        f u (fun (_ : int) w -> acc := !acc +. w)
+      done
+    done;
+    ignore !acc;
+    Unix.gettimeofday () -. t0
+  in
+  let wg_iter u k = Wgraph.iter_neighbors g u k in
+  let csr_iter u k = Graph.Csr.iter_neighbors c u k in
+  let t_hash = time wg_iter in
+  let t_csr = time csr_iter in
+  let t0 = Unix.gettimeofday () in
+  let r = Relaxed_greedy.build_eps ~eps:0.5 model in
+  let t_build = Unix.gettimeofday () -. t0 in
+  ignore r;
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E-csr: hashtable vs CSR snapshot (n = %d, m = %d, %d sweep reps)"
+           n (Wgraph.n_edges g) reps)
+      ~columns:[ "measurement"; "hashtable"; "csr"; "speedup" ]
+  in
+  Report.add_row t
+    [
+      "full neighbor sweep";
+      Printf.sprintf "%.3f s" t_hash;
+      Printf.sprintf "%.3f s" t_csr;
+      Printf.sprintf "%.1fx" (t_hash /. t_csr);
+    ];
+  Report.add_row t
+    [
+      "relaxed greedy build (eps = 0.5)";
+      "-";
+      Printf.sprintf "%.2f s" t_build;
+      "-";
+    ];
+  Report.print t;
+  print_endline
+    "   (sweep visits every adjacency once; csr walks two flat arrays)"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment's kernel.        *)
 (* ------------------------------------------------------------------ *)
 
@@ -783,8 +842,10 @@ let micro_benchmarks () =
       ~radius:(params.Topo.Params.delta *. w_prev)
   in
   let h = Topo.Cluster_graph.build ~spanner ~cover ~w_prev in
+  let frozen = Graph.Csr.of_wgraph spanner in
   let bin =
-    List.filter (fun (e : Wgraph.edge) -> e.w > w_prev) (Wgraph.edges base)
+    Array.of_list
+      (List.filter (fun (e : Wgraph.edge) -> e.w > w_prev) (Wgraph.edges base))
   in
   let small_model = model_of ~seed:6 ~n:80 ~dim:2 ~alpha:0.8 in
   let tests =
@@ -799,7 +860,8 @@ let micro_benchmarks () =
       Test.make ~name:"E5: query-edge selection (one phase, n=150)"
         (Staged.stage (fun () ->
              ignore
-               (Topo.Query_select.select ~model ~spanner ~cover ~params bin)));
+               (Topo.Query_select.select ~model ~spanner:frozen ~cover ~params
+                  bin)));
       Test.make ~name:"E6: cluster graph construction (n=150)"
         (Staged.stage (fun () ->
              ignore (Topo.Cluster_graph.build ~spanner ~cover ~w_prev)));
@@ -905,6 +967,7 @@ let experiments =
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18);
+    ("E-csr", e_csr);
     ("micro", micro_benchmarks);
   ]
 

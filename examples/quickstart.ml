@@ -29,7 +29,17 @@ let () =
   Format.printf "  max degree  = %d       (Theorem 11: O(1))@." max_degree;
   Format.printf "  weight/MST  = %.3f   (Theorem 13: O(1))@." mst_ratio;
 
-  (* 4. The same parameters drive the distributed version; its round
+  (* 4. Freeze the finished topology into an immutable CSR snapshot for
+     read-only consumers (routing tables, analysis, serialization). *)
+  let frozen = Graph.Csr.of_wgraph spanner in
+  let far =
+    Array.fold_left max 0.0 (Graph.Dijkstra.distances_csr frozen 0)
+  in
+  Format.printf "snapshot: %d arcs, eccentricity of node 0 = %.3f@."
+    (2 * Graph.Csr.n_edges frozen)
+    far;
+
+  (* 5. The same parameters drive the distributed version; its round
      count is the main theorem's O(log n log* n). *)
   let dist = Distrib.Dist_greedy.build_eps ~seed:7 ~eps:0.5 model in
   Format.printf "distributed run: %d simulated rounds (log n * log* n = %.0f)@."

@@ -30,14 +30,15 @@ let hop_cost reach alpha = max 1 (int_of_float (ceil (reach /. alpha)))
 (* The derived coverage graph J of Section 3.2.1: vertices of G,
    an edge when sp_{G'}(u, v) <= radius. Lemma 15 shows it is a UBG of
    constant doubling dimension, which is why an MIS of it elects a
-   legal set of cluster centers. *)
+   legal set of cluster centers. [spanner] is the phase's frozen
+   snapshot: n bounded Dijkstras all walk the same flat arrays. *)
 let coverage_graph spanner ~radius =
-  let n = Wgraph.n_vertices spanner in
+  let n = Graph.Csr.n_vertices spanner in
   let j = Wgraph.create n in
   for u = 0 to n - 1 do
     List.iter
       (fun (v, d) -> if v > u && d > 0.0 then Wgraph.add_edge j u v d)
-      (Graph.Dijkstra.within spanner u ~bound:radius)
+      (Graph.Dijkstra.within_csr spanner u ~bound:radius)
   done;
   j
 
@@ -48,7 +49,7 @@ let coverage_graph spanner ~radius =
 let short_edge_phase ~model ~params ~bin_edges ~spanner =
   let n = Model.n model in
   let g0 = Wgraph.create n in
-  List.iter (fun (e : Wgraph.edge) -> Wgraph.add_edge g0 e.u e.v e.w) bin_edges;
+  Array.iter (fun (e : Wgraph.edge) -> Wgraph.add_edge g0 e.u e.v e.w) bin_edges;
   let before = Wgraph.n_edges spanner in
   List.iter
     (fun members ->
@@ -73,12 +74,15 @@ let long_edge_phase ~seed ~model ~params ~phase ~w_prev ~w_cur ~bin_edges
     ~spanner =
   let alpha = params.Params.alpha in
   let radius = params.Params.delta *. w_prev in
+  (* The phase's one CSR snapshot of G'_{i-1}; every simulated local
+     computation below reads it. *)
+  let frozen = Graph.Csr.of_wgraph spanner in
   (* (i) cluster cover: local views within 2 radius / alpha hops build
      J; a simulated MIS elects centers. *)
-  let jcc = coverage_graph spanner ~radius in
+  let jcc = coverage_graph frozen ~radius in
   let mis, mis_stats = Mis.luby ~seed:(seed + (7 * phase)) jcc in
   let centers = Mis.members mis in
-  let cover = Topo.Cluster_cover.of_centers spanner ~radius ~centers in
+  let cover = Topo.Cluster_cover.of_centers_csr frozen ~radius ~centers in
   let g_cover = hop_cost (2.0 *. radius) alpha in
   (* (ii)-(iv) constant-hop gathers + local computation, exactly the
      sequential steps on the MIS-elected cover. *)
@@ -88,7 +92,7 @@ let long_edge_phase ~seed ~model ~params ~phase ~w_prev ~w_cur ~bin_edges
   in
   let g_query = hop_cost (2.0 *. params.Params.t *. w_cur) alpha in
   let gather_rounds = g_cover + g_select + g_cluster_graph + g_query in
-  if bin_edges = [] then
+  if Array.length bin_edges = 0 then
     {
       phase;
       gather_rounds;
@@ -101,20 +105,24 @@ let long_edge_phase ~seed ~model ~params ~phase ~w_prev ~w_cur ~bin_edges
     }
   else begin
     let selection =
-      Topo.Query_select.select ~model ~spanner ~cover ~params bin_edges
+      Topo.Query_select.select ~model ~spanner:frozen ~cover ~params bin_edges
     in
-    let h = Topo.Cluster_graph.build ~spanner ~cover ~w_prev in
+    let h = Topo.Cluster_graph.build_csr ~spanner:frozen ~cover ~w_prev in
     let max_hops = Params.query_hop_limit params in
     let added =
-      List.filter
-        (fun (e : Wgraph.edge) ->
-          let budget = params.Params.t *. e.w in
-          Topo.Cluster_graph.sp_upto h ~max_hops e.u e.v ~bound:budget > budget)
-        selection.Topo.Query_select.query_edges
+      Array.of_list
+        (Array.fold_right
+           (fun (e : Wgraph.edge) acc ->
+             let budget = params.Params.t *. e.w in
+             if
+               Topo.Cluster_graph.sp_upto h ~max_hops e.u e.v ~bound:budget
+               > budget
+             then e :: acc
+             else acc)
+           selection.Topo.Query_select.query_edges [])
     in
     (* (v) conflict graph over this phase's additions; simulated MIS
        decides survivors. *)
-    let added = Array.of_list added in
     let jred = Topo.Redundant.conflict_graph ~max_hops ~h ~params added in
     let red_mis, red_stats = Mis.luby ~seed:(seed + (7 * phase) + 3) jred in
     let g_redundant =
@@ -124,10 +132,7 @@ let long_edge_phase ~seed ~model ~params ~phase ~w_prev ~w_cur ~bin_edges
     Array.iteri
       (fun i (e : Wgraph.edge) ->
         if red_mis.(i) then begin
-          if not (Wgraph.mem_edge spanner e.u e.v) then begin
-            Wgraph.add_edge spanner e.u e.v e.w;
-            incr n_added
-          end
+          if Wgraph.add_edge_min spanner e.u e.v e.w then incr n_added
         end
         else incr n_removed)
       added;

@@ -134,7 +134,7 @@ let locally_redundant ~params ~max_hops h (u1, v1, w1) (u2, v2, w2) =
 let short_edge_phase ~model ~params ~bin_edges ~spanner =
   let n = Model.n model in
   let g0 = Wgraph.create n in
-  List.iter (fun (e : Wgraph.edge) -> Wgraph.add_edge g0 e.u e.v e.w) bin_edges;
+  Array.iter (fun (e : Wgraph.edge) -> Wgraph.add_edge g0 e.u e.v e.w) bin_edges;
   let views, stats =
     Flood.gather ~graph:model.Model.graph ~hops:1
       ~datum:(fun v -> Wgraph.neighbors g0 v)
@@ -189,7 +189,7 @@ let long_edge_phase ~seed ~model ~params ~phase ~w_prev ~w_cur ~bin_edges
   let cover =
     Topo.Cluster_cover.of_centers spanner ~radius ~centers:(Mis.members mis)
   in
-  if bin_edges = [] then
+  if Array.length bin_edges = 0 then
     {
       phase;
       rounds = !rounds;
@@ -200,7 +200,7 @@ let long_edge_phase ~seed ~model ~params ~phase ~w_prev ~w_cur ~bin_edges
     }
   else begin
     let bin = Wgraph.create (Model.n model) in
-    List.iter (fun (e : Wgraph.edge) -> Wgraph.add_edge bin e.u e.v e.w) bin_edges;
+    Array.iter (fun (e : Wgraph.edge) -> Wgraph.add_edge bin e.u e.v e.w) bin_edges;
     let base_gossip v =
       {
         position = model.Model.points.(v);
@@ -365,10 +365,7 @@ let long_edge_phase ~seed ~model ~params ~phase ~w_prev ~w_cur ~bin_edges
     Array.iteri
       (fun i (e : Wgraph.edge) ->
         if red_mis.(i) then begin
-          if not (Wgraph.mem_edge spanner e.u e.v) then begin
-            Wgraph.add_edge spanner e.u e.v e.w;
-            incr n_added
-          end
+          if Wgraph.add_edge_min spanner e.u e.v e.w then incr n_added
         end
         else incr n_removed)
       added_arr;

@@ -16,6 +16,9 @@ type ('state, 'msg) step =
 
 let run ~graph ~init ~step ?(size_of = fun _ -> 1) ~max_rounds () =
   let n = Wgraph.n_vertices graph in
+  (* The topology never changes during a run: freeze it once and check
+     every send against the snapshot's sorted adjacency slices. *)
+  let topo = Graph.Csr.of_wgraph graph in
   let states = Array.init n init in
   let halted = Array.make n false in
   (* inboxes.(v) holds messages to deliver to v at the next round. *)
@@ -52,7 +55,7 @@ let run ~graph ~init ~step ?(size_of = fun _ -> 1) ~max_rounds () =
         states.(v) <- state';
         List.iter
           (fun (dst, payload) ->
-            if not (Wgraph.mem_edge graph v dst) then
+            if not (Graph.Csr.mem_edge topo v dst) then
               invalid_arg
                 (Printf.sprintf
                    "Runtime.run: node %d sent to non-neighbor %d" v dst);

@@ -34,7 +34,9 @@ type ('state, 'msg) step =
 (** [run ~graph ~init ~step ?size_of ~max_rounds ()] executes the
     protocol on communication topology [graph] and returns the final
     states and run statistics. [size_of] measures messages in abstract
-    words for the accounting (default: constant 1). *)
+    words for the accounting (default: constant 1). The topology is
+    frozen into a {!Graph.Csr} snapshot at the start of the run;
+    mutating [graph] afterwards does not affect neighbor validation. *)
 val run :
   graph:Graph.Wgraph.t ->
   init:(int -> 'state) ->

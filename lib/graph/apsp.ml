@@ -1,5 +1,9 @@
-let dijkstra_all g =
-  Array.init (Wgraph.n_vertices g) (fun u -> Dijkstra.distances g u)
+(* Freeze once, then run n sources over the flat arrays: repeated
+   Dijkstra is exactly the access pattern CSR snapshots exist for. *)
+let dijkstra_all_csr c =
+  Array.init (Csr.n_vertices c) (fun u -> Dijkstra.distances_csr c u)
+
+let dijkstra_all g = dijkstra_all_csr (Csr.of_wgraph g)
 
 let floyd_warshall g =
   let n = Wgraph.n_vertices g in

@@ -5,8 +5,14 @@
     Dijkstra (sparse graphs, the common case here) and Floyd–Warshall
     (dense reference used to cross-check Dijkstra in tests). *)
 
-(** [dijkstra_all g] is the matrix [d] with [d.(u).(v) = sp_g(u, v)]. *)
+(** [dijkstra_all g] is the matrix [d] with [d.(u).(v) = sp_g(u, v)].
+    Internally freezes [g] into a CSR snapshot and runs every source
+    over it. *)
 val dijkstra_all : Wgraph.t -> float array array
+
+(** [dijkstra_all_csr c] is {!dijkstra_all} over an existing
+    snapshot. *)
+val dijkstra_all_csr : Csr.t -> float array array
 
 (** [floyd_warshall g] is the same matrix by the O(n^3) recurrence. *)
 val floyd_warshall : Wgraph.t -> float array array

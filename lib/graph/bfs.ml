@@ -1,12 +1,11 @@
-let hops g src =
-  let n = Wgraph.n_vertices g in
+let gen_hops ~n ~iter src =
   let dist = Array.make n max_int in
   dist.(src) <- 0;
   let q = Queue.create () in
   Queue.add src q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    Wgraph.iter_neighbors g u (fun v _ ->
+    iter u (fun v _ ->
         if dist.(v) = max_int then begin
           dist.(v) <- dist.(u) + 1;
           Queue.add v q
@@ -14,9 +13,7 @@ let hops g src =
   done;
   dist
 
-let hop_distance g src dst = (hops g src).(dst)
-
-let ball g src ~radius =
+let gen_ball ~iter src ~radius =
   let dist = Hashtbl.create 64 in
   Hashtbl.add dist src 0;
   let q = Queue.create () in
@@ -26,7 +23,7 @@ let ball g src ~radius =
     let u = Queue.pop q in
     let du = Hashtbl.find dist u in
     if du < radius then
-      Wgraph.iter_neighbors g u (fun v _ ->
+      iter u (fun v _ ->
           if not (Hashtbl.mem dist v) then begin
             Hashtbl.add dist v (du + 1);
             acc := v :: !acc;
@@ -34,6 +31,17 @@ let ball g src ~radius =
           end)
   done;
   !acc
+
+let wg_iter g u f = Wgraph.iter_neighbors g u f
+let csr_iter c u f = Csr.iter_neighbors c u f
+
+let hops g src = gen_hops ~n:(Wgraph.n_vertices g) ~iter:(wg_iter g) src
+let hop_distance g src dst = (hops g src).(dst)
+let ball g src ~radius = gen_ball ~iter:(wg_iter g) src ~radius
+
+let hops_csr c src = gen_hops ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src
+let hop_distance_csr c src dst = (hops_csr c src).(dst)
+let ball_csr c src ~radius = gen_ball ~iter:(csr_iter c) src ~radius
 
 let induced_ball g src ~radius =
   let vertices = Array.of_list (ball g src ~radius) in

@@ -17,6 +17,14 @@ val hop_distance : Wgraph.t -> int -> int -> int
     [src] (including [src]), i.e. what a [radius]-round flood reaches. *)
 val ball : Wgraph.t -> int -> radius:int -> int list
 
+(** CSR snapshot variants of the three traversals above. *)
+
+val hops_csr : Csr.t -> int -> int array
+
+val hop_distance_csr : Csr.t -> int -> int -> int
+
+val ball_csr : Csr.t -> int -> radius:int -> int list
+
 (** [induced_ball g src ~radius] is the subgraph of [g] induced by
     [ball g src ~radius], returned with its vertex mapping: a pair
     [(h, vertices)] where vertex [i] of [h] corresponds to

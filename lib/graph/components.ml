@@ -3,11 +3,14 @@ let union_find_of g =
   Wgraph.iter_edges g (fun u v _ -> ignore (Union_find.union uf u v));
   uf
 
-let labels g =
-  let n = Wgraph.n_vertices g in
-  let uf = union_find_of g in
-  (* Map every root to the smallest vertex of its class so the labeling
-     is canonical regardless of union order. *)
+let union_find_of_csr c =
+  let uf = Union_find.create (Csr.n_vertices c) in
+  Csr.iter_edges c (fun u v _ -> ignore (Union_find.union uf u v));
+  uf
+
+(* Map every root to the smallest vertex of its class so the labeling
+   is canonical regardless of union order. *)
+let labels_of_uf ~n uf =
   let smallest = Array.make n max_int in
   for v = 0 to n - 1 do
     let r = Union_find.find uf v in
@@ -15,9 +18,11 @@ let labels g =
   done;
   Array.init n (fun v -> smallest.(Union_find.find uf v))
 
-let groups g =
-  let n = Wgraph.n_vertices g in
-  let lbl = labels g in
+let labels g = labels_of_uf ~n:(Wgraph.n_vertices g) (union_find_of g)
+let labels_csr c = labels_of_uf ~n:(Csr.n_vertices c) (union_find_of_csr c)
+
+let groups_of_labels lbl =
+  let n = Array.length lbl in
   let table = Hashtbl.create 16 in
   for v = n - 1 downto 0 do
     let cur = Option.value ~default:[] (Hashtbl.find_opt table lbl.(v)) in
@@ -26,8 +31,13 @@ let groups g =
   Hashtbl.fold (fun _ vs acc -> vs :: acc) table []
   |> List.sort compare
 
+let groups g = groups_of_labels (labels g)
+let groups_csr c = groups_of_labels (labels_csr c)
+
 let count g = Union_find.count (union_find_of g)
+let count_csr c = Union_find.count (union_find_of_csr c)
 let is_connected g = count g <= 1
+let is_connected_csr c = count_csr c <= 1
 
 let same g u v =
   let uf = union_find_of g in

@@ -16,3 +16,13 @@ val is_connected : Wgraph.t -> bool
 
 (** [same g u v] tests whether [u] and [v] are connected. *)
 val same : Wgraph.t -> int -> int -> bool
+
+(** CSR snapshot variants. *)
+
+val labels_csr : Csr.t -> int array
+
+val groups_csr : Csr.t -> int list list
+
+val count_csr : Csr.t -> int
+
+val is_connected_csr : Csr.t -> bool

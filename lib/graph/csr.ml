@@ -1,0 +1,124 @@
+type t = { off : int array; dst : int array; wgt : float array }
+
+let n_vertices c = Array.length c.off - 1
+let n_edges c = Array.length c.dst / 2
+
+let check_vertex c u =
+  if u < 0 || u >= n_vertices c then invalid_arg "Csr: vertex out of range"
+
+let of_wgraph g =
+  let n = Wgraph.n_vertices g in
+  let off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + Wgraph.degree g u
+  done;
+  let m2 = off.(n) in
+  let dst = Array.make m2 0 and wgt = Array.make m2 0.0 in
+  let cursor = Array.sub off 0 n in
+  for u = 0 to n - 1 do
+    Wgraph.iter_neighbors g u (fun v w ->
+        let k = cursor.(u) in
+        dst.(k) <- v;
+        wgt.(k) <- w;
+        cursor.(u) <- k + 1)
+  done;
+  (* Sort each slice by neighbor id so lookups can binary-search and
+     iteration order is deterministic (hashtable order is not). *)
+  for u = 0 to n - 1 do
+    let lo = off.(u) and hi = off.(u + 1) in
+    let len = hi - lo in
+    if len > 1 then begin
+      let tmp = Array.init len (fun i -> (dst.(lo + i), wgt.(lo + i))) in
+      Array.sort (fun (a, _) (b, _) -> compare (a : int) b) tmp;
+      Array.iteri
+        (fun i (v, w) ->
+          dst.(lo + i) <- v;
+          wgt.(lo + i) <- w)
+        tmp
+    end
+  done;
+  { off; dst; wgt }
+
+let degree c u =
+  check_vertex c u;
+  c.off.(u + 1) - c.off.(u)
+
+let max_degree c =
+  let m = ref 0 in
+  for u = 0 to n_vertices c - 1 do
+    let d = c.off.(u + 1) - c.off.(u) in
+    if d > !m then m := d
+  done;
+  !m
+
+(* Index of v in u's sorted slice, -1 if absent. *)
+let find_arc c u v =
+  let lo = ref c.off.(u) and hi = ref (c.off.(u + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = c.dst.(mid) in
+    if x = v then found := mid
+    else if x < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let mem_edge c u v =
+  check_vertex c u;
+  check_vertex c v;
+  find_arc c u v >= 0
+
+let weight c u v =
+  check_vertex c u;
+  check_vertex c v;
+  let k = find_arc c u v in
+  if k < 0 then None else Some c.wgt.(k)
+
+let iter_neighbors c u f =
+  check_vertex c u;
+  for k = c.off.(u) to c.off.(u + 1) - 1 do
+    f c.dst.(k) c.wgt.(k)
+  done
+
+let fold_neighbors c u f acc =
+  check_vertex c u;
+  let acc = ref acc in
+  for k = c.off.(u) to c.off.(u + 1) - 1 do
+    acc := f c.dst.(k) c.wgt.(k) !acc
+  done;
+  !acc
+
+let neighbors c u =
+  check_vertex c u;
+  let acc = ref [] in
+  for k = c.off.(u + 1) - 1 downto c.off.(u) do
+    acc := (c.dst.(k), c.wgt.(k)) :: !acc
+  done;
+  !acc
+
+let iter_edges c f =
+  for u = 0 to n_vertices c - 1 do
+    for k = c.off.(u) to c.off.(u + 1) - 1 do
+      let v = c.dst.(k) in
+      if u < v then f u v c.wgt.(k)
+    done
+  done
+
+let edges c =
+  let out = Array.make (n_edges c) { Wgraph.u = 0; v = 0; w = 0.0 } in
+  let i = ref 0 in
+  iter_edges c (fun u v w ->
+      out.(!i) <- { Wgraph.u; v; w };
+      incr i);
+  out
+
+let total_weight c =
+  let acc = ref 0.0 in
+  iter_edges c (fun _ _ w -> acc := !acc +. w);
+  !acc
+
+let to_wgraph c =
+  let g = Wgraph.create (n_vertices c) in
+  iter_edges c (fun u v w -> Wgraph.add_edge g u v w);
+  g

@@ -1,0 +1,71 @@
+(** Immutable compressed-sparse-row (CSR) snapshots of a {!Wgraph}.
+
+    A snapshot packs the adjacency structure of an undirected weighted
+    graph into three flat arrays: [off] (length [n + 1]) delimits per-
+    vertex slices, [dst] and [wgt] (length [2m], one entry per directed
+    arc) hold the neighbor ids and edge weights. Within each vertex's
+    slice the neighbors are sorted by id, so membership and weight
+    lookups are binary searches and iteration is a cache-friendly
+    linear scan — no hashtable bucket chasing.
+
+    The mutable {!Wgraph.t} remains the builder type; the read-heavy
+    layers (Dijkstra, cluster covers, cluster graphs, query selection,
+    the distributed runtime) freeze a snapshot once and consume it for
+    every subsequent traversal. Building is O(n + m); a snapshot never
+    observes later mutations of the source graph. *)
+
+type t = private {
+  off : int array;  (** length [n + 1]; vertex [u]'s arcs live in
+                        [off.(u) .. off.(u+1) - 1] *)
+  dst : int array;  (** arc targets, sorted within each slice *)
+  wgt : float array;  (** arc weights, parallel to [dst] *)
+}
+
+(** [of_wgraph g] freezes [g] into a snapshot in O(n + m). *)
+val of_wgraph : Wgraph.t -> t
+
+(** [to_wgraph c] thaws the snapshot back into a fresh mutable graph
+    with the same vertex set, edge set and weights. *)
+val to_wgraph : t -> Wgraph.t
+
+(** [n_vertices c] is the number of vertices. *)
+val n_vertices : t -> int
+
+(** [n_edges c] is the number of undirected edges. *)
+val n_edges : t -> int
+
+(** [degree c u] is the number of neighbors of [u]. *)
+val degree : t -> int -> int
+
+(** [max_degree c] is the largest vertex degree, 0 when edgeless. *)
+val max_degree : t -> int
+
+(** [mem_edge c u v] tests edge presence by binary search —
+    O(log degree). *)
+val mem_edge : t -> int -> int -> bool
+
+(** [weight c u v] is [Some w] if the edge exists, else [None]. *)
+val weight : t -> int -> int -> float option
+
+(** [iter_neighbors c u f] calls [f v w] for each neighbor of [u] in
+    increasing id order. *)
+val iter_neighbors : t -> int -> (int -> float -> unit) -> unit
+
+(** [fold_neighbors c u f acc] folds over the neighbors of [u] in
+    increasing id order. *)
+val fold_neighbors : t -> int -> (int -> float -> 'a -> 'a) -> 'a -> 'a
+
+(** [neighbors c u] is the list of [(v, w)] pairs adjacent to [u], in
+    increasing id order. *)
+val neighbors : t -> int -> (int * float) list
+
+(** [iter_edges c f] calls [f u v w] once per undirected edge with
+    [u < v], in lexicographic order. *)
+val iter_edges : t -> (int -> int -> float -> unit) -> unit
+
+(** [edges c] is the array of undirected edges with [u < v], in
+    lexicographic order. *)
+val edges : t -> Wgraph.edge array
+
+(** [total_weight c] is the sum of all undirected edge weights. *)
+val total_weight : t -> float

@@ -1,5 +1,9 @@
-let distances_and_parents g src =
-  let n = Wgraph.n_vertices g in
+(* Every search below is written once against an abstract neighbor
+   iterator and instantiated twice: over the mutable hashtable-backed
+   [Wgraph.t] (builder-side callers) and over immutable [Csr.t]
+   snapshots (the hot read paths of the phase pipeline). *)
+
+let gen_distances_and_parents ~n ~iter src =
   let dist = Array.make n infinity in
   let parent = Array.make n (-1) in
   let heap = Heap.create n in
@@ -9,7 +13,7 @@ let distances_and_parents g src =
     let u, du = Heap.pop_min heap in
     (* A popped label is final; stale heap entries cannot exist because
        decrease-key updates in place. *)
-    Wgraph.iter_neighbors g u (fun v w ->
+    iter u (fun v w ->
         let dv = du +. w in
         if dv < dist.(v) then begin
           dist.(v) <- dv;
@@ -19,10 +23,7 @@ let distances_and_parents g src =
   done;
   (dist, parent)
 
-let distances g src = fst (distances_and_parents g src)
-
-let search_until g src ~stop ~bound =
-  let n = Wgraph.n_vertices g in
+let gen_search_until ~n ~iter src ~stop ~bound =
   let dist = Array.make n infinity in
   let heap = Heap.create n in
   dist.(src) <- 0.0;
@@ -32,7 +33,7 @@ let search_until g src ~stop ~bound =
     let u, du = Heap.pop_min heap in
     if du > bound || stop u then finished := true
     else
-      Wgraph.iter_neighbors g u (fun v w ->
+      iter u (fun v w ->
           let dv = du +. w in
           if dv < dist.(v) then begin
             dist.(v) <- dv;
@@ -41,39 +42,15 @@ let search_until g src ~stop ~bound =
   done;
   dist
 
-let distance g src dst =
-  if src = dst then 0.0
-  else
-    let dist = search_until g src ~stop:(fun u -> u = dst) ~bound:infinity in
-    dist.(dst)
-
-let distance_upto g src dst ~bound =
-  if src = dst then 0.0
-  else
-    let dist = search_until g src ~stop:(fun u -> u = dst) ~bound in
-    dist.(dst)
-
-let within g src ~bound =
-  let dist = search_until g src ~stop:(fun _ -> false) ~bound in
+let gen_within ~n ~iter src ~bound =
+  let dist = gen_search_until ~n ~iter src ~stop:(fun _ -> false) ~bound in
   let acc = ref [] in
   Array.iteri (fun v d -> if d <= bound then acc := (v, d) :: !acc) dist;
   !acc
 
-let path g src dst =
-  if src = dst then Some [ src ]
-  else begin
-    let _, parent = distances_and_parents g src in
-    if parent.(dst) = -1 then None
-    else begin
-      let rec walk v acc = if v = src then v :: acc else walk parent.(v) (v :: acc) in
-      Some (walk dst [])
-    end
-  end
-
-let hop_bounded_distance g src dst ~max_hops ~bound =
+let gen_hop_bounded_distance ~n ~iter src dst ~max_hops ~bound =
   if src = dst then 0.0
   else begin
-    let n = Wgraph.n_vertices g in
     (* dist.(v) = best length of a path src->v with at most h hops, for
        the current round h. Only vertices improved in the previous round
        need relaxing, so we keep an explicit frontier. *)
@@ -88,7 +65,7 @@ let hop_bounded_distance g src dst ~max_hops ~bound =
       List.iter
         (fun u ->
           let du = dist.(u) in
-          Wgraph.iter_neighbors g u (fun v w ->
+          iter u (fun v w ->
               let dv = du +. w in
               if dv < dist.(v) && dv <= bound then begin
                 dist.(v) <- dv;
@@ -102,3 +79,76 @@ let hop_bounded_distance g src dst ~max_hops ~bound =
     done;
     dist.(dst)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Wgraph instantiation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let wg_iter g u f = Wgraph.iter_neighbors g u f
+
+let distances_and_parents g src =
+  gen_distances_and_parents ~n:(Wgraph.n_vertices g) ~iter:(wg_iter g) src
+
+let distances g src = fst (distances_and_parents g src)
+
+let search_until g src ~stop ~bound =
+  gen_search_until ~n:(Wgraph.n_vertices g) ~iter:(wg_iter g) src ~stop ~bound
+
+let distance g src dst =
+  if src = dst then 0.0
+  else
+    let dist = search_until g src ~stop:(fun u -> u = dst) ~bound:infinity in
+    dist.(dst)
+
+let distance_upto g src dst ~bound =
+  if src = dst then 0.0
+  else
+    let dist = search_until g src ~stop:(fun u -> u = dst) ~bound in
+    dist.(dst)
+
+let within g src ~bound =
+  gen_within ~n:(Wgraph.n_vertices g) ~iter:(wg_iter g) src ~bound
+
+let path g src dst =
+  if src = dst then Some [ src ]
+  else begin
+    let _, parent = distances_and_parents g src in
+    if parent.(dst) = -1 then None
+    else begin
+      let rec walk v acc = if v = src then v :: acc else walk parent.(v) (v :: acc) in
+      Some (walk dst [])
+    end
+  end
+
+let hop_bounded_distance g src dst ~max_hops ~bound =
+  gen_hop_bounded_distance ~n:(Wgraph.n_vertices g) ~iter:(wg_iter g) src dst
+    ~max_hops ~bound
+
+(* ------------------------------------------------------------------ *)
+(* Csr instantiation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let csr_iter c u f = Csr.iter_neighbors c u f
+
+let distances_and_parents_csr c src =
+  gen_distances_and_parents ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src
+
+let distances_csr c src = fst (distances_and_parents_csr c src)
+
+let distance_upto_csr c src dst ~bound =
+  if src = dst then 0.0
+  else
+    let dist =
+      gen_search_until ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src
+        ~stop:(fun u -> u = dst) ~bound
+    in
+    dist.(dst)
+
+let distance_csr c src dst = distance_upto_csr c src dst ~bound:infinity
+
+let within_csr c src ~bound =
+  gen_within ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src ~bound
+
+let hop_bounded_distance_csr c src dst ~max_hops ~bound =
+  gen_hop_bounded_distance ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src dst
+    ~max_hops ~bound

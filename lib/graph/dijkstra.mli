@@ -41,3 +41,20 @@ val path : Wgraph.t -> int -> int -> int list option
     shortest. *)
 val hop_bounded_distance :
   Wgraph.t -> int -> int -> max_hops:int -> bound:float -> float
+
+(** {2 CSR snapshot variants}
+
+    Identical semantics to the functions above, over an immutable
+    {!Csr.t} snapshot instead of a mutable {!Wgraph.t}. These are the
+    hot-path entry points: the phase pipeline freezes the partial
+    spanner once per phase and answers every ball, query and
+    hop-bounded search against the flat arrays. *)
+
+val distances_csr : Csr.t -> int -> float array
+val distances_and_parents_csr : Csr.t -> int -> float array * int array
+val distance_csr : Csr.t -> int -> int -> float
+val distance_upto_csr : Csr.t -> int -> int -> bound:float -> float
+val within_csr : Csr.t -> int -> bound:float -> (int * float) list
+
+val hop_bounded_distance_csr :
+  Csr.t -> int -> int -> max_hops:int -> bound:float -> float

@@ -1,15 +1,18 @@
-let kruskal g =
-  let es = Array.of_list (Wgraph.edges g) in
+let kruskal_of_edges ~n es =
   Array.sort (fun (a : Wgraph.edge) b -> compare a.w b.w) es;
-  let uf = Union_find.create (Wgraph.n_vertices g) in
+  let uf = Union_find.create n in
   let acc = ref [] in
   Array.iter
     (fun (e : Wgraph.edge) -> if Union_find.union uf e.u e.v then acc := e :: !acc)
     es;
   List.rev !acc
 
-let prim g =
-  let n = Wgraph.n_vertices g in
+let kruskal g =
+  kruskal_of_edges ~n:(Wgraph.n_vertices g) (Array.of_list (Wgraph.edges g))
+
+let kruskal_csr c = kruskal_of_edges ~n:(Csr.n_vertices c) (Csr.edges c)
+
+let gen_prim ~n ~iter =
   let in_tree = Array.make n false in
   let best = Array.make n infinity in
   let best_edge = Array.make n (-1) in
@@ -25,7 +28,7 @@ let prim g =
           in_tree.(u) <- true;
           if best_edge.(u) >= 0 then
             acc := { Wgraph.u = best_edge.(u); v = u; w = best.(u) } :: !acc;
-          Wgraph.iter_neighbors g u (fun v w ->
+          iter u (fun v w ->
               if (not in_tree.(v)) && w < best.(v) then begin
                 best.(v) <- w;
                 best_edge.(v) <- u;
@@ -37,6 +40,12 @@ let prim g =
   done;
   !acc
 
+let prim g =
+  gen_prim ~n:(Wgraph.n_vertices g) ~iter:(fun u f -> Wgraph.iter_neighbors g u f)
+
+let prim_csr c =
+  gen_prim ~n:(Csr.n_vertices c) ~iter:(fun u f -> Csr.iter_neighbors c u f)
+
 let forest g =
   let f = Wgraph.create (Wgraph.n_vertices g) in
   List.iter (fun (e : Wgraph.edge) -> Wgraph.add_edge f e.u e.v e.w) (kruskal g);
@@ -44,3 +53,6 @@ let forest g =
 
 let weight g =
   List.fold_left (fun acc (e : Wgraph.edge) -> acc +. e.w) 0.0 (kruskal g)
+
+let weight_csr c =
+  List.fold_left (fun acc (e : Wgraph.edge) -> acc +. e.w) 0.0 (kruskal_csr c)

@@ -18,3 +18,11 @@ val forest : Wgraph.t -> Wgraph.t
 
 (** [weight g] is the total weight of the MSF of [g]. *)
 val weight : Wgraph.t -> float
+
+(** CSR snapshot variants. *)
+
+val kruskal_csr : Csr.t -> Wgraph.edge list
+
+val prim_csr : Csr.t -> Wgraph.edge list
+
+val weight_csr : Csr.t -> float

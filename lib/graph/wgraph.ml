@@ -26,6 +26,23 @@ let add_edge g u v w =
   Hashtbl.replace g.adj.(u) v w;
   Hashtbl.replace g.adj.(v) u w
 
+let add_edge_min g u v w =
+  check_vertex g u;
+  check_vertex g v;
+  if u = v then invalid_arg "Wgraph.add_edge_min: self loop";
+  if w <= 0.0 then invalid_arg "Wgraph.add_edge_min: nonpositive weight";
+  match Hashtbl.find_opt g.adj.(u) v with
+  | Some w' when w' <= w -> false
+  | Some _ ->
+      Hashtbl.replace g.adj.(u) v w;
+      Hashtbl.replace g.adj.(v) u w;
+      false
+  | None ->
+      g.n_edges <- g.n_edges + 1;
+      Hashtbl.replace g.adj.(u) v w;
+      Hashtbl.replace g.adj.(v) u w;
+      true
+
 let remove_edge g u v =
   check_vertex g u;
   check_vertex g v;
@@ -78,10 +95,7 @@ let copy g =
 
 let union g h =
   if n_vertices g <> n_vertices h then invalid_arg "Wgraph.union: size";
-  iter_edges h (fun u v w ->
-      match weight g u v with
-      | Some w' when w' <= w -> ()
-      | Some _ | None -> add_edge g u v w)
+  iter_edges h (fun u v w -> ignore (add_edge_min g u v w))
 
 let total_weight g =
   let acc = ref 0.0 in

@@ -22,6 +22,12 @@ val n_edges : t -> int
     [{u, v}]. Requires [u <> v], vertices in range and [w > 0]. *)
 val add_edge : t -> int -> int -> float -> unit
 
+(** [add_edge_min g u v w] inserts the edge if absent, or lowers its
+    weight to [w] when the existing weight is larger (keep-min
+    semantics — the invariant every spanner insertion relies on).
+    Returns whether a {e new} edge was created. *)
+val add_edge_min : t -> int -> int -> float -> bool
+
 (** [remove_edge g u v] removes the edge if present; returns whether an
     edge was removed. *)
 val remove_edge : t -> int -> int -> bool

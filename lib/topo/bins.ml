@@ -35,4 +35,4 @@ let partition b edges =
       let i = index b e.w in
       out.(i) <- e :: out.(i))
     edges;
-  Array.map List.rev out
+  Array.map (fun bin -> Array.of_list (List.rev bin)) out

@@ -32,6 +32,7 @@ val index : t -> float -> int
 val interval : t -> int -> float * float
 
 (** [partition b edges] splits an edge list into an array of [count b]
-    lists by length (the [w] field of each edge); preserves relative
-    order within a bin. *)
-val partition : t -> Graph.Wgraph.edge list -> Graph.Wgraph.edge list array
+    edge arrays by length (the [w] field of each edge); preserves
+    relative order within a bin. Bin [i] is consumed by phase [i] of
+    the array-based edge pipeline. *)
+val partition : t -> Graph.Wgraph.edge list -> Graph.Wgraph.edge array array

@@ -1,4 +1,5 @@
 module Wgraph = Graph.Wgraph
+module Csr = Graph.Csr
 module Dijkstra = Graph.Dijkstra
 
 type t = {
@@ -24,9 +25,9 @@ let pack ~radius ~centers ~center_of ~dist_to_center =
     members;
   }
 
-let compute j ~radius =
+let compute_csr j ~radius =
   if radius < 0.0 then invalid_arg "Cluster_cover.compute: radius < 0";
-  let n = Wgraph.n_vertices j in
+  let n = Csr.n_vertices j in
   let center_of = Array.make n (-1) in
   let dist_to_center = Array.make n infinity in
   let centers = ref [] in
@@ -41,14 +42,16 @@ let compute j ~radius =
             center_of.(x) <- v;
             dist_to_center.(x) <- d
           end)
-        (Dijkstra.within j v ~bound:radius)
+        (Dijkstra.within_csr j v ~bound:radius)
     end
   done;
   pack ~radius ~centers:!centers ~center_of ~dist_to_center
 
-let of_centers j ~radius ~centers =
+let compute j ~radius = compute_csr (Csr.of_wgraph j) ~radius
+
+let of_centers_csr j ~radius ~centers =
   if radius < 0.0 then invalid_arg "Cluster_cover.of_centers: radius < 0";
-  let n = Wgraph.n_vertices j in
+  let n = Csr.n_vertices j in
   let center_of = Array.make n (-1) in
   let dist_to_center = Array.make n infinity in
   List.iter
@@ -63,7 +66,7 @@ let of_centers j ~radius ~centers =
             center_of.(x) <- c;
             dist_to_center.(x) <- d
           end)
-        (Dijkstra.within j c ~bound:radius))
+        (Dijkstra.within_csr j c ~bound:radius))
     centers;
   Array.iteri
     (fun v c ->
@@ -73,10 +76,14 @@ let of_centers j ~radius ~centers =
     center_of;
   pack ~radius ~centers:(List.rev centers) ~center_of ~dist_to_center
 
+let of_centers j ~radius ~centers =
+  of_centers_csr (Csr.of_wgraph j) ~radius ~centers
+
 let n_clusters ~c = Array.length c.centers
 
 let is_valid j c =
-  let n = Wgraph.n_vertices j in
+  let j = Csr.of_wgraph j in
+  let n = Csr.n_vertices j in
   let eps = 1e-9 in
   let ok = ref (n = Array.length c.center_of) in
   (* Coverage + radius + recorded distances are genuine sp values. *)
@@ -86,7 +93,7 @@ let is_valid j c =
         let table = Hashtbl.create 64 in
         List.iter
           (fun (x, d) -> Hashtbl.replace table x d)
-          (Dijkstra.within j center ~bound:c.radius);
+          (Dijkstra.within_csr j center ~bound:c.radius);
         table
       in
       List.iter
@@ -108,6 +115,6 @@ let is_valid j c =
     (fun u ->
       List.iter
         (fun (x, _) -> if x <> u && Hashtbl.mem center_set x then ok := false)
-        (Dijkstra.within j u ~bound:c.radius))
+        (Dijkstra.within_csr j u ~bound:c.radius))
     c.centers;
   !ok

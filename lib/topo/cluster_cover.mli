@@ -18,16 +18,25 @@ type t = private {
   members : (int, int list) Hashtbl.t;  (** center -> member list *)
 }
 
-(** [compute j ~radius] builds a cover greedily, scanning vertices in
-    id order. Requires [radius >= 0]. Isolated vertices become
-    singleton clusters. *)
+(** [compute_csr j ~radius] builds a cover greedily over a frozen CSR
+    snapshot, scanning vertices in id order. Requires [radius >= 0].
+    Isolated vertices become singleton clusters. This is the phase
+    pipeline's entry point: every ball search runs on the snapshot's
+    flat arrays. *)
+val compute_csr : Graph.Csr.t -> radius:float -> t
+
+(** [compute j ~radius] is {!compute_csr} after freezing [j]. *)
 val compute : Graph.Wgraph.t -> radius:float -> t
 
-(** [of_centers j ~radius ~centers] builds a cover with the prescribed
-    center set: every vertex joins the nearest center (ties to the
-    smaller id). Raises [Invalid_argument] if some vertex is farther
-    than [radius] from all centers — i.e. [centers] fails to dominate,
-    meaning the MIS that produced it was not maximal. *)
+(** [of_centers_csr j ~radius ~centers] builds a cover with the
+    prescribed center set: every vertex joins the nearest center (ties
+    to the smaller id). Raises [Invalid_argument] if some vertex is
+    farther than [radius] from all centers — i.e. [centers] fails to
+    dominate, meaning the MIS that produced it was not maximal. *)
+val of_centers_csr : Graph.Csr.t -> radius:float -> centers:int list -> t
+
+(** [of_centers j ~radius ~centers] is {!of_centers_csr} after freezing
+    [j]. *)
 val of_centers : Graph.Wgraph.t -> radius:float -> centers:int list -> t
 
 (** [n_clusters c] is the number of clusters. *)

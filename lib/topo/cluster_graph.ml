@@ -1,17 +1,19 @@
 module Wgraph = Graph.Wgraph
+module Csr = Graph.Csr
 module Dijkstra = Graph.Dijkstra
 
 type t = {
   graph : Wgraph.t;
+  csr : Csr.t;
   w_prev : float;
   cover : Cluster_cover.t;
   inter_degree : int array;
 }
 
-let build ~spanner ~cover ~w_prev =
+let build_csr ~spanner ~cover ~w_prev =
   if cover.Cluster_cover.radius > w_prev +. 1e-12 then
     invalid_arg "Cluster_graph.build: cover radius exceeds W_{i-1}";
-  let n = Wgraph.n_vertices spanner in
+  let n = Csr.n_vertices spanner in
   let h = Wgraph.create n in
   let inter_degree = Array.make n 0 in
   (* Intra-cluster edges: center to every member, weighted by the true
@@ -28,7 +30,7 @@ let build ~spanner ~cover ~w_prev =
   (* Cross-cluster spanner edges force inter-cluster edges (condition
      (ii) of Section 2.2.3). *)
   let crossing = Hashtbl.create 64 in
-  Wgraph.iter_edges spanner (fun u v _ ->
+  Csr.iter_edges spanner (fun u v _ ->
       let a = cover.Cluster_cover.center_of.(u)
       and b = cover.Cluster_cover.center_of.(v) in
       if a <> b then Hashtbl.replace crossing (min a b, max a b) ());
@@ -53,12 +55,17 @@ let build ~spanner ~cover ~w_prev =
               inter_degree.(b) <- inter_degree.(b) + 1
             end
           end)
-        (Dijkstra.within spanner a ~bound:reach))
+        (Dijkstra.within_csr spanner a ~bound:reach))
     cover.Cluster_cover.centers;
-  { graph = h; w_prev; cover; inter_degree }
+  (* Freeze H itself: step (iv) answers every query of the phase
+     against this one snapshot. *)
+  { graph = h; csr = Csr.of_wgraph h; w_prev; cover; inter_degree }
+
+let build ~spanner ~cover ~w_prev =
+  build_csr ~spanner:(Csr.of_wgraph spanner) ~cover ~w_prev
 
 let sp_upto t ~max_hops x y ~bound =
-  Dijkstra.hop_bounded_distance t.graph x y ~max_hops ~bound
+  Dijkstra.hop_bounded_distance_csr t.csr x y ~max_hops ~bound
 
 let query t ~params ~x ~y ~len =
   let budget = params.Params.t *. len in

@@ -15,13 +15,22 @@
 
 type t = private {
   graph : Graph.Wgraph.t;  (** H itself, on the spanner's vertex ids *)
+  csr : Graph.Csr.t;  (** frozen snapshot of H; all queries run here *)
   w_prev : float;  (** the bin threshold [W_{i-1}] *)
   cover : Cluster_cover.t;
   inter_degree : int array;  (** center -> number of inter-cluster edges *)
 }
 
-(** [build ~spanner ~cover ~w_prev] constructs [H] from [G' = spanner]
-    and a cover of radius [<= w_prev]. *)
+(** [build_csr ~spanner ~cover ~w_prev] constructs [H] from the frozen
+    snapshot of [G' = spanner] and a cover of radius [<= w_prev]. The
+    phase pipeline passes the snapshot it already holds, so [G'] is
+    frozen exactly once per phase. [H] itself is frozen on return and
+    every subsequent {!query} runs against that CSR. *)
+val build_csr :
+  spanner:Graph.Csr.t -> cover:Cluster_cover.t -> w_prev:float -> t
+
+(** [build ~spanner ~cover ~w_prev] is {!build_csr} after freezing
+    [spanner]. *)
 val build :
   spanner:Graph.Wgraph.t -> cover:Cluster_cover.t -> w_prev:float -> t
 

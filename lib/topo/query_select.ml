@@ -1,7 +1,8 @@
 module Wgraph = Graph.Wgraph
+module Csr = Graph.Csr
 
 type selection = {
-  query_edges : Wgraph.edge list;
+  query_edges : Wgraph.edge array;
   n_bin_edges : int;
   n_covered : int;
   n_candidates : int;
@@ -13,7 +14,7 @@ type selection = {
    spanner edges come from earlier bins, but we keep the explicit check
    that Lemma 3 requires. *)
 let covered_at ~model ~spanner ~params ~pivot ~far ~len =
-  Wgraph.fold_neighbors spanner pivot
+  Csr.fold_neighbors spanner pivot
     (fun z _ acc ->
       acc
       || (z <> far
@@ -28,41 +29,38 @@ let is_covered ~model ~spanner ~params ~u ~v ~len =
 
 let select ?(weight_of_len = fun len -> len) ~model ~spanner ~cover ~params
     bin_edges =
-  let n_bin_edges = List.length bin_edges in
+  let n_bin_edges = Array.length bin_edges in
   let n_covered = ref 0 in
-  let candidates =
-    List.filter
-      (fun (e : Wgraph.edge) ->
-        let covered =
-          is_covered ~model ~spanner ~params ~u:e.u ~v:e.v ~len:e.w
-        in
-        if covered then incr n_covered;
-        not covered)
-      bin_edges
-  in
-  (* Keep, per unordered cluster pair, the candidate minimizing
-     inequality (1): t|xy| - sp(a,x) - sp(b,y). *)
+  (* Single pass over the bin: the covered filter and the per-pair
+     minimizer of inequality (1), t|xy| - sp(a,x) - sp(b,y), fuse into
+     one scan over the edge array. *)
   let best = Hashtbl.create 64 in
-  List.iter
+  Array.iter
     (fun (e : Wgraph.edge) ->
-      let a = cover.Cluster_cover.center_of.(e.u)
-      and b = cover.Cluster_cover.center_of.(e.v) in
-      (* Bin edges are longer than the cover diameter, so endpoints lie
-         in distinct clusters; degenerate instances could violate the
-         precondition, in which case the edge needs no query at all. *)
-      if a <> b then begin
-        let score =
-          (params.Params.t *. weight_of_len e.w)
-          -. cover.Cluster_cover.dist_to_center.(e.u)
-          -. cover.Cluster_cover.dist_to_center.(e.v)
-        in
-        let key = (min a b, max a b) in
-        match Hashtbl.find_opt best key with
-        | Some (score', _) when score' <= score -> ()
-        | Some _ | None -> Hashtbl.replace best key (score, e)
+      if is_covered ~model ~spanner ~params ~u:e.u ~v:e.v ~len:e.w then
+        incr n_covered
+      else begin
+        let a = cover.Cluster_cover.center_of.(e.u)
+        and b = cover.Cluster_cover.center_of.(e.v) in
+        (* Bin edges are longer than the cover diameter, so endpoints lie
+           in distinct clusters; degenerate instances could violate the
+           precondition, in which case the edge needs no query at all. *)
+        if a <> b then begin
+          let score =
+            (params.Params.t *. weight_of_len e.w)
+            -. cover.Cluster_cover.dist_to_center.(e.u)
+            -. cover.Cluster_cover.dist_to_center.(e.v)
+          in
+          let key = (min a b, max a b) in
+          match Hashtbl.find_opt best key with
+          | Some (score', _) when score' <= score -> ()
+          | Some _ | None -> Hashtbl.replace best key (score, e)
+        end
       end)
-    candidates;
-  let query_edges = Hashtbl.fold (fun _ (_, e) acc -> e :: acc) best [] in
+    bin_edges;
+  let query_edges =
+    Array.of_list (Hashtbl.fold (fun _ (_, e) acc -> e :: acc) best [])
+  in
   let per_cluster = Hashtbl.create 64 in
   let bump c =
     Hashtbl.replace per_cluster c
@@ -80,6 +78,6 @@ let select ?(weight_of_len = fun len -> len) ~model ~spanner ~cover ~params
     query_edges;
     n_bin_edges;
     n_covered = !n_covered;
-    n_candidates = List.length candidates;
+    n_candidates = n_bin_edges - !n_covered;
     max_queries_per_cluster;
   }

@@ -17,7 +17,7 @@
     experiment E5 measures that count. *)
 
 type selection = {
-  query_edges : Graph.Wgraph.edge list;  (** one per populated cluster pair *)
+  query_edges : Graph.Wgraph.edge array;  (** one per populated cluster pair *)
   n_bin_edges : int;  (** |E_i| *)
   n_covered : int;  (** edges dropped by the cone filter *)
   n_candidates : int;  (** [n_bin_edges - n_covered] *)
@@ -25,19 +25,21 @@ type selection = {
       (** largest number of query edges incident on one cluster *)
 }
 
-(** [select ~model ~spanner ~cover ~params ~bin_edges] applies both
-    filters to [bin_edges] (the current bin, Euclidean-weighted).
-    [weight_of_len] (default: identity) maps Euclidean lengths into the
-    weight space of [spanner] so that inequality (1) compares
-    commensurable quantities under an energy metric; the covered-edge
-    geometry always stays Euclidean. *)
+(** [select ~model ~spanner ~cover ~params bin_edges] applies both
+    filters to [bin_edges] (the current bin, Euclidean-weighted) in one
+    pass over the array. [spanner] is the phase's frozen snapshot of
+    [G'_{i-1}]: the cone test walks its sorted adjacency slices rather
+    than hashtable buckets. [weight_of_len] (default: identity) maps
+    Euclidean lengths into the weight space of [spanner] so that
+    inequality (1) compares commensurable quantities under an energy
+    metric; the covered-edge geometry always stays Euclidean. *)
 val select :
   ?weight_of_len:(float -> float) ->
   model:Ubg.Model.t ->
-  spanner:Graph.Wgraph.t ->
+  spanner:Graph.Csr.t ->
   cover:Cluster_cover.t ->
   params:Params.t ->
-  Graph.Wgraph.edge list ->
+  Graph.Wgraph.edge array ->
   selection
 
 (** [is_covered ~model ~spanner ~params ~u ~v ~len] is the bare
@@ -45,7 +47,7 @@ val select :
     for the Figure 1 / Lemma 3 property tests. *)
 val is_covered :
   model:Ubg.Model.t ->
-  spanner:Graph.Wgraph.t ->
+  spanner:Graph.Csr.t ->
   params:Params.t ->
   u:int ->
   v:int ->

@@ -1,8 +1,8 @@
 module Wgraph = Graph.Wgraph
 
 type result = {
-  kept : Wgraph.edge list;
-  removed : Wgraph.edge list;
+  kept : Wgraph.edge array;
+  removed : Wgraph.edge array;
   n_conflict_nodes : int;
   n_conflict_edges : int;
 }
@@ -49,8 +49,7 @@ let conflict_graph ?max_hops ~h ~params edges =
   done;
   j_graph
 
-let filter ?max_hops ~h ~params added =
-  let edges = Array.of_list added in
+let filter ?max_hops ~h ~params edges =
   let k = Array.length edges in
   let j_graph = conflict_graph ?max_hops ~h ~params edges in
   let n_conflict_edges = Graph.Wgraph.n_edges j_graph in
@@ -74,8 +73,8 @@ let filter ?max_hops ~h ~params added =
     else removed := edges.(i) :: !removed
   done;
   {
-    kept = !kept;
-    removed = !removed;
+    kept = Array.of_list !kept;
+    removed = Array.of_list !removed;
     n_conflict_nodes = !n_conflict_nodes;
     n_conflict_edges = !n_conflict_edges;
   }

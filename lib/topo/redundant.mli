@@ -17,8 +17,8 @@
     (Theorem 10's proof). *)
 
 type result = {
-  kept : Graph.Wgraph.edge list;
-  removed : Graph.Wgraph.edge list;
+  kept : Graph.Wgraph.edge array;
+  removed : Graph.Wgraph.edge array;
   n_conflict_nodes : int;  (** edges implicated in some redundant pair *)
   n_conflict_edges : int;  (** mutually redundant pairs found *)
 }
@@ -32,7 +32,7 @@ val conflict_graph :
   ?max_hops:int -> h:Cluster_graph.t -> params:Params.t ->
   Graph.Wgraph.edge array -> Graph.Wgraph.t
 
-(** [filter ~h ~params ~added] partitions the phase's added edges,
+(** [filter ~h ~params added] partitions the phase's added edges,
     keeping a maximal independent set of the conflict graph (greedy by
     edge order). [added] edges carry weights in the space of [h].
     [max_hops] (default {!Params.query_hop_limit}) is the hop budget of
@@ -40,7 +40,7 @@ val conflict_graph :
     bin weight ratio exceeds [r]. *)
 val filter :
   ?max_hops:int -> h:Cluster_graph.t -> params:Params.t ->
-  Graph.Wgraph.edge list -> result
+  Graph.Wgraph.edge array -> result
 
 (** [mutually_redundant ~h ~params e1 e2] tests conditions (i) and (ii)
     under both endpoint pairings. *)

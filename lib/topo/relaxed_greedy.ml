@@ -1,4 +1,5 @@
 module Wgraph = Graph.Wgraph
+module Csr = Graph.Csr
 module Model = Ubg.Model
 
 type phase_stats = {
@@ -31,7 +32,9 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 let process_short_edges ~model ~metric ~params ~bin_edges ~spanner =
   let n = Model.n model in
   let g0 = Wgraph.create n in
-  List.iter (fun (e : Wgraph.edge) -> Wgraph.add_edge g0 e.u e.v e.w) bin_edges;
+  Array.iter
+    (fun (e : Wgraph.edge) -> Wgraph.add_edge g0 e.u e.v e.w)
+    bin_edges;
   let before = Wgraph.n_edges spanner in
   List.iter
     (fun members ->
@@ -44,10 +47,10 @@ let process_short_edges ~model ~metric ~params ~bin_edges ~spanner =
   {
     phase = 0;
     w_prev = 0.0;
-    n_bin_edges = List.length bin_edges;
+    n_bin_edges = Array.length bin_edges;
     n_covered = 0;
-    n_candidates = List.length bin_edges;
-    n_query = List.length bin_edges;
+    n_candidates = Array.length bin_edges;
+    n_query = Array.length bin_edges;
     n_added = Wgraph.n_edges spanner - before;
     n_removed = 0;
     n_clusters = 0;
@@ -58,35 +61,38 @@ let process_short_edges ~model ~metric ~params ~bin_edges ~spanner =
 (* Phase i >= 1, PROCESS-LONG-EDGES, five steps of Section 2.2. Bin
    edges carry Euclidean lengths; [phi] maps lengths into the spanner's
    weight space. Pure with respect to [spanner]: returns the surviving
-   additions instead of inserting them. *)
+   additions instead of inserting them. The partial spanner G'_{i-1} is
+   frozen into ONE CSR snapshot here; steps (i)-(iv) all read that
+   snapshot, never the hashtable builder. *)
 let phase_core ~model ~params ~phi ~phase ~w_prev_len ~w_len ~bin_edges
     ~spanner =
   let w_prev = phi w_prev_len in
   let radius = params.Params.delta *. w_prev in
+  let frozen = Csr.of_wgraph spanner in
   (* Step (i): cluster cover of radius delta * W_{i-1}. *)
-  let cover = Cluster_cover.compute spanner ~radius in
+  let cover = Cluster_cover.compute_csr frozen ~radius in
   (* Step (ii): covered-edge filter + one query edge per cluster pair. *)
   let selection =
-    Query_select.select ~weight_of_len:phi ~model ~spanner ~cover ~params
-      bin_edges
+    Query_select.select ~weight_of_len:phi ~model ~spanner:frozen ~cover
+      ~params bin_edges
   in
   (* Step (iii): the cluster graph H_{i-1}. *)
-  let h = Cluster_graph.build ~spanner ~cover ~w_prev in
+  let h = Cluster_graph.build_csr ~spanner:frozen ~cover ~w_prev in
   (* Step (iv): answer every query on the frozen H (lazy update: the
      spanner is only touched after all queries are answered). *)
   let ratio = phi w_len /. w_prev in
   let max_hops =
     2 + int_of_float (ceil (params.Params.t *. ratio /. params.Params.delta))
   in
-  let added =
-    List.filter_map
-      (fun (e : Wgraph.edge) ->
-        let len_w = phi e.w in
-        let budget = params.Params.t *. len_w in
-        let d = Cluster_graph.sp_upto h ~max_hops e.u e.v ~bound:budget in
-        if d <= budget then None else Some { e with Wgraph.w = len_w })
-      selection.Query_select.query_edges
-  in
+  let added = ref [] in
+  Array.iter
+    (fun (e : Wgraph.edge) ->
+      let len_w = phi e.w in
+      let budget = params.Params.t *. len_w in
+      let d = Cluster_graph.sp_upto h ~max_hops e.u e.v ~bound:budget in
+      if d > budget then added := { e with Wgraph.w = len_w } :: !added)
+    selection.Query_select.query_edges;
+  let added = Array.of_list (List.rev !added) in
   (* Step (v): strip mutually redundant additions via an MIS of the
      conflict graph. *)
   let redundancy = Redundant.filter ~max_hops ~h ~params added in
@@ -97,9 +103,9 @@ let phase_core ~model ~params ~phi ~phase ~w_prev_len ~w_len ~bin_edges
       n_bin_edges = selection.Query_select.n_bin_edges;
       n_covered = selection.Query_select.n_covered;
       n_candidates = selection.Query_select.n_candidates;
-      n_query = List.length selection.Query_select.query_edges;
+      n_query = Array.length selection.Query_select.query_edges;
       n_added = 0 (* filled by the caller after insertion *);
-      n_removed = List.length redundancy.Redundant.removed;
+      n_removed = Array.length redundancy.Redundant.removed;
       n_clusters = Cluster_cover.n_clusters ~c:cover;
       max_queries_per_cluster = selection.Query_select.max_queries_per_cluster;
       max_inter_degree = Cluster_graph.max_inter_degree h;
@@ -109,12 +115,9 @@ let phase_core ~model ~params ~phi ~phase ~w_prev_len ~w_len ~bin_edges
 
 let insert_kept ~spanner kept stats =
   let n_added = ref 0 in
-  List.iter
+  Array.iter
     (fun (e : Wgraph.edge) ->
-      if not (Wgraph.mem_edge spanner e.u e.v) then begin
-        Wgraph.add_edge spanner e.u e.v e.w;
-        incr n_added
-      end)
+      if Wgraph.add_edge_min spanner e.u e.v e.w then incr n_added)
     kept;
   { stats with n_added = !n_added }
 
@@ -138,7 +141,7 @@ let process_long_edges_local ~model ~tree ~params ~phase ~w_prev_len ~w_len
   let reach = (params.Params.t +. 3.0) *. w_len in
   let n = Model.n model in
   let in_region = Array.make n false in
-  List.iter
+  Array.iter
     (fun (e : Wgraph.edge) ->
       List.iter
         (fun v ->
@@ -177,7 +180,7 @@ let process_long_edges_local ~model ~tree ~params ~phase ~w_prev_len ~w_len
           | Some _ | None -> ()))
     region;
   let sub_bin =
-    List.map
+    Array.map
       (fun (e : Wgraph.edge) ->
         {
           Wgraph.u = Hashtbl.find local_of e.u;
@@ -191,7 +194,7 @@ let process_long_edges_local ~model ~tree ~params ~phase ~w_prev_len ~w_len
       ~bin_edges:sub_bin ~spanner:sub_spanner
   in
   let kept_global =
-    List.map
+    Array.map
       (fun (e : Wgraph.edge) ->
         { e with Wgraph.u = region.(e.u); v = region.(e.v) })
       kept
@@ -233,7 +236,7 @@ let build ?(metric = Geometry.Metric.Euclidean) ?(mode = `Auto)
     (process_short_edges ~model ~metric ~params ~bin_edges:binned.(0) ~spanner);
   observer ~phase:0 ~spanner;
   for i = 1 to bins.Bins.m do
-    if binned.(i) <> [] then begin
+    if Array.length binned.(i) > 0 then begin
       let w_prev_len = Bins.w bins (i - 1) and w_len = Bins.w bins i in
       let s =
         match tree with

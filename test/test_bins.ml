@@ -56,12 +56,14 @@ let prop_partition_preserves_edges =
       let b = Bins.make ~params ~n in
       let edges = Wgraph.edges model.Ubg.Model.graph in
       let binned = Bins.partition b edges in
-      let total = Array.fold_left (fun acc l -> acc + List.length l) 0 binned in
+      let total =
+        Array.fold_left (fun acc l -> acc + Array.length l) 0 binned
+      in
       total = List.length edges
       && Array.for_all Fun.id
            (Array.mapi
               (fun i l ->
-                List.for_all
+                Array.for_all
                   (fun (e : Wgraph.edge) ->
                     let lo, hi = Bins.interval b i in
                     lo < e.w +. 1e-15 && e.w <= hi +. 1e-12)

@@ -19,42 +19,42 @@ let phase_with_added ~seed ~n =
   let cover = Cluster_cover.compute spanner ~radius in
   let h = Cluster_graph.build ~spanner ~cover ~w_prev in
   let added =
-    List.filter
-      (fun (e : Wgraph.edge) ->
-        e.w > w_prev && e.w <= w_prev *. params.Topo.Params.r)
-      (Wgraph.edges model.Ubg.Model.graph)
+    Array.of_list
+      (List.filter
+         (fun (e : Wgraph.edge) ->
+           e.w > w_prev && e.w <= w_prev *. params.Topo.Params.r)
+         (Wgraph.edges model.Ubg.Model.graph))
   in
   (h, added)
 
 let prop_mutually_redundant_symmetric =
   qtest ~count:20 "redundant: relation is symmetric" seed_arb (fun seed ->
       let h, added = phase_with_added ~seed ~n:40 in
-      match added with
-      | e1 :: e2 :: _ ->
-          Redundant.mutually_redundant ~h ~params e1 e2
-          = Redundant.mutually_redundant ~h ~params e2 e1
-      | [ _ ] | [] -> true)
+      Array.length added < 2
+      ||
+      let e1 = added.(0) and e2 = added.(1) in
+      Redundant.mutually_redundant ~h ~params e1 e2
+      = Redundant.mutually_redundant ~h ~params e2 e1)
 
 let prop_filter_partitions =
   qtest ~count:20 "redundant: kept + removed = added" seed_arb (fun seed ->
       let h, added = phase_with_added ~seed ~n:40 in
       let r = Redundant.filter ~h ~params added in
-      List.length r.Redundant.kept + List.length r.Redundant.removed
-      = List.length added)
+      Array.length r.Redundant.kept + Array.length r.Redundant.removed
+      = Array.length added)
 
 let prop_filter_kept_is_mis =
   qtest ~count:20 "redundant: kept set is an MIS of the conflict graph"
     seed_arb (fun seed ->
       let h, added = phase_with_added ~seed ~n:40 in
       let r = Redundant.filter ~h ~params added in
-      let edges = Array.of_list added in
-      let jg = Redundant.conflict_graph ~h ~params edges in
+      let jg = Redundant.conflict_graph ~h ~params added in
       let kept = Hashtbl.create 16 in
-      List.iter
+      Array.iter
         (fun (e : Wgraph.edge) -> Hashtbl.replace kept (e.u, e.v, e.w) ())
         r.Redundant.kept;
       let in_mis =
-        Array.map (fun (e : Wgraph.edge) -> Hashtbl.mem kept (e.u, e.v, e.w)) edges
+        Array.map (fun (e : Wgraph.edge) -> Hashtbl.mem kept (e.u, e.v, e.w)) added
       in
       Distrib.Mis.is_mis jg in_mis)
 
@@ -65,9 +65,9 @@ let prop_removed_have_surviving_partner =
     seed_arb (fun seed ->
       let h, added = phase_with_added ~seed ~n:40 in
       let r = Redundant.filter ~h ~params added in
-      List.for_all
+      Array.for_all
         (fun removed ->
-          List.exists
+          Array.exists
             (fun kept -> Redundant.mutually_redundant ~h ~params removed kept)
             r.Redundant.kept)
         r.Redundant.removed)
@@ -77,7 +77,8 @@ let prop_no_conflicts_no_removal =
     (fun seed ->
       let h, added = phase_with_added ~seed ~n:40 in
       let r = Redundant.filter ~h ~params added in
-      r.Redundant.n_conflict_edges > 0 || r.Redundant.removed = [])
+      r.Redundant.n_conflict_edges > 0
+      || Array.length r.Redundant.removed = 0)
 
 (* d_J metric axioms (Lemma 20, Figures 5-6). *)
 let prop_dj_metric_axioms =
@@ -87,13 +88,13 @@ let prop_dj_metric_axioms =
       let max_hops = 1000 and bound = infinity in
       let d = Redundant.d_j ~h ~max_hops ~bound in
       let eq x y = x = y || close ~eps:1e-9 x y in
-      match added with
-      | a :: b :: c :: _ ->
-          let ok_sym = eq (d a b) (d b a) in
-          let ok_tri = d a c <= d a b +. d b c +. 1e-9 in
-          let ok_self = d a a = 0.0 in
-          ok_sym && ok_tri && ok_self
-      | _ -> true)
+      Array.length added < 3
+      ||
+      let a = added.(0) and b = added.(1) and c = added.(2) in
+      let ok_sym = eq (d a b) (d b a) in
+      let ok_tri = d a c <= d a b +. d b c +. 1e-9 in
+      let ok_self = d a a = 0.0 in
+      ok_sym && ok_tri && ok_self)
 
 (* Crafted instance with a forced redundant pair: two parallel edges of
    equal length whose endpoints are joined by negligible-length paths.
@@ -120,9 +121,9 @@ let test_forced_redundant_pair () =
   and e2 = { Wgraph.u = 1; v = 3; w = Geometry.Point.distance pts.(1) pts.(3) } in
   Alcotest.(check bool) "pair detected" true
     (Redundant.mutually_redundant ~h ~params e1 e2);
-  let r = Redundant.filter ~h ~params [ e1; e2 ] in
-  Alcotest.(check int) "one kept" 1 (List.length r.Redundant.kept);
-  Alcotest.(check int) "one removed" 1 (List.length r.Redundant.removed);
+  let r = Redundant.filter ~h ~params [| e1; e2 |] in
+  Alcotest.(check int) "one kept" 1 (Array.length r.Redundant.kept);
+  Alcotest.(check int) "one removed" 1 (Array.length r.Redundant.removed);
   Alcotest.(check int) "two conflict nodes" 2 r.Redundant.n_conflict_nodes;
   Alcotest.(check int) "one conflict edge" 1 r.Redundant.n_conflict_edges
 
