@@ -1,4 +1,4 @@
-.PHONY: all check test fmt bench clean
+.PHONY: all check test fmt bench bench-smoke clean
 
 all:
 	dune build @all
@@ -14,6 +14,11 @@ fmt:
 
 bench:
 	dune exec bench/main.exe -- quick
+
+# Fast scaling check: E-par at reduced size, emits BENCH_relaxed.json
+# and asserts the spanner is identical across domain counts.
+bench-smoke:
+	dune exec bench/main.exe -- E-par quick
 
 clean:
 	dune clean

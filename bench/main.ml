@@ -824,6 +824,104 @@ let e_csr () =
     "   (sweep visits every adjacency once; csr walks two flat arrays)"
 
 (* ------------------------------------------------------------------ *)
+(* E-par: domain-pool scaling of the phase pipeline.                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One relaxed-greedy build per domain count, with the per-stage
+   Profile counters switched to wall time. Emits the scaling table and
+   a machine-readable BENCH_relaxed.json, and cross-checks that every
+   domain count produces the bit-identical spanner (the PR's core
+   invariant: parallel merges are order-preserving). *)
+let canonical_edges g =
+  List.sort compare
+    (List.map
+       (fun (e : Wgraph.edge) -> (min e.u e.v, max e.u e.v, e.w))
+       (Wgraph.edges g))
+
+let e_par () =
+  let n = if !quick then 300 else 1200 in
+  let eps = 0.5 in
+  let model = model_of ~seed:(42 + n) ~n ~dim:2 ~alpha:0.8 in
+  Topo.Profile.set_clock Unix.gettimeofday;
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let runs =
+    List.map
+      (fun d ->
+        Parallel.Pool.set_domains d;
+        Topo.Profile.reset ();
+        let t0 = Unix.gettimeofday () in
+        let r = Relaxed_greedy.build_eps ~eps model in
+        let wall = Unix.gettimeofday () -. t0 in
+        (d, wall, Topo.Profile.read (), canonical_edges r.Relaxed_greedy.spanner))
+      domain_counts
+  in
+  Parallel.Pool.clear_domains ();
+  let _, base_wall, _, base_edges = List.hd runs in
+  let deterministic =
+    List.for_all (fun (_, _, _, edges) -> edges = base_edges) runs
+  in
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E-par: build scaling vs domains (n = %d, eps = %.2f, %d cores)" n
+           eps (Domain.recommended_domain_count ()))
+      ~columns:
+        [ "domains"; "wall s"; "speedup"; "cover s"; "select s"; "queries s";
+          "identical" ]
+  in
+  List.iter
+    (fun (d, wall, stages, edges) ->
+      let stage name = List.assoc name stages in
+      Report.add_row t
+        [
+          Report.cell_i d;
+          Printf.sprintf "%.2f" wall;
+          Printf.sprintf "%.2fx" (base_wall /. wall);
+          Printf.sprintf "%.2f" (stage "cover");
+          Printf.sprintf "%.2f" (stage "select");
+          Printf.sprintf "%.2f" (stage "queries");
+          (if edges = base_edges then "yes" else "NO");
+        ])
+    runs;
+  Report.print t;
+  print_endline
+    (if deterministic then
+       "   (spanner bit-identical across all domain counts)"
+     else "   (DETERMINISM VIOLATION: outputs differ across domain counts)");
+  (* Hand-written JSON: no json library in the image, and the schema is
+     flat enough that printf is clearer than a dependency. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E-par\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"n\": %d,\n  \"eps\": %.2f,\n" n eps);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cores\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"deterministic\": %b,\n" deterministic);
+  Buffer.add_string buf "  \"runs\": [\n";
+  List.iteri
+    (fun i (d, wall, stages, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.4f, \
+            \"stages\": { %s } }%s\n"
+           d wall (base_wall /. wall)
+           (String.concat ", "
+              (List.map
+                 (fun (name, s) -> Printf.sprintf "\"%s\": %.6f" name s)
+                 stages))
+           (if i = List.length runs - 1 then "" else ","))
+      )
+    runs;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_relaxed.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "   [wrote BENCH_relaxed.json]\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment's kernel.        *)
 (* ------------------------------------------------------------------ *)
 
@@ -968,6 +1066,7 @@ let experiments =
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18);
     ("E-csr", e_csr);
+    ("E-par", e_par);
     ("micro", micro_benchmarks);
   ]
 

@@ -81,6 +81,137 @@ let gen_hop_bounded_distance ~n ~iter src dst ~max_hops ~bound =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Reusable epoch-stamped workspaces                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded searches touch a small neighborhood but the plain entry
+   points above still pay O(n) to allocate dist arrays. A workspace
+   amortizes that: arrays are invalidated by bumping an epoch counter
+   instead of being refilled, and the heap is recycled with
+   [Heap.clear] (cost: leftover entries only). One workspace serves one
+   search at a time; [domain_workspace] hands every domain its own, so
+   the parallel phase stages reuse scratch state without sharing it. *)
+
+type workspace = {
+  mutable dist : float array; (* valid at v iff stamp.(v) = epoch *)
+  mutable stamp : int array;
+  mutable mark : int array; (* per-round marks, valid iff = mark_epoch *)
+  mutable epoch : int;
+  mutable mark_epoch : int;
+  mutable heap : Heap.t;
+}
+
+let create_workspace () =
+  {
+    dist = [||];
+    stamp = [||];
+    mark = [||];
+    epoch = 0;
+    mark_epoch = 0;
+    heap = Heap.create 0;
+  }
+
+let ws_key = Domain.DLS.new_key create_workspace
+let domain_workspace () = Domain.DLS.get ws_key
+
+(* Grow to >= n and invalidate everything from the previous search.
+   Fresh stamp arrays are all 0, so the epoch starts at 1. *)
+let ws_prepare ws n =
+  if Array.length ws.dist < n then begin
+    let cap = max n (2 * Array.length ws.dist) in
+    ws.dist <- Array.make cap infinity;
+    ws.stamp <- Array.make cap 0;
+    ws.mark <- Array.make cap 0;
+    ws.epoch <- 0;
+    ws.mark_epoch <- 0;
+    ws.heap <- Heap.create cap
+  end;
+  ws.epoch <- ws.epoch + 1;
+  Heap.clear ws.heap
+
+let ws_get ws v = if ws.stamp.(v) = ws.epoch then ws.dist.(v) else infinity
+
+let ws_set ws v d =
+  ws.dist.(v) <- d;
+  ws.stamp.(v) <- ws.epoch
+
+(* Same relaxation sequence as [gen_search_until], so results are
+   bit-identical; the dist array is left in the workspace. *)
+let gen_search_until_ws ws ~n ~iter src ~stop ~bound =
+  ws_prepare ws n;
+  ws_set ws src 0.0;
+  Heap.insert ws.heap src 0.0;
+  let finished = ref false in
+  while (not !finished) && not (Heap.is_empty ws.heap) do
+    let u, du = Heap.pop_min ws.heap in
+    if du > bound || stop u then finished := true
+    else
+      iter u (fun v w ->
+          let dv = du +. w in
+          if dv < ws_get ws v then begin
+            ws_set ws v dv;
+            Heap.insert_or_decrease ws.heap v dv
+          end)
+  done
+
+(* Collects vertices as they settle, so the result comes back in
+   nondecreasing-distance order (the scan-based [gen_within] returns
+   decreasing vertex ids) — the same (v, d) set either way. *)
+let gen_within_ws ws ~n ~iter src ~bound =
+  ws_prepare ws n;
+  ws_set ws src 0.0;
+  Heap.insert ws.heap src 0.0;
+  let acc = ref [] in
+  let finished = ref false in
+  while (not !finished) && not (Heap.is_empty ws.heap) do
+    let u, du = Heap.pop_min ws.heap in
+    if du > bound then finished := true
+    else begin
+      acc := (u, du) :: !acc;
+      iter u (fun v w ->
+          let dv = du +. w in
+          if dv < ws_get ws v then begin
+            ws_set ws v dv;
+            Heap.insert_or_decrease ws.heap v dv
+          end)
+    end
+  done;
+  List.rev !acc
+
+(* [gen_hop_bounded_distance] with the dist array and the per-round
+   dedup table replaced by stamped workspace arrays: identical
+   relaxation order, no per-call allocation beyond the frontier
+   lists. *)
+let gen_hop_bounded_distance_ws ws ~n ~iter src dst ~max_hops ~bound =
+  if src = dst then 0.0
+  else begin
+    ws_prepare ws n;
+    ws_set ws src 0.0;
+    let frontier = ref [ src ] in
+    let h = ref 0 in
+    while !h < max_hops && !frontier <> [] do
+      incr h;
+      ws.mark_epoch <- ws.mark_epoch + 1;
+      let improved = ref [] in
+      List.iter
+        (fun u ->
+          let du = ws_get ws u in
+          iter u (fun v w ->
+              let dv = du +. w in
+              if dv < ws_get ws v && dv <= bound then begin
+                ws_set ws v dv;
+                if ws.mark.(v) <> ws.mark_epoch then begin
+                  ws.mark.(v) <- ws.mark_epoch;
+                  improved := v :: !improved
+                end
+              end))
+        !frontier;
+      frontier := !improved
+    done;
+    ws_get ws dst
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Wgraph instantiation                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -124,6 +255,17 @@ let hop_bounded_distance g src dst ~max_hops ~bound =
   gen_hop_bounded_distance ~n:(Wgraph.n_vertices g) ~iter:(wg_iter g) src dst
     ~max_hops ~bound
 
+let distance_upto_ws ws g src dst ~bound =
+  if src = dst then 0.0
+  else begin
+    gen_search_until_ws ws ~n:(Wgraph.n_vertices g) ~iter:(wg_iter g) src
+      ~stop:(fun u -> u = dst) ~bound;
+    ws_get ws dst
+  end
+
+let within_ws ws g src ~bound =
+  gen_within_ws ws ~n:(Wgraph.n_vertices g) ~iter:(wg_iter g) src ~bound
+
 (* ------------------------------------------------------------------ *)
 (* Csr instantiation                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -152,3 +294,18 @@ let within_csr c src ~bound =
 let hop_bounded_distance_csr c src dst ~max_hops ~bound =
   gen_hop_bounded_distance ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src dst
     ~max_hops ~bound
+
+let distance_upto_csr_ws ws c src dst ~bound =
+  if src = dst then 0.0
+  else begin
+    gen_search_until_ws ws ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src
+      ~stop:(fun u -> u = dst) ~bound;
+    ws_get ws dst
+  end
+
+let within_csr_ws ws c src ~bound =
+  gen_within_ws ws ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src ~bound
+
+let hop_bounded_distance_csr_ws ws c src dst ~max_hops ~bound =
+  gen_hop_bounded_distance_ws ws ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src
+    dst ~max_hops ~bound

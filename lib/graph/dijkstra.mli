@@ -58,3 +58,45 @@ val within_csr : Csr.t -> int -> bound:float -> (int * float) list
 
 val hop_bounded_distance_csr :
   Csr.t -> int -> int -> max_hops:int -> bound:float -> float
+
+(** {2 Reusable workspaces}
+
+    Bounded searches explore small neighborhoods, but the entry points
+    above still allocate O(n) dist arrays per call. A {!workspace}
+    amortizes that across calls: previous results are invalidated by an
+    epoch bump (O(1)), not a refill, and the internal heap is recycled.
+    The [_ws] variants run the {e same relaxation sequence} as their
+    plain counterparts, so every returned distance is bit-identical;
+    only [within_csr_ws] changes the {e order} of its result list
+    (vertices arrive in nondecreasing-distance order as they settle,
+    instead of the decreasing-id order of the O(n) array scan) — the
+    (v, d) set is the same.
+
+    A workspace serves one search at a time and must not be shared
+    between domains; {!domain_workspace} returns a per-domain instance
+    (via [Domain.DLS]), which is what the parallel phase stages use so
+    that each pool worker reuses its own scratch state. *)
+
+type workspace
+
+(** [create_workspace ()] is a fresh empty workspace; it grows to fit
+    the largest graph it is used on. *)
+val create_workspace : unit -> workspace
+
+(** [domain_workspace ()] is the calling domain's private workspace. *)
+val domain_workspace : unit -> workspace
+
+val distance_upto_ws :
+  workspace -> Wgraph.t -> int -> int -> bound:float -> float
+
+val within_ws :
+  workspace -> Wgraph.t -> int -> bound:float -> (int * float) list
+
+val distance_upto_csr_ws :
+  workspace -> Csr.t -> int -> int -> bound:float -> float
+
+val within_csr_ws :
+  workspace -> Csr.t -> int -> bound:float -> (int * float) list
+
+val hop_bounded_distance_csr_ws :
+  workspace -> Csr.t -> int -> int -> max_hops:int -> bound:float -> float

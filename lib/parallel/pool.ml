@@ -1,0 +1,247 @@
+(* Fork-join domain pool, stdlib only (Domain + Mutex/Condition +
+   Atomic). One job is in flight at a time; a job is a bag of
+   contiguous index chunks claimed with a fetch-and-add cursor. The
+   submitting domain participates, so a pool of size k spawns k - 1
+   workers. Workers park on a condition variable between jobs and are
+   woken by a generation counter bump. *)
+
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+let run_in_worker () = Domain.DLS.get in_worker_key
+
+type job = {
+  run : int -> unit; (* chunk index -> work *)
+  n_chunks : int;
+  next : int Atomic.t; (* next unclaimed chunk *)
+  mutable pending : int; (* chunks not yet finished; under [mutex] *)
+  mutable failed : exn option; (* first failure; under [mutex] *)
+}
+
+type pool = {
+  n_domains : int; (* workers + the submitting domain *)
+  mutex : Mutex.t;
+  work_ready : Condition.t; (* a new generation was published *)
+  work_done : Condition.t; (* some job's pending hit 0 *)
+  mutable generation : int;
+  mutable current : job option;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Claim chunks until the cursor runs off the end. Every chunk index is
+   claimed exactly once, and its claimer decrements [pending] exactly
+   once, so [pending] always reaches 0 even when bodies raise. After a
+   failure the remaining chunks are claimed but not run. *)
+let execute pool job =
+  let rec claim () =
+    let c = Atomic.fetch_and_add job.next 1 in
+    if c < job.n_chunks then begin
+      (match job.failed with
+      | None -> (
+          try job.run c
+          with e ->
+            Mutex.lock pool.mutex;
+            if job.failed = None then job.failed <- Some e;
+            Mutex.unlock pool.mutex)
+      | Some _ -> ());
+      Mutex.lock pool.mutex;
+      job.pending <- job.pending - 1;
+      if job.pending = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.mutex;
+      claim ()
+    end
+  in
+  claim ()
+
+let worker_loop pool =
+  Domain.DLS.set in_worker_key true;
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.stopping) && pool.generation = !last do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.stopping then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      last := pool.generation;
+      let job = pool.current in
+      Mutex.unlock pool.mutex;
+      (* A late wake-up may find the job already drained; [execute]
+         then claims nothing and returns immediately. *)
+      match job with None -> () | Some job -> execute pool job
+    end
+  done
+
+let create n =
+  let pool =
+    {
+      n_domains = n;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      generation = 0;
+      current = None;
+      stopping = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let stop pool =
+  Mutex.lock pool.mutex;
+  pool.stopping <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers
+
+(* ------------------------------------------------------------------ *)
+(* The global pool                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let global_lock = Mutex.create ()
+let the_pool : pool option ref = ref None
+let programmatic : int option ref = ref None
+
+let env_domains () =
+  match Sys.getenv_opt "TOPO_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let target_size () =
+  match !programmatic with
+  | Some n -> n
+  | None -> (
+      match env_domains () with
+      | Some n -> n
+      | None -> max 1 (Domain.recommended_domain_count ()))
+
+(* Fetch the pool, (re)creating it when the requested size changed.
+   [?domains] wins over every sticky setting, for this fetch only. *)
+let get_pool ?domains () =
+  let want =
+    match domains with
+    | Some n when n >= 1 -> n
+    | Some _ -> invalid_arg "Pool: domains must be >= 1"
+    | None -> target_size ()
+  in
+  Mutex.lock global_lock;
+  let pool =
+    match !the_pool with
+    | Some p when p.n_domains = want -> p
+    | other ->
+        (match other with Some p -> stop p | None -> ());
+        let p = create want in
+        the_pool := Some p;
+        p
+  in
+  Mutex.unlock global_lock;
+  pool
+
+let shutdown () =
+  Mutex.lock global_lock;
+  (match !the_pool with Some p -> stop p | None -> ());
+  the_pool := None;
+  Mutex.unlock global_lock
+
+let () = at_exit shutdown
+
+let set_domains n =
+  if n < 1 then invalid_arg "Pool.set_domains: need n >= 1";
+  programmatic := Some n
+
+let clear_domains () = programmatic := None
+
+let size () = (get_pool ()).n_domains
+
+(* Serializes submissions; also the reason nested calls must take the
+   sequential path (the flag below) instead of re-entering [submit]. *)
+let submit_lock = Mutex.create ()
+
+let submit pool job =
+  Mutex.lock submit_lock;
+  Mutex.lock pool.mutex;
+  pool.current <- Some job;
+  pool.generation <- pool.generation + 1;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  (* Participate. The in-worker flag makes any nested combinator call
+     inside [job.run] run sequentially rather than deadlock here. *)
+  Domain.DLS.set in_worker_key true;
+  execute pool job;
+  Domain.DLS.set in_worker_key false;
+  Mutex.lock pool.mutex;
+  while job.pending > 0 do
+    Condition.wait pool.work_done pool.mutex
+  done;
+  Mutex.unlock pool.mutex;
+  Mutex.unlock submit_lock;
+  match job.failed with Some e -> raise e | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Combinators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Chunks per job: enough for balance across uneven items, few enough
+   that the fetch-and-add cursor and pending bookkeeping stay cheap. *)
+let chunks_for pool n = min n (pool.n_domains * 4)
+
+(* Runs [f] on [[lo, hi)] over the pool. Precondition: hi > lo and the
+   caller is not a worker and the pool has >= 2 domains. *)
+let for_range pool lo hi f =
+  let n = hi - lo in
+  let n_chunks = chunks_for pool n in
+  let run c =
+    let c_lo = lo + (c * n / n_chunks) and c_hi = lo + ((c + 1) * n / n_chunks) in
+    for i = c_lo to c_hi - 1 do
+      f i
+    done
+  in
+  submit pool
+    { run; n_chunks; next = Atomic.make 0; pending = n_chunks; failed = None }
+
+let sequential ?domains () =
+  run_in_worker ()
+  ||
+  match domains with Some 1 -> true | Some _ | None -> false
+
+let parallel_for ?domains n f =
+  if n > 0 then
+    if sequential ?domains () then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else
+      let pool = get_pool ?domains () in
+      if pool.n_domains = 1 then
+        for i = 0 to n - 1 do
+          f i
+        done
+      else for_range pool 0 n f
+
+let mapi ?domains f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else if sequential ?domains () then Array.mapi f a
+  else
+    let pool = get_pool ?domains () in
+    if pool.n_domains = 1 then Array.mapi f a
+    else begin
+      (* Slot 0 is computed first on the calling domain, exactly like
+         [Array.mapi], and doubles as the array initializer. *)
+      let out = Array.make n (f 0 a.(0)) in
+      if n > 1 then for_range pool 1 n (fun i -> out.(i) <- f i a.(i));
+      out
+    end
+
+let map ?domains f a = mapi ?domains (fun _ x -> f x) a
+
+let map_reduce ?domains ~map:f ~fold ~init a =
+  Array.fold_left fold init (map ?domains f a)

@@ -1,0 +1,70 @@
+(** A small domain pool for the phase pipeline (stdlib only).
+
+    The paper's central trick is that within a weight bin, queries are
+    answered against a {e lazily updated} partial spanner, so the work
+    items of a phase stage are order-independent by construction. Every
+    stage this repository parallelizes reads only frozen {!Graph.Csr}
+    snapshots and writes only its own output slot, which makes a plain
+    fork-join pool sufficient: no work stealing, no futures.
+
+    One global pool is started lazily on first use. Its size is, in
+    decreasing priority: the [?domains] argument of the call, the value
+    given to {!set_domains}, the [TOPO_DOMAINS] environment variable,
+    or [Domain.recommended_domain_count ()]. Size 1 (or work submitted
+    from inside a worker) degrades to plain sequential execution, so
+    the library is safe to call unconditionally.
+
+    Every combinator is {b order-preserving}: [map f a] writes [f
+    a.(i)] into slot [i] and [map_reduce] folds the mapped slots left
+    to right, so results are bit-identical to the sequential execution
+    regardless of the pool size — the property the determinism tests
+    in [test/test_parallel.ml] pin down. *)
+
+(** [size ()] is the number of domains work is spread over (including
+    the calling domain). Starts the pool if needed. *)
+val size : unit -> int
+
+(** [set_domains n] makes subsequent work run on [n] domains (the
+    current pool, if any, is torn down on the next combinator call).
+    Overrides [TOPO_DOMAINS]. Raises [Invalid_argument] on [n <= 0].
+    Intended for benchmarks and tests; not safe to call concurrently
+    with in-flight work. *)
+val set_domains : int -> unit
+
+(** [clear_domains ()] drops the {!set_domains} override, restoring the
+    [TOPO_DOMAINS] / recommended-count default. *)
+val clear_domains : unit -> unit
+
+(** [shutdown ()] joins all worker domains; the pool restarts lazily on
+    the next call. Registered via [at_exit] automatically. *)
+val shutdown : unit -> unit
+
+(** [run_in_worker ()] is [true] when called from inside a pool task —
+    nested submissions run sequentially. *)
+val run_in_worker : unit -> bool
+
+(** [parallel_for n f] runs [f i] for every [i] in [[0, n)], spread
+    over the pool in contiguous chunks. [f] must only write state owned
+    by iteration [i] (e.g. slot [i] of an output array). The first
+    exception raised by any [f i] is re-raised in the caller (remaining
+    chunks are skipped, and sibling iterations of the failing chunk do
+    not run). *)
+val parallel_for : ?domains:int -> int -> (int -> unit) -> unit
+
+(** [map f a] is [Array.map f a] with the calls to [f] spread over the
+    pool; slot order is preserved. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [mapi f a] is [Array.mapi f a], parallel, order-preserving. *)
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+(** [map_reduce ~map ~fold ~init a] maps in parallel, then folds the
+    results {b left to right} on the calling domain — deterministic
+    even for non-commutative [fold]. *)
+val map_reduce :
+  ?domains:int ->
+  map:('a -> 'b) ->
+  fold:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc

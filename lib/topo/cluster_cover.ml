@@ -31,6 +31,10 @@ let compute_csr j ~radius =
   let center_of = Array.make n (-1) in
   let dist_to_center = Array.make n infinity in
   let centers = ref [] in
+  (* Each ball's members depend on all earlier claims, so this greedy
+     stays sequential; the workspace removes the O(n) allocation a
+     fresh ball search would otherwise pay. *)
+  let ws = Dijkstra.domain_workspace () in
   for v = 0 to n - 1 do
     if center_of.(v) = -1 then begin
       centers := v :: !centers;
@@ -42,7 +46,7 @@ let compute_csr j ~radius =
             center_of.(x) <- v;
             dist_to_center.(x) <- d
           end)
-        (Dijkstra.within_csr j v ~bound:radius)
+        (Dijkstra.within_csr_ws ws j v ~bound:radius)
     end
   done;
   pack ~radius ~centers:!centers ~center_of ~dist_to_center
@@ -54,8 +58,19 @@ let of_centers_csr j ~radius ~centers =
   let n = Csr.n_vertices j in
   let center_of = Array.make n (-1) in
   let dist_to_center = Array.make n infinity in
-  List.iter
-    (fun c ->
+  (* Prescribed centers are independent, so their balls run on the
+     pool; the claim merge below stays in center order, with the same
+     tie-break, so the cover is identical to the sequential one. *)
+  let centers_arr = Array.of_list centers in
+  let balls =
+    Parallel.Pool.map
+      (fun c ->
+        Dijkstra.within_csr_ws (Dijkstra.domain_workspace ()) j c
+          ~bound:radius)
+      centers_arr
+  in
+  Array.iteri
+    (fun i c ->
       List.iter
         (fun (x, d) ->
           let better =
@@ -66,8 +81,8 @@ let of_centers_csr j ~radius ~centers =
             center_of.(x) <- c;
             dist_to_center.(x) <- d
           end)
-        (Dijkstra.within_csr j c ~bound:radius))
-    centers;
+        balls.(i))
+    centers_arr;
   Array.iteri
     (fun v c ->
       if c = -1 then

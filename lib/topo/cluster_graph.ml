@@ -38,10 +38,20 @@ let build_csr ~spanner ~cover ~w_prev =
   Array.iter (fun a -> is_center.(a) <- true) cover.Cluster_cover.centers;
   (* One bounded Dijkstra per center reaches every qualifying partner:
      condition (i) needs sp <= W, condition (ii) is bounded by
-     (2 delta + 1) W = W + 2 * radius (Lemma 5). *)
+     (2 delta + 1) W = W + 2 * radius (Lemma 5). The per-center
+     searches read only the frozen snapshot, so they fan out over the
+     pool; the edge merge below runs in center order so H is identical
+     to the sequential build. *)
   let reach = w_prev +. (2.0 *. cover.Cluster_cover.radius) +. 1e-12 in
-  Array.iter
-    (fun a ->
+  let balls =
+    Parallel.Pool.map
+      (fun a ->
+        Dijkstra.within_csr_ws (Dijkstra.domain_workspace ()) spanner a
+          ~bound:reach)
+      cover.Cluster_cover.centers
+  in
+  Array.iteri
+    (fun i a ->
       List.iter
         (fun (b, d) ->
           if b <> a && is_center.(b) && d > 0.0 then begin
@@ -55,7 +65,7 @@ let build_csr ~spanner ~cover ~w_prev =
               inter_degree.(b) <- inter_degree.(b) + 1
             end
           end)
-        (Dijkstra.within_csr spanner a ~bound:reach))
+        balls.(i))
     cover.Cluster_cover.centers;
   (* Freeze H itself: step (iv) answers every query of the phase
      against this one snapshot. *)
@@ -64,8 +74,13 @@ let build_csr ~spanner ~cover ~w_prev =
 let build ~spanner ~cover ~w_prev =
   build_csr ~spanner:(Csr.of_wgraph spanner) ~cover ~w_prev
 
+(* Queries fan out over the pool in step (iv); the calling domain's own
+   workspace keeps each search allocation-free, and results are
+   bit-identical to the plain hop-bounded search. *)
 let sp_upto t ~max_hops x y ~bound =
-  Dijkstra.hop_bounded_distance_csr t.csr x y ~max_hops ~bound
+  Dijkstra.hop_bounded_distance_csr_ws
+    (Dijkstra.domain_workspace ())
+    t.csr x y ~max_hops ~bound
 
 let query t ~params ~x ~y ~len =
   let budget = params.Params.t *. len in

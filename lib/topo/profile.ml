@@ -1,0 +1,48 @@
+type stage =
+  | Short_edges
+  | Freeze
+  | Cover
+  | Select
+  | Cluster_graph
+  | Queries
+  | Redundant
+
+let all = [ Short_edges; Freeze; Cover; Select; Cluster_graph; Queries; Redundant ]
+
+let index = function
+  | Short_edges -> 0
+  | Freeze -> 1
+  | Cover -> 2
+  | Select -> 3
+  | Cluster_graph -> 4
+  | Queries -> 5
+  | Redundant -> 6
+
+let name = function
+  | Short_edges -> "short_edges"
+  | Freeze -> "freeze"
+  | Cover -> "cover"
+  | Select -> "select"
+  | Cluster_graph -> "cluster_graph"
+  | Queries -> "queries"
+  | Redundant -> "redundant"
+
+(* Default clock is [Sys.time] (process CPU seconds) to avoid a unix
+   dependency in the library; the bench harness installs a wall clock,
+   which is the meaningful one when stages run on several domains. *)
+let clock = ref Sys.time
+let set_clock f = clock := f
+
+let totals = Array.make (List.length all) 0.0
+let reset () = Array.fill totals 0 (Array.length totals) 0.0
+
+(* Stage sections nest only trivially (they are siblings inside a
+   phase) and run on the orchestrating domain, so plain accumulation
+   is race-free. *)
+let time stage f =
+  let t0 = !clock () in
+  let r = f () in
+  totals.(index stage) <- totals.(index stage) +. (!clock () -. t0);
+  r
+
+let read () = List.map (fun s -> (name s, totals.(index s))) all

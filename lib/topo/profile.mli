@@ -1,0 +1,39 @@
+(** Per-stage wall-time accounting for the phase pipeline.
+
+    The engine wraps each of its stages — the phase-0 clique pass, the
+    per-phase CSR freeze, and the five steps of [PROCESS-LONG-EDGES] —
+    in {!time}, accumulating into module-global counters. The bench
+    harness resets the counters, runs a build per domain count, and
+    emits the totals (bench/main.exe, experiment [E-par], and
+    [BENCH_relaxed.json]).
+
+    Timing always runs; with the default [Sys.time] clock its overhead
+    is a few clock reads per phase. Sections execute on the
+    orchestrating domain only, so the counters need no locking. *)
+
+type stage =
+  | Short_edges  (** phase 0: per-component clique spanners *)
+  | Freeze  (** [Csr.of_wgraph] of the partial spanner *)
+  | Cover  (** step (i): cluster cover *)
+  | Select  (** step (ii): covered filter + query selection *)
+  | Cluster_graph  (** step (iii): building H *)
+  | Queries  (** step (iv): hop-bounded queries on H *)
+  | Redundant  (** step (v): conflict graph + MIS *)
+
+val all : stage list
+
+(** [name s] is the stable snake_case label used in reports/JSON. *)
+val name : stage -> string
+
+(** [set_clock f] replaces the clock (default [Sys.time]); benches
+    install [Unix.gettimeofday] for wall time. *)
+val set_clock : (unit -> float) -> unit
+
+(** [reset ()] zeroes all accumulators. *)
+val reset : unit -> unit
+
+(** [time s f] runs [f ()], adding its duration to [s]'s total. *)
+val time : stage -> (unit -> 'a) -> 'a
+
+(** [read ()] is the [(name, seconds)] totals, in {!all} order. *)
+val read : unit -> (string * float) list

@@ -31,14 +31,22 @@ let select ?(weight_of_len = fun len -> len) ~model ~spanner ~cover ~params
     bin_edges =
   let n_bin_edges = Array.length bin_edges in
   let n_covered = ref 0 in
-  (* Single pass over the bin: the covered filter and the per-pair
-     minimizer of inequality (1), t|xy| - sp(a,x) - sp(b,y), fuse into
-     one scan over the edge array. *)
+  (* The covered test is the expensive half (a cone scan of the frozen
+     spanner's adjacency per endpoint) and each edge's verdict is
+     independent, so it fans out over the pool. The minimizer of
+     inequality (1), t|xy| - sp(a,x) - sp(b,y), then folds the
+     per-edge flags in array order — the same scan, and therefore the
+     same tie-breaks, as the sequential single pass. *)
+  let covered =
+    Parallel.Pool.map
+      (fun (e : Wgraph.edge) ->
+        is_covered ~model ~spanner ~params ~u:e.u ~v:e.v ~len:e.w)
+      bin_edges
+  in
   let best = Hashtbl.create 64 in
-  Array.iter
-    (fun (e : Wgraph.edge) ->
-      if is_covered ~model ~spanner ~params ~u:e.u ~v:e.v ~len:e.w then
-        incr n_covered
+  Array.iteri
+    (fun i (e : Wgraph.edge) ->
+      if covered.(i) then incr n_covered
       else begin
         let a = cover.Cluster_cover.center_of.(e.u)
         and b = cover.Cluster_cover.center_of.(e.v) in

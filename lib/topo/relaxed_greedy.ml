@@ -28,7 +28,11 @@ let log_src = Logs.Src.create "topo.relaxed_greedy" ~doc:"relaxed greedy spanner
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 (* Phase 0, PROCESS-SHORT-EDGES: connected components of the short-edge
-   graph induce cliques in G (Lemma 1); run SEQ-GREEDY inside each. *)
+   graph induce cliques in G (Lemma 1); run SEQ-GREEDY inside each.
+   Components are vertex-disjoint and phase-0 greedy paths never leave
+   their component, so the per-component spanners run on the pool and
+   merge in component order — the same edge set the sequential
+   insertion produced. *)
 let process_short_edges ~model ~metric ~params ~bin_edges ~spanner =
   let n = Model.n model in
   let g0 = Wgraph.create n in
@@ -36,14 +40,24 @@ let process_short_edges ~model ~metric ~params ~bin_edges ~spanner =
     (fun (e : Wgraph.edge) -> Wgraph.add_edge g0 e.u e.v e.w)
     bin_edges;
   let before = Wgraph.n_edges spanner in
-  List.iter
-    (fun members ->
-      match members with
-      | [] | [ _ ] -> ()
-      | _ ->
-          Seq_greedy.clique_spanner ~points:model.Model.points ~members ~metric
-            ~t:params.Params.t ~into:spanner)
-    (Graph.Components.groups g0);
+  Profile.time Profile.Short_edges (fun () ->
+      let components =
+        Array.of_list
+          (List.filter
+             (fun members ->
+               match members with [] | [ _ ] -> false | _ -> true)
+             (Graph.Components.groups g0))
+      in
+      let kept =
+        Parallel.Pool.map
+          (fun members ->
+            Seq_greedy.clique_spanner_edges ~points:model.Model.points
+              ~members ~metric ~t:params.Params.t)
+          components
+      in
+      Array.iter
+        (List.iter (fun (e : Wgraph.edge) -> Wgraph.add_edge spanner e.u e.v e.w))
+        kept);
   {
     phase = 0;
     w_prev = 0.0;
@@ -68,34 +82,56 @@ let phase_core ~model ~params ~phi ~phase ~w_prev_len ~w_len ~bin_edges
     ~spanner =
   let w_prev = phi w_prev_len in
   let radius = params.Params.delta *. w_prev in
-  let frozen = Csr.of_wgraph spanner in
+  let frozen = Profile.time Profile.Freeze (fun () -> Csr.of_wgraph spanner) in
   (* Step (i): cluster cover of radius delta * W_{i-1}. *)
-  let cover = Cluster_cover.compute_csr frozen ~radius in
+  let cover =
+    Profile.time Profile.Cover (fun () ->
+        Cluster_cover.compute_csr frozen ~radius)
+  in
   (* Step (ii): covered-edge filter + one query edge per cluster pair. *)
   let selection =
-    Query_select.select ~weight_of_len:phi ~model ~spanner:frozen ~cover
-      ~params bin_edges
+    Profile.time Profile.Select (fun () ->
+        Query_select.select ~weight_of_len:phi ~model ~spanner:frozen ~cover
+          ~params bin_edges)
   in
   (* Step (iii): the cluster graph H_{i-1}. *)
-  let h = Cluster_graph.build_csr ~spanner:frozen ~cover ~w_prev in
-  (* Step (iv): answer every query on the frozen H (lazy update: the
-     spanner is only touched after all queries are answered). *)
+  let h =
+    Profile.time Profile.Cluster_graph (fun () ->
+        Cluster_graph.build_csr ~spanner:frozen ~cover ~w_prev)
+  in
+  (* Step (iv): answer every query on the frozen H. The lazy update —
+     the spanner is only touched after all queries are answered — is
+     exactly what makes the queries order-independent, so they fan out
+     over the pool; the slot-ordered distances are then folded in array
+     order, keeping [added] identical to the sequential scan. *)
   let ratio = phi w_len /. w_prev in
   let max_hops =
     2 + int_of_float (ceil (params.Params.t *. ratio /. params.Params.delta))
   in
-  let added = ref [] in
-  Array.iter
-    (fun (e : Wgraph.edge) ->
-      let len_w = phi e.w in
-      let budget = params.Params.t *. len_w in
-      let d = Cluster_graph.sp_upto h ~max_hops e.u e.v ~bound:budget in
-      if d > budget then added := { e with Wgraph.w = len_w } :: !added)
-    selection.Query_select.query_edges;
-  let added = Array.of_list (List.rev !added) in
+  let added =
+    Profile.time Profile.Queries (fun () ->
+        let dists =
+          Parallel.Pool.map
+            (fun (e : Wgraph.edge) ->
+              let budget = params.Params.t *. phi e.w in
+              Cluster_graph.sp_upto h ~max_hops e.u e.v ~bound:budget)
+            selection.Query_select.query_edges
+        in
+        let added = ref [] in
+        Array.iteri
+          (fun i (e : Wgraph.edge) ->
+            let len_w = phi e.w in
+            if dists.(i) > params.Params.t *. len_w then
+              added := { e with Wgraph.w = len_w } :: !added)
+          selection.Query_select.query_edges;
+        Array.of_list (List.rev !added))
+  in
   (* Step (v): strip mutually redundant additions via an MIS of the
      conflict graph. *)
-  let redundancy = Redundant.filter ~max_hops ~h ~params added in
+  let redundancy =
+    Profile.time Profile.Redundant (fun () ->
+        Redundant.filter ~max_hops ~h ~params added)
+  in
   let stats =
     {
       phase;
@@ -141,15 +177,22 @@ let process_long_edges_local ~model ~tree ~params ~phase ~w_prev_len ~w_len
   let reach = (params.Params.t +. 3.0) *. w_len in
   let n = Model.n model in
   let in_region = Array.make n false in
+  (* Endpoints repeat across a bin's edges (every vertex of a dense bin
+     shows up in many of them); issuing the range query once per
+     distinct endpoint spares rescanning the same kd-tree ball. *)
+  let queried = Array.make n false in
   Array.iter
     (fun (e : Wgraph.edge) ->
       List.iter
         (fun v ->
-          List.iter
-            (fun x -> in_region.(x) <- true)
-            (Geometry.Kdtree.range tree
-               ~center:model.Model.points.(v)
-               ~radius:reach))
+          if not queried.(v) then begin
+            queried.(v) <- true;
+            List.iter
+              (fun x -> in_region.(x) <- true)
+              (Geometry.Kdtree.range tree
+                 ~center:model.Model.points.(v)
+                 ~radius:reach)
+          end)
         [ e.u; e.v ])
     bin_edges;
   let region = ref [] in

@@ -31,3 +31,18 @@ val clique_spanner :
   t:float ->
   into:Graph.Wgraph.t ->
   unit
+
+(** [clique_spanner_edges ~points ~members ~metric ~t] is the pure
+    sibling of {!clique_spanner}: it runs the same greedy on a graph
+    local to the component and returns the kept edges (global vertex
+    ids) instead of inserting them. Because a phase-0 component is
+    disconnected from the rest of the partial spanner, inserting the
+    result equals calling {!clique_spanner} — which is what lets the
+    phase-0 engine process components on separate domains and merge
+    in component order. *)
+val clique_spanner_edges :
+  points:Geometry.Point.t array ->
+  members:int list ->
+  metric:Geometry.Metric.t ->
+  t:float ->
+  Graph.Wgraph.edge list

@@ -1,0 +1,220 @@
+module Pool = Parallel.Pool
+module Wgraph = Graph.Wgraph
+module Csr = Graph.Csr
+module Dijkstra = Graph.Dijkstra
+open Test_helpers
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Each test runs at several pool sizes: results must not depend on
+   how many domains the work is spread over. *)
+let sizes = [ 1; 2; 4 ]
+
+let test_map_matches_array_map () =
+  let a = Array.init 203 (fun i -> i) in
+  let expected = Array.map (fun x -> (x * x) + 1) a in
+  List.iter
+    (fun d ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map, %d domains" d)
+        expected
+        (Pool.map ~domains:d (fun x -> (x * x) + 1) a))
+    sizes;
+  Alcotest.(check (array int)) "empty input" [||] (Pool.map (fun x -> x) [||])
+
+let test_mapi_slot_order () =
+  let a = Array.init 101 (fun i -> 1000 - i) in
+  let expected = Array.mapi (fun i x -> (i, x)) a in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mapi, %d domains" d)
+        true
+        (Pool.mapi ~domains:d (fun i x -> (i, x)) a = expected))
+    sizes
+
+let test_parallel_for_each_slot_once () =
+  List.iter
+    (fun d ->
+      let n = 157 in
+      let hits = Array.make n 0 in
+      (* Slot i is owned by iteration i, so the unsynchronized writes
+         are the sanctioned usage pattern. *)
+      Pool.parallel_for ~domains:d n (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "each slot once, %d domains" d)
+        true
+        (Array.for_all (fun h -> h = 1) hits))
+    sizes
+
+let test_map_reduce_non_commutative () =
+  let a = Array.init 64 (fun i -> string_of_int i) in
+  let expected = String.concat "," (Array.to_list a) in
+  List.iter
+    (fun d ->
+      let got =
+        Pool.map_reduce ~domains:d
+          ~map:(fun s -> s)
+          ~fold:(fun acc s -> if acc = "" then s else acc ^ "," ^ s)
+          ~init:"" a
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "ordered fold, %d domains" d)
+        expected got)
+    sizes
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun d ->
+      let raised =
+        try
+          Pool.parallel_for ~domains:d 100 (fun i ->
+              if i = 37 then raise (Boom i));
+          false
+        with Boom 37 -> true
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "Boom escapes, %d domains" d)
+        true raised;
+      (* The pool must stay usable after a failed job. *)
+      Alcotest.(check (array int))
+        (Printf.sprintf "pool alive after failure, %d domains" d)
+        [| 0; 2; 4 |]
+        (Pool.map ~domains:d (fun x -> 2 * x) [| 0; 1; 2 |]))
+    sizes
+
+let test_nested_maps () =
+  (* Inner combinator calls run sequentially on the worker (the DLS
+     flag), so nesting must neither deadlock nor corrupt results. *)
+  List.iter
+    (fun d ->
+      let outer = Array.init 12 (fun i -> i) in
+      let got =
+        Pool.map ~domains:d
+          (fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.map (fun j -> (i * 100) + j) (Array.init 9 Fun.id)))
+          outer
+      in
+      let expected =
+        Array.map (fun i -> (900 * i) + 36) outer
+      in
+      Alcotest.(check (array int))
+        (Printf.sprintf "nested, %d domains" d)
+        expected got)
+    sizes
+
+let test_set_and_clear_domains () =
+  Pool.set_domains 3;
+  Alcotest.(check int) "set_domains wins" 3 (Pool.size ());
+  Alcotest.(check (array int))
+    "work at size 3" [| 0; 1; 4; 9 |]
+    (Pool.map (fun x -> x * x) [| 0; 1; 2; 3 |]);
+  Pool.clear_domains ();
+  Alcotest.check_raises "set_domains rejects 0"
+    (Invalid_argument "Pool.set_domains: need n >= 1") (fun () ->
+      Pool.set_domains 0)
+
+(* ------------------------------------------------------------------ *)
+(* Workspace Dijkstra variants agree with the plain entry points       *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_pairs l = List.sort compare l
+
+let prop_workspace_agrees =
+  qtest ~count:40 "workspace: _ws searches bit-identical to plain ones"
+    seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 50 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 70) in
+      let c = Csr.of_wgraph g in
+      (* One workspace reused across every query: staleness from the
+         previous search must never leak into the next. *)
+      let ws = Dijkstra.create_workspace () in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let u = Random.State.int st n and v = Random.State.int st n in
+        let bound = Random.State.float st 3.0 in
+        if
+          Dijkstra.distance_upto g u v ~bound
+          <> Dijkstra.distance_upto_ws ws g u v ~bound
+        then ok := false;
+        if
+          Dijkstra.distance_upto_csr c u v ~bound
+          <> Dijkstra.distance_upto_csr_ws ws c u v ~bound
+        then ok := false;
+        if
+          sorted_pairs (Dijkstra.within g u ~bound)
+          <> sorted_pairs (Dijkstra.within_ws ws g u ~bound)
+        then ok := false;
+        if
+          sorted_pairs (Dijkstra.within_csr c u ~bound)
+          <> sorted_pairs (Dijkstra.within_csr_ws ws c u ~bound)
+        then ok := false;
+        let max_hops = 1 + Random.State.int st 6 in
+        if
+          Dijkstra.hop_bounded_distance_csr c u v ~max_hops ~bound
+          <> Dijkstra.hop_bounded_distance_csr_ws ws c u v ~max_hops ~bound
+        then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: parallel build bit-identical to sequential             *)
+(* ------------------------------------------------------------------ *)
+
+let edge_set g =
+  List.sort compare
+    (List.map
+       (fun (e : Wgraph.edge) -> (min e.u e.v, max e.u e.v, e.w))
+       (Wgraph.edges g))
+
+let stats_tuple (s : Topo.Relaxed_greedy.phase_stats) =
+  ( s.phase, s.n_bin_edges, s.n_covered, s.n_candidates, s.n_query, s.n_added,
+    s.n_removed )
+
+let build_fingerprint ~domains ~mode model =
+  Pool.set_domains domains;
+  Fun.protect ~finally:Pool.clear_domains (fun () ->
+      let r = Topo.Relaxed_greedy.build_eps ~mode ~eps:0.5 model in
+      ( edge_set r.Topo.Relaxed_greedy.spanner,
+        List.map stats_tuple r.Topo.Relaxed_greedy.stats ))
+
+let prop_build_deterministic mode name =
+  qtest ~count:8 name seed_arb (fun seed ->
+      let model = connected_model ~seed ~n:90 ~dim:2 ~alpha:0.8 in
+      let base = build_fingerprint ~domains:1 ~mode model in
+      build_fingerprint ~domains:2 ~mode model = base
+      && build_fingerprint ~domains:4 ~mode model = base)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map = Array.map" `Quick test_map_matches_array_map;
+          Alcotest.test_case "mapi slot order" `Quick test_mapi_slot_order;
+          Alcotest.test_case "parallel_for touches each slot once" `Quick
+            test_parallel_for_each_slot_once;
+          Alcotest.test_case "ordered non-commutative reduce" `Quick
+            test_map_reduce_non_commutative;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "nested maps degrade gracefully" `Quick
+            test_nested_maps;
+          Alcotest.test_case "set/clear domains" `Quick
+            test_set_and_clear_domains;
+        ] );
+      ("workspace", [ prop_workspace_agrees ]);
+      ( "determinism",
+        [
+          prop_build_deterministic `Local
+            "build (local mode) bit-identical at 1/2/4 domains";
+          prop_build_deterministic `Global
+            "build (global mode) bit-identical at 1/2/4 domains";
+        ] );
+    ]
