@@ -1,4 +1,4 @@
-.PHONY: all check test fmt bench bench-smoke clean
+.PHONY: all check test fmt bench bench-smoke bench-churn-smoke clean
 
 all:
 	dune build @all
@@ -19,6 +19,12 @@ bench:
 # and asserts the spanner is identical across domain counts.
 bench-smoke:
 	dune exec bench/main.exe -- E-par quick
+
+# Fast churn check: E-churn at reduced size, emits BENCH_dynamic.json
+# and asserts every epoch certifies and replays are bit-identical
+# across domain counts.
+bench-churn-smoke:
+	dune exec bench/main.exe -- E-churn quick
 
 clean:
 	dune clean

@@ -922,6 +922,145 @@ let e_par () =
   Printf.printf "   [wrote BENCH_relaxed.json]\n"
 
 (* ------------------------------------------------------------------ *)
+(* E-churn: incremental repair vs full rebuild per epoch.              *)
+(* ------------------------------------------------------------------ *)
+
+(* Replays a recorded churn trace through Dynamic.Engine, measuring per
+   epoch the incremental repair against a from-scratch relaxed-greedy
+   rebuild of the same live instance. Also replays the whole trace at 1
+   and 4 domains and cross-checks that every epoch's spanner is
+   bit-identical. Emits BENCH_dynamic.json. *)
+let e_churn () =
+  let n = if !quick then 300 else 1200 in
+  let eps = 0.5 and alpha = 0.8 in
+  let epochs = 10 and batch_max = 8 in
+  let model = model_of ~seed:(9 + n) ~n ~dim:2 ~alpha in
+  let side =
+    Ubg.Generator.side_for_expected_degree ~dim:2 ~n ~alpha ~degree:10.0
+  in
+  let trace =
+    Ubg.Churn.generate ~seed:(n + 1) ~epochs ~batch_max
+      (Ubg.Churn.default_dynamics ~side)
+      model
+  in
+  let params = Topo.Params.of_epsilon ~eps ~alpha ~dim:2 in
+  (* Determinism cross-check first: the per-epoch spanners must be
+     bit-identical however the repair work is spread over domains. *)
+  let fingerprint domains =
+    Parallel.Pool.set_domains domains;
+    let engine =
+      Dynamic.Engine.create ~clock:Unix.gettimeofday ~params model
+    in
+    let acc = ref [] in
+    Dynamic.Engine.replay engine trace ~f:(fun r ->
+        acc :=
+          (r.Dynamic.Engine.epoch, canonical_edges (Dynamic.Engine.spanner engine))
+          :: !acc);
+    Parallel.Pool.clear_domains ();
+    List.rev !acc
+  in
+  let deterministic = fingerprint 1 = fingerprint 4 in
+  (* The measured run. *)
+  let engine = Dynamic.Engine.create ~clock:Unix.gettimeofday ~params model in
+  let build_s = Dynamic.Engine.last_rebuild_seconds engine in
+  let rows = ref [] in
+  Dynamic.Engine.replay engine trace ~f:(fun r ->
+      let fresh_model, _ = Dynamic.Engine.current_model engine in
+      let t0 = Unix.gettimeofday () in
+      ignore (Relaxed_greedy.build ~params fresh_model);
+      let rebuild_s = Unix.gettimeofday () -. t0 in
+      rows := (r, rebuild_s) :: !rows);
+  let rows = List.rev !rows in
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E-churn: incremental repair vs rebuild (n = %d, eps = %.2f, \
+            batches <= %d, initial build %.2f s)"
+           n eps batch_max build_s)
+      ~columns:
+        [ "epoch"; "ev"; "dirty%"; "kind"; "repair ms"; "certify ms";
+          "rebuild ms"; "speedup"; "stretch"; "maxdeg"; "w/MST" ]
+  in
+  List.iter
+    (fun ((r : Dynamic.Engine.report), rebuild_s) ->
+      Report.add_row t
+        [
+          Report.cell_i r.Dynamic.Engine.epoch;
+          Report.cell_i r.Dynamic.Engine.n_events;
+          Report.cell_f (100.0 *. r.Dynamic.Engine.dirty_fraction);
+          (match r.Dynamic.Engine.kind with
+          | Dynamic.Engine.Incremental -> "incr"
+          | Dynamic.Engine.Rebuild_threshold -> "rebuild"
+          | Dynamic.Engine.Rebuild_cert_failure -> "cert-fail");
+          Report.cell_f (1e3 *. r.Dynamic.Engine.repair_seconds);
+          Report.cell_f (1e3 *. r.Dynamic.Engine.certify_seconds);
+          Report.cell_f (1e3 *. rebuild_s);
+          Printf.sprintf "%.1fx"
+            (rebuild_s /. Float.max 1e-9 r.Dynamic.Engine.repair_seconds);
+          Report.cell_f r.Dynamic.Engine.stretch;
+          Report.cell_i r.Dynamic.Engine.max_degree;
+          Report.cell_f r.Dynamic.Engine.weight_ratio;
+        ])
+    rows;
+  Report.print t;
+  let speedups =
+    List.map
+      (fun ((r : Dynamic.Engine.report), rebuild_s) ->
+        rebuild_s /. Float.max 1e-9 r.Dynamic.Engine.repair_seconds)
+      rows
+  in
+  let min_speedup = List.fold_left Float.min infinity speedups in
+  let sum_repair =
+    List.fold_left
+      (fun acc ((r : Dynamic.Engine.report), _) ->
+        acc +. r.Dynamic.Engine.repair_seconds)
+      0.0 rows
+  and sum_rebuild =
+    List.fold_left (fun acc (_, rb) -> acc +. rb) 0.0 rows
+  in
+  Printf.printf
+    "   min per-epoch speedup %.1fx, aggregate %.1fx; bit-identical across \
+     1/4 domains: %b\n"
+    min_speedup
+    (sum_rebuild /. Float.max 1e-9 sum_repair)
+    deterministic;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E-churn\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"n\": %d,\n  \"eps\": %.2f,\n  \"batch_max\": %d,\n\
+       \  \"initial_build_s\": %.6f,\n  \"deterministic\": %b,\n\
+       \  \"min_speedup\": %.4f,\n  \"epochs\": [\n"
+       n eps batch_max build_s deterministic min_speedup);
+  List.iteri
+    (fun i ((r : Dynamic.Engine.report), rebuild_s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"epoch\": %d, \"events\": %d, \"dirty_fraction\": %.6f, \
+            \"kind\": \"%s\", \"repair_s\": %.6f, \"certify_s\": %.6f, \
+            \"rebuild_s\": %.6f, \"speedup\": %.4f, \"stretch\": %.6f, \
+            \"max_degree\": %d, \"weight_ratio\": %.6f }%s\n"
+           r.Dynamic.Engine.epoch r.Dynamic.Engine.n_events
+           r.Dynamic.Engine.dirty_fraction
+           (match r.Dynamic.Engine.kind with
+           | Dynamic.Engine.Incremental -> "incremental"
+           | Dynamic.Engine.Rebuild_threshold -> "rebuild_threshold"
+           | Dynamic.Engine.Rebuild_cert_failure -> "rebuild_cert_failure")
+           r.Dynamic.Engine.repair_seconds r.Dynamic.Engine.certify_seconds
+           rebuild_s
+           (rebuild_s /. Float.max 1e-9 r.Dynamic.Engine.repair_seconds)
+           r.Dynamic.Engine.stretch r.Dynamic.Engine.max_degree
+           r.Dynamic.Engine.weight_ratio
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_dynamic.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "   [wrote BENCH_dynamic.json]\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment's kernel.        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1067,6 +1206,7 @@ let experiments =
     ("E17", e17); ("E18", e18);
     ("E-csr", e_csr);
     ("E-par", e_par);
+    ("E-churn", e_churn);
     ("micro", micro_benchmarks);
   ]
 

@@ -452,6 +452,168 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Trace the distributed execution phase by phase")
     Term.(const run $ logs_term $ instance_arg $ eps_arg $ seed_arg $ full)
 
+(* ------------------------------------------------------------------ *)
+(* churn                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let churn_cmd =
+  let run () trace_path record n dim alpha degree seed epochs batch_max speed
+      eps gray threshold check_rebuild =
+    if record then begin
+      let side =
+        Ubg.Generator.side_for_expected_degree ~dim ~n ~alpha ~degree
+      in
+      let model =
+        Ubg.Generator.connected ~seed ~dim ~n ~alpha ~gray
+          (Ubg.Generator.Uniform { side })
+      in
+      let dyn = { (Ubg.Churn.default_dynamics ~side) with speed } in
+      let trace =
+        Ubg.Churn.generate ~seed:(seed + 1) ~epochs ~batch_max dyn model
+      in
+      Ubg.Io.save_trace trace_path trace;
+      Format.printf "wrote %s: %a, %d epochs, %d events@." trace_path
+        Ubg.Model.pp model epochs
+        (Ubg.Churn.n_events trace)
+    end
+    else begin
+      let trace = Ubg.Io.load_trace trace_path in
+      let model = trace.Ubg.Churn.initial in
+      let params =
+        Topo.Params.of_epsilon ~eps ~alpha:model.Ubg.Model.alpha
+          ~dim:(Ubg.Model.dim model)
+      in
+      let engine =
+        Dynamic.Engine.create ~gray ~rebuild_threshold:threshold
+          ~clock:Unix.gettimeofday ~params model
+      in
+      Format.printf
+        "initial: n = %d, t = %.3f, %d spanner edges, full build %.1f ms@."
+        (Ubg.Model.n model) params.Topo.Params.t
+        (Graph.Wgraph.n_edges (Dynamic.Engine.spanner engine))
+        (1e3 *. Dynamic.Engine.last_rebuild_seconds engine);
+      let table =
+        Analysis.Report.create
+          ~title:
+            (Printf.sprintf "churn replay of %s (rebuild column is %s)"
+               trace_path
+               (if check_rebuild then "measured per epoch"
+                else "the engine's last-rebuild estimate"))
+          ~columns:
+            [
+              "epoch"; "ev"; "alive"; "dirty"; "dirty%"; "kind"; "repair ms";
+              "rebuild ms"; "speedup"; "stretch"; "maxdeg"; "w/MST";
+            ]
+      in
+      let sum_repair = ref 0.0 and sum_rebuild = ref 0.0 in
+      Dynamic.Engine.replay engine trace ~f:(fun r ->
+          let rebuild_s =
+            if check_rebuild then begin
+              let fresh_model, _ = Dynamic.Engine.current_model engine in
+              let t0 = Unix.gettimeofday () in
+              ignore (Topo.Relaxed_greedy.build ~params fresh_model);
+              Unix.gettimeofday () -. t0
+            end
+            else Dynamic.Engine.last_rebuild_seconds engine
+          in
+          sum_repair := !sum_repair +. r.Dynamic.Engine.repair_seconds;
+          sum_rebuild := !sum_rebuild +. rebuild_s;
+          Analysis.Report.add_row table
+            [
+              Analysis.Report.cell_i r.Dynamic.Engine.epoch;
+              Analysis.Report.cell_i r.Dynamic.Engine.n_events;
+              Analysis.Report.cell_i r.Dynamic.Engine.n_alive;
+              Analysis.Report.cell_i r.Dynamic.Engine.n_dirty;
+              Analysis.Report.cell_f
+                (100.0 *. r.Dynamic.Engine.dirty_fraction);
+              (match r.Dynamic.Engine.kind with
+              | Dynamic.Engine.Incremental -> "incr"
+              | Dynamic.Engine.Rebuild_threshold -> "rebuild"
+              | Dynamic.Engine.Rebuild_cert_failure -> "cert-fail");
+              Analysis.Report.cell_f
+                (1e3 *. r.Dynamic.Engine.repair_seconds);
+              Analysis.Report.cell_f (1e3 *. rebuild_s);
+              Analysis.Report.cell_f
+                (rebuild_s /. Float.max 1e-9 r.Dynamic.Engine.repair_seconds);
+              Analysis.Report.cell_f r.Dynamic.Engine.stretch;
+              Analysis.Report.cell_i r.Dynamic.Engine.max_degree;
+              Analysis.Report.cell_f r.Dynamic.Engine.weight_ratio;
+            ]);
+      Analysis.Report.print table;
+      let incr, rebuilds, cert_failures = Dynamic.Engine.counters engine in
+      Format.printf
+        "epochs: %d incremental, %d threshold rebuilds, %d certification \
+         failures@.totals: repair %.1f ms vs rebuild %.1f ms (%.1fx)@."
+        incr rebuilds cert_failures (1e3 *. !sum_repair)
+        (1e3 *. !sum_rebuild)
+        (!sum_rebuild /. Float.max 1e-9 !sum_repair)
+    end
+  in
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:"Churn trace file (ubg-churn format); written by --record.")
+  in
+  let record =
+    Arg.(
+      value & flag
+      & info [ "record" ]
+          ~doc:"Generate an instance and churn trace and save it to TRACE.")
+  in
+  let n = Arg.(value & opt int 300 & info [ "n" ] ~doc:"Nodes (--record).") in
+  let dim = Arg.(value & opt int 2 & info [ "dim" ] ~doc:"Dimension (--record).") in
+  let alpha =
+    Arg.(value & opt float 0.8 & info [ "alpha" ] ~doc:"α (--record).")
+  in
+  let degree =
+    Arg.(
+      value & opt float 10.0
+      & info [ "degree" ] ~doc:"Expected α-neighborhood size (--record).")
+  in
+  let epochs =
+    Arg.(value & opt int 10 & info [ "epochs" ] ~doc:"Batches (--record).")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 8
+      & info [ "batch-max" ] ~doc:"Max events per batch (--record).")
+  in
+  let speed =
+    Arg.(
+      value & opt float 0.25
+      & info [ "speed" ] ~doc:"Random-waypoint step length (--record).")
+  in
+  let gray =
+    Arg.(
+      value
+      & opt gray_conv Ubg.Gray_zone.Keep_all
+      & info [ "gray" ]
+          ~doc:"Gray-zone policy for generation and link re-probing.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.3
+      & info [ "rebuild-threshold" ]
+          ~doc:"Dirty fraction above which an epoch falls back to a rebuild.")
+  in
+  let check_rebuild =
+    Arg.(
+      value & flag
+      & info [ "check-rebuild" ]
+          ~doc:
+            "Measure a real from-scratch rebuild every epoch instead of \
+             reusing the engine's estimate (slower).")
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"Replay (or record) a churn trace through the incremental engine")
+    Term.(
+      const run $ logs_term $ trace_arg $ record $ n $ dim $ alpha $ degree
+      $ seed_arg $ epochs $ batch_max $ speed $ eps_arg $ gray $ threshold
+      $ check_rebuild)
+
 let () =
   let doc = "local approximation schemes for topology control (PODC 2006)" in
   exit
@@ -460,5 +622,5 @@ let () =
           (Cmd.info "topoctl" ~version:"1.0.0" ~doc)
           [
             generate_cmd; build_cmd; analyze_cmd; compare_cmd; rounds_cmd;
-            route_cmd; simulate_cmd;
+            route_cmd; simulate_cmd; churn_cmd;
           ]))

@@ -1,0 +1,447 @@
+module Point = Geometry.Point
+module Kdtree = Geometry.Kdtree
+module Wgraph = Graph.Wgraph
+module Csr = Graph.Csr
+module Dijkstra = Graph.Dijkstra
+module Model = Ubg.Model
+module Churn = Ubg.Churn
+module Population = Ubg.Churn.Population
+module Params = Topo.Params
+module Bins = Topo.Bins
+
+let src = Logs.Src.create "dynamic.engine" ~doc:"Incremental spanner engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type snapshot = {
+  snap_epoch : int;
+  snap_points : Point.t array;
+  snap_alive : bool array;
+  snap_ubg : Csr.t;
+  snap_spanner : Csr.t;
+  snap_stretch : float;
+}
+
+type repair_kind = Incremental | Rebuild_threshold | Rebuild_cert_failure
+
+type report = {
+  epoch : int;
+  n_events : int;
+  n_alive : int;
+  n_ubg_edges : int;
+  n_spanner_edges : int;
+  n_dirty : int;
+  dirty_fraction : float;
+  kind : repair_kind;
+  stretch : float;
+  max_degree : int;
+  weight_ratio : float;
+  repair_seconds : float;
+  certify_seconds : float;
+}
+
+type t = {
+  params : Params.t;
+  gray : Ubg.Gray_zone.t;
+  rebuild_threshold : float;
+  pipeline_min_edges : int;
+  history : int;
+  clock : unit -> float;
+  pop : Population.t;
+  mutable ubg : Wgraph.t;  (* capacity-indexed; dead slots isolated *)
+  mutable spanner : Wgraph.t;
+  mutable epoch : int;
+  mutable snaps : snapshot list;  (* newest first, <= history long *)
+  mutable last_rebuild : float;
+  mutable n_incremental : int;
+  mutable n_rebuilds : int;
+  mutable n_cert_failures : int;
+}
+
+let epoch t = t.epoch
+let n_alive t = Population.n_alive t.pop
+let params t = t.params
+let ubg t = t.ubg
+let spanner t = t.spanner
+let last_rebuild_seconds t = t.last_rebuild
+let counters t = (t.n_incremental, t.n_rebuilds, t.n_cert_failures)
+let snapshots t = t.snaps
+
+let latest t =
+  match t.snaps with
+  | s :: _ -> s
+  | [] -> assert false (* create always pushes epoch 0 *)
+
+let diff ~before ~after =
+  Csr.diff ~before:before.snap_spanner ~after:after.snap_spanner
+
+(* ------------------------------------------------------------------ *)
+(* Slot-indexed graph maintenance                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Wgraph vertex sets are fixed at creation, so capacity growth (a join
+   with no free slot) reallocates and re-inserts. Joins grow capacity
+   by one, so this stays O(m) per fresh slot. *)
+let grown g cap =
+  if Wgraph.n_vertices g >= cap then g
+  else begin
+    let g' = Wgraph.create cap in
+    Wgraph.iter_edges g (fun u v w -> Wgraph.add_edge g' u v w);
+    g'
+  end
+
+let remove_incident g s =
+  List.iter (fun (v, _) -> ignore (Wgraph.remove_edge g s v)) (Wgraph.neighbors g s)
+
+(* [current_model t] compacts alive slots to 0..k-1 and revalidates the
+   α-UBG invariant; the mapping array sends compact ids back to slots. *)
+let current_model t =
+  let ids = Array.of_list (Population.alive_ids t.pop) in
+  let k = Array.length ids in
+  let local_of = Array.make (Population.capacity t.pop) (-1) in
+  Array.iteri (fun li s -> local_of.(s) <- li) ids;
+  let points = Array.map (fun s -> t.pop.Population.points.(s)) ids in
+  let g = Wgraph.create k in
+  Wgraph.iter_edges t.ubg (fun u v w ->
+      Wgraph.add_edge g local_of.(u) local_of.(v) w);
+  (Model.make ~alpha:t.params.Params.alpha points g, ids)
+
+(* ------------------------------------------------------------------ *)
+(* Full rebuild fallback                                               *)
+(* ------------------------------------------------------------------ *)
+
+let full_rebuild t =
+  let model, ids = current_model t in
+  let t0 = t.clock () in
+  let result = Topo.Relaxed_greedy.build ~params:t.params model in
+  t.last_rebuild <- t.clock () -. t0;
+  let sp = Wgraph.create (Population.capacity t.pop) in
+  Wgraph.iter_edges result.Topo.Relaxed_greedy.spanner (fun u v w ->
+      Wgraph.add_edge sp ids.(u) ids.(v) w);
+  t.spanner <- sp
+
+(* ------------------------------------------------------------------ *)
+(* Incremental repair                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The greedy rule itself, one distance-bounded Dijkstra per dirty edge
+   in ascending (w, u, v) order — exact, and cheap when the bin is
+   sparse. *)
+let greedy_repair t ws edges =
+  Array.iter
+    (fun (e : Wgraph.edge) ->
+      let budget = t.params.Params.t *. e.w in
+      if Dijkstra.distance_upto_ws ws t.spanner e.u e.v ~bound:budget > budget
+      then ignore (Wgraph.add_edge_min t.spanner e.u e.v e.w))
+    edges
+
+(* Re-run the five-step PROCESS-LONG-EDGES pipeline for bin [i] on the
+   sub-instance of nodes within the dirty threshold plus the phase's
+   own consultation reach. Kept additions map back to slot ids; the
+   surviving spanner is never shrunk, so certified paths persist. *)
+let pipeline_repair t ~dmin ~bins i (edges : Wgraph.edge array) =
+  let w_len = Bins.w bins i and w_prev_len = Bins.w bins (i - 1) in
+  let thresh =
+    (0.5 *. t.params.Params.t *. w_len) +. (t.params.Params.delta *. w_prev_len)
+  in
+  let reach = (t.params.Params.t +. 1.0) *. w_len in
+  let radius = thresh +. reach in
+  let cap = Population.capacity t.pop in
+  let region = ref [] in
+  for s = cap - 1 downto 0 do
+    if Population.is_alive t.pop s && dmin.(s) <= radius then
+      region := s :: !region
+  done;
+  let region = Array.of_list !region in
+  let nr = Array.length region in
+  let local_of = Array.make cap (-1) in
+  Array.iteri (fun li s -> local_of.(s) <- li) region;
+  let sub_points = Array.map (fun s -> t.pop.Population.points.(s)) region in
+  let induce g =
+    let sub = Wgraph.create nr in
+    Array.iteri
+      (fun li s ->
+        Wgraph.iter_neighbors g s (fun v w ->
+            let lv = local_of.(v) in
+            if lv > li then Wgraph.add_edge sub li lv w))
+      region;
+    sub
+  in
+  let sub_model =
+    Model.make ~alpha:t.params.Params.alpha sub_points (induce t.ubg)
+  in
+  let sub_spanner = induce t.spanner in
+  let bin_edges =
+    Array.map
+      (fun (e : Wgraph.edge) ->
+        { Wgraph.u = local_of.(e.u); v = local_of.(e.v); w = e.w })
+      edges
+  in
+  let kept, _stats =
+    Topo.Relaxed_greedy.run_phase ~model:sub_model ~params:t.params ~phase:i
+      ~w_prev_len ~w_len ~bin_edges ~spanner:sub_spanner
+  in
+  Array.iter
+    (fun (e : Wgraph.edge) ->
+      ignore (Wgraph.add_edge_min t.spanner region.(e.u) region.(e.v) e.w))
+    kept
+
+(* ------------------------------------------------------------------ *)
+(* Certification and snapshots                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Freeze both graphs and certify: subgraph inclusion + edge stretch.
+   A spanner edge missing from the base reads as infinite stretch so
+   the caller's fallback logic treats it like any other failure. *)
+let certify t =
+  let base = Csr.of_wgraph t.ubg and sp = Csr.of_wgraph t.spanner in
+  let subgraph_ok = ref true in
+  Csr.iter_edges sp (fun u v _ ->
+      if not (Csr.mem_edge base u v) then subgraph_ok := false);
+  let stretch =
+    if !subgraph_ok then Topo.Verify.edge_stretch_csr ~base ~spanner:sp
+    else infinity
+  in
+  (base, sp, stretch)
+
+let certifies t stretch = stretch <= t.params.Params.t +. 1e-9
+
+let restore_from t snap =
+  Population.restore t.pop ~points:snap.snap_points ~alive:snap.snap_alive;
+  t.ubg <- Csr.to_wgraph snap.snap_ubg;
+  t.spanner <- Csr.to_wgraph snap.snap_spanner;
+  t.epoch <- snap.snap_epoch
+
+let rec take k = function
+  | [] -> []
+  | _ when k <= 0 -> []
+  | x :: rest -> x :: take (k - 1) rest
+
+let push_snapshot t ~base ~sp ~stretch =
+  let snap =
+    {
+      snap_epoch = t.epoch;
+      snap_points = Array.copy t.pop.Population.points;
+      snap_alive = Array.copy t.pop.Population.alive;
+      snap_ubg = base;
+      snap_spanner = sp;
+      snap_stretch = stretch;
+    }
+  in
+  t.snaps <- snap :: take (t.history - 1) t.snaps
+
+let rollback t =
+  match t.snaps with
+  | _ :: (prev :: _ as rest) ->
+      restore_from t prev;
+      t.snaps <- rest
+  | _ -> failwith "Engine.rollback: no older snapshot"
+
+(* ------------------------------------------------------------------ *)
+(* Batch application                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let apply_batch t (events : Churn.event array) =
+  let t0 = t.clock () in
+  (* 1. Events -> population, recording touched positions (old and new)
+     and which slots need their incident α-UBG edges re-derived. *)
+  let touched = ref [] and refreshed = ref [] and dead = ref [] in
+  let note_old i =
+    if i >= 0 && i < Population.capacity t.pop then
+      touched := t.pop.Population.points.(i) :: !touched
+  in
+  Array.iter
+    (fun ev ->
+      (match ev with
+      | Churn.Leave i | Churn.Move (i, _) -> note_old i
+      | Churn.Join _ -> ());
+      let s = Population.apply t.pop ev in
+      match ev with
+      | Churn.Join p ->
+          touched := p :: !touched;
+          refreshed := s :: !refreshed
+      | Churn.Leave _ -> dead := s :: !dead
+      | Churn.Move (_, p) ->
+          touched := p :: !touched;
+          refreshed := s :: !refreshed)
+    events;
+  let touched = !touched in
+  let cap = Population.capacity t.pop in
+  t.ubg <- grown t.ubg cap;
+  t.spanner <- grown t.spanner cap;
+  (* 2. Update the α-UBG itself: drop every edge incident to a touched
+     slot, then re-derive adjacency for the slots that are alive with a
+     new position (join targets and movers). *)
+  let sort_uniq l = List.sort_uniq compare l in
+  List.iter
+    (fun s ->
+      remove_incident t.ubg s;
+      remove_incident t.spanner s)
+    (sort_uniq (!dead @ !refreshed));
+  let alpha = t.params.Params.alpha in
+  let points = t.pop.Population.points in
+  let tree = Kdtree.build points in
+  List.iter
+    (fun s ->
+      if Population.is_alive t.pop s then
+        List.iter
+          (fun j ->
+            if j <> s && Population.is_alive t.pop j then begin
+              let d = Point.distance points.(s) points.(j) in
+              if d > 0.0 && d <= 1.0 then begin
+                let keep =
+                  d <= alpha
+                  || Ubg.Gray_zone.decide t.gray ~alpha ~u:s ~v:j
+                       ~pu:points.(s) ~pv:points.(j) ~dist:d
+                in
+                if keep then Wgraph.add_edge t.ubg s j d
+              end
+            end)
+          (Kdtree.range tree ~center:points.(s) ~radius:1.0))
+    (sort_uniq !refreshed);
+  (* 3. Dirty marking: edge {u,v} of length len in bin i is dirty when
+     an endpoint is within t*len/2 + delta*W_{i-1} of a touched
+     position (see the .mli headnote / DESIGN.md section 10). *)
+  let dmin = Array.make cap infinity in
+  Population.iter_alive t.pop (fun i ->
+      let p = points.(i) in
+      List.iter
+        (fun q ->
+          let d = Point.distance p q in
+          if d < dmin.(i) then dmin.(i) <- d)
+        touched);
+  let bins = Bins.make ~params:t.params ~n:(Population.n_alive t.pop) in
+  let dirty = ref [] and n_dirty = ref 0 in
+  Wgraph.iter_edges t.ubg (fun u v w ->
+      let b = Bins.index bins w in
+      let w_prev = if b = 0 then 0.0 else Bins.w bins (b - 1) in
+      let thresh =
+        (0.5 *. t.params.Params.t *. w) +. (t.params.Params.delta *. w_prev)
+      in
+      if Float.min dmin.(u) dmin.(v) <= thresh then begin
+        dirty := { Wgraph.u; v; w } :: !dirty;
+        incr n_dirty
+      end);
+  let n_ubg_edges = Wgraph.n_edges t.ubg in
+  let dirty_fraction =
+    if n_ubg_edges = 0 then 0.0
+    else float_of_int !n_dirty /. float_of_int n_ubg_edges
+  in
+  (* 4. Repair: full rebuild past the threshold, else per-bin greedy /
+     pipeline over the dirty edges in ascending phase order. *)
+  let kind = ref Incremental in
+  if dirty_fraction > t.rebuild_threshold then begin
+    kind := Rebuild_threshold;
+    t.n_rebuilds <- t.n_rebuilds + 1;
+    full_rebuild t
+  end
+  else begin
+    t.n_incremental <- t.n_incremental + 1;
+    let sorted =
+      List.sort
+        (fun (a : Wgraph.edge) (b : Wgraph.edge) ->
+          compare (a.w, a.u, a.v) (b.w, b.u, b.v))
+        !dirty
+    in
+    let binned = Bins.partition bins sorted in
+    let ws = Dijkstra.create_workspace () in
+    Array.iteri
+      (fun i edges ->
+        if Array.length edges > 0 then
+          if i = 0 || Array.length edges < t.pipeline_min_edges then
+            greedy_repair t ws edges
+          else pipeline_repair t ~dmin ~bins i edges)
+      binned
+  end;
+  let repair_seconds = t.clock () -. t0 in
+  (* 5. Certify; an incremental result that fails falls back to a full
+     rebuild, and a rebuild that fails rolls the engine back. *)
+  let c0 = t.clock () in
+  let base, sp, stretch = certify t in
+  let base, sp, stretch =
+    if certifies t stretch then (base, sp, stretch)
+    else begin
+      Log.warn (fun m ->
+          m "epoch %d: stretch %g fails t = %g after %s repair; rebuilding"
+            (t.epoch + 1) stretch t.params.Params.t
+            (match !kind with Incremental -> "incremental" | _ -> "rebuild"));
+      t.n_cert_failures <- t.n_cert_failures + 1;
+      if !kind = Incremental then begin
+        kind := Rebuild_cert_failure;
+        full_rebuild t;
+        certify t
+      end
+      else (base, sp, stretch)
+    end
+  in
+  if not (certifies t stretch) then begin
+    restore_from t (latest t);
+    failwith
+      (Printf.sprintf
+         "Engine.apply_batch: stretch %g exceeds t = %g even after full \
+          rebuild; rolled back to epoch %d"
+         stretch t.params.Params.t t.epoch)
+  end;
+  let certify_seconds = t.clock () -. c0 in
+  t.epoch <- t.epoch + 1;
+  push_snapshot t ~base ~sp ~stretch;
+  {
+    epoch = t.epoch;
+    n_events = Array.length events;
+    n_alive = Population.n_alive t.pop;
+    n_ubg_edges;
+    n_spanner_edges = Csr.n_edges sp;
+    n_dirty = !n_dirty;
+    dirty_fraction;
+    kind = !kind;
+    stretch;
+    max_degree = Csr.max_degree sp;
+    weight_ratio = Csr.total_weight sp /. Graph.Mst.weight_csr base;
+    repair_seconds;
+    certify_seconds;
+  }
+
+let replay t (trace : Churn.trace) ~f =
+  Array.iter (fun batch -> f (apply_batch t batch)) trace.Churn.batches
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(gray = Ubg.Gray_zone.Keep_all) ?(rebuild_threshold = 0.3)
+    ?(pipeline_min_edges = 16) ?(history = 4) ?(clock = Sys.time) ~params
+    model =
+  if rebuild_threshold <= 0.0 || rebuild_threshold > 1.0 then
+    invalid_arg "Engine.create: rebuild_threshold must be in (0, 1]";
+  if pipeline_min_edges < 1 then
+    invalid_arg "Engine.create: pipeline_min_edges must be >= 1";
+  if history < 2 then invalid_arg "Engine.create: history must be >= 2";
+  let t0 = clock () in
+  let result = Topo.Relaxed_greedy.build ~params model in
+  let build_seconds = clock () -. t0 in
+  let t =
+    {
+      params;
+      gray;
+      rebuild_threshold;
+      pipeline_min_edges;
+      history;
+      clock;
+      pop = Population.of_points model.Model.points;
+      ubg = Wgraph.copy model.Model.graph;
+      spanner = result.Topo.Relaxed_greedy.spanner;
+      epoch = 0;
+      snaps = [];
+      last_rebuild = build_seconds;
+      n_incremental = 0;
+      n_rebuilds = 0;
+      n_cert_failures = 0;
+    }
+  in
+  let base, sp, stretch = certify t in
+  if not (certifies t stretch) then
+    failwith
+      (Printf.sprintf "Engine.create: initial build has stretch %g > t = %g"
+         stretch t.params.Params.t);
+  push_snapshot t ~base ~sp ~stretch;
+  t

@@ -1,0 +1,144 @@
+(** Incremental spanner maintenance under churn.
+
+    The engine owns a live α-UBG (a {!Ubg.Churn.Population} plus its
+    edge set) and a certified [t]-spanner of it, and applies batched
+    join / leave / move events without recomputing the spanner from
+    scratch. Node identities are capacity slots (dead slots stay as
+    isolated vertices until a join reuses them), so graphs never
+    renumber across epochs.
+
+    Repair is local. A batch first updates the α-UBG itself (edges
+    incident to touched nodes are re-derived through a kd-tree and the
+    gray-zone policy), then marks {e dirty} base edges: edge [{u, v}]
+    of length [len] in bin [i] is dirty when some endpoint lies within
+    [t·len/2 + δ·W_{i-1}] of a touched position. The [t·len/2] term is
+    the certification radius — a surviving t-path for [{u, v}] that
+    detours through a touched node [x] satisfies
+    [d(u,x) + d(x,v) <= t·len], so one endpoint is within [t·len/2] of
+    [x]; edges farther away than that from every touched position kept
+    their witness path untouched. The [δ·W_{i-1}] dilation covers the
+    cluster-cover radius of the edge's phase, so re-running the phase
+    pipeline on the dirty sub-instance sees every cluster that could
+    have answered for the edge (DESIGN.md §10).
+
+    Dirty bins are repaired in ascending order: sparse bins by the
+    greedy rule itself (one bounded Dijkstra per edge), dense bins by
+    re-running the full {!Topo.Relaxed_greedy.run_phase} five-step
+    pipeline on the extracted sub-instance. Repairs only {e add}
+    edges, never remove surviving spanner edges, so certified paths
+    persist within a repair; when the dirty fraction crosses
+    [rebuild_threshold] the engine falls back to a full rebuild.
+
+    Every epoch is re-certified with {!Topo.Verify.edge_stretch_csr}
+    on frozen {!Graph.Csr} snapshots. A certification failure triggers
+    a full rebuild; if even that fails, the engine rolls back to the
+    previous snapshot and raises. Snapshots are epoch-stamped and kept
+    in a bounded history for {!diff} and {!rollback}. *)
+
+type snapshot = {
+  snap_epoch : int;
+  snap_points : Geometry.Point.t array;  (** per-slot positions *)
+  snap_alive : bool array;
+  snap_ubg : Graph.Csr.t;  (** the α-UBG, capacity-indexed *)
+  snap_spanner : Graph.Csr.t;
+  snap_stretch : float;  (** certified stretch at that epoch *)
+}
+
+(** Why an epoch's spanner was produced the way it was. *)
+type repair_kind =
+  | Incremental  (** dirty-region repair *)
+  | Rebuild_threshold  (** dirty fraction exceeded the threshold *)
+  | Rebuild_cert_failure  (** incremental result failed certification *)
+
+(** Per-epoch accounting returned by {!apply_batch}. *)
+type report = {
+  epoch : int;  (** epoch just produced *)
+  n_events : int;
+  n_alive : int;
+  n_ubg_edges : int;
+  n_spanner_edges : int;
+  n_dirty : int;  (** dirty base edges *)
+  dirty_fraction : float;  (** [n_dirty / n_ubg_edges] *)
+  kind : repair_kind;
+  stretch : float;  (** certified; always [<= t + 1e-9] on return *)
+  max_degree : int;
+  weight_ratio : float;  (** spanner weight / MST weight of the α-UBG *)
+  repair_seconds : float;  (** repair work, excluding certification *)
+  certify_seconds : float;
+}
+
+type t
+
+(** [create ?gray ?rebuild_threshold ?pipeline_min_edges ?history
+    ?clock ~params model] builds the initial spanner with a full
+    {!Topo.Relaxed_greedy.build}, certifies it, and snapshots epoch 0.
+    [params] must match the model's alpha and dimension.
+
+    [gray] (default [Keep_all]) re-decides gray-zone pairs incident to
+    joined or moved nodes. [rebuild_threshold] (default [0.3]) is the
+    dirty fraction above which a batch falls back to a full rebuild.
+    [pipeline_min_edges] (default [16]) is the smallest dirty bin worth
+    the sub-instance extraction; sparser bins use the per-edge greedy
+    rule, which is exact. [history] (default [4], min 2) bounds the
+    snapshot list. [clock] (default [Sys.time]) times repairs. *)
+val create :
+  ?gray:Ubg.Gray_zone.t ->
+  ?rebuild_threshold:float ->
+  ?pipeline_min_edges:int ->
+  ?history:int ->
+  ?clock:(unit -> float) ->
+  params:Topo.Params.t ->
+  Ubg.Model.t ->
+  t
+
+(** [apply_batch t events] applies one epoch's events and repairs +
+    certifies the spanner. Raises [Invalid_argument] on an event
+    naming a dead slot (the population is then in a partial state —
+    {!rollback} recovers); raises [Failure] if even a full rebuild
+    fails certification (after rolling back). *)
+val apply_batch : t -> Ubg.Churn.event array -> report
+
+(** Replay convenience: [replay t trace ~f] applies every batch of
+    [trace] in order, calling [f] on each report. *)
+val replay : t -> Ubg.Churn.trace -> f:(report -> unit) -> unit
+
+(** {2 Introspection} *)
+
+val epoch : t -> int
+val n_alive : t -> int
+val params : t -> Topo.Params.t
+
+(** The live α-UBG and spanner, capacity-indexed (dead slots are
+    isolated). Callers must not mutate them. *)
+val ubg : t -> Graph.Wgraph.t
+
+val spanner : t -> Graph.Wgraph.t
+
+(** [current_model t] compacts the alive slots into a fresh validated
+    {!Ubg.Model.t}; the returned array maps compact ids back to slots
+    (ascending). *)
+val current_model : t -> Ubg.Model.t * int array
+
+(** Wall-clock seconds of the most recent full rebuild (initial build
+    counts) — the per-epoch rebuild cost estimate printed by
+    [topoctl churn]. *)
+val last_rebuild_seconds : t -> float
+
+(** (incremental epochs, threshold rebuilds, certification failures). *)
+val counters : t -> int * int * int
+
+(** {2 Snapshots} *)
+
+(** Newest first; length bounded by [history]. *)
+val snapshots : t -> snapshot list
+
+val latest : t -> snapshot
+
+(** [diff ~before ~after] is {!Graph.Csr.diff} on the two snapshots'
+    spanners: the edges added and removed between the epochs. *)
+val diff : before:snapshot -> after:snapshot -> Graph.Wgraph.edge array * Graph.Wgraph.edge array
+
+(** [rollback t] discards the newest snapshot and restores the engine
+    (population, α-UBG, spanner, epoch) to the one before it. Raises
+    [Failure] when no older snapshot remains. *)
+val rollback : t -> unit

@@ -118,6 +118,53 @@ let total_weight c =
   iter_edges c (fun _ _ w -> acc := !acc +. w);
   !acc
 
+let diff ~before ~after =
+  let added = ref [] and removed = ref [] in
+  let n_b = n_vertices before and n_a = n_vertices after in
+  (* Merge the two sorted slices of u, looking only at arcs u -> v with
+     v > u so every undirected edge is classified exactly once. A weight
+     change counts as removal of the old edge plus addition of the new. *)
+  for u = 0 to max n_b n_a - 1 do
+    let lo_b = if u < n_b then before.off.(u) else 0
+    and hi_b = if u < n_b then before.off.(u + 1) else 0
+    and lo_a = if u < n_a then after.off.(u) else 0
+    and hi_a = if u < n_a then after.off.(u + 1) else 0 in
+    let i = ref lo_b and j = ref lo_a in
+    while !i < hi_b && before.dst.(!i) <= u do incr i done;
+    while !j < hi_a && after.dst.(!j) <= u do incr j done;
+    while !i < hi_b || !j < hi_a do
+      if !i >= hi_b then begin
+        added := { Wgraph.u; v = after.dst.(!j); w = after.wgt.(!j) } :: !added;
+        incr j
+      end
+      else if !j >= hi_a then begin
+        removed :=
+          { Wgraph.u; v = before.dst.(!i); w = before.wgt.(!i) } :: !removed;
+        incr i
+      end
+      else
+        let vb = before.dst.(!i) and va = after.dst.(!j) in
+        if vb = va then begin
+          if before.wgt.(!i) <> after.wgt.(!j) then begin
+            removed := { Wgraph.u; v = vb; w = before.wgt.(!i) } :: !removed;
+            added := { Wgraph.u; v = va; w = after.wgt.(!j) } :: !added
+          end;
+          incr i;
+          incr j
+        end
+        else if vb < va then begin
+          removed := { Wgraph.u; v = vb; w = before.wgt.(!i) } :: !removed;
+          incr i
+        end
+        else begin
+          added := { Wgraph.u; v = va; w = after.wgt.(!j) } :: !added;
+          incr j
+        end
+    done
+  done;
+  ( Array.of_list (List.rev !added),
+    Array.of_list (List.rev !removed) )
+
 let to_wgraph c =
   let g = Wgraph.create (n_vertices c) in
   iter_edges c (fun u v w -> Wgraph.add_edge g u v w);

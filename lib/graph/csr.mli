@@ -69,3 +69,11 @@ val edges : t -> Wgraph.edge array
 
 (** [total_weight c] is the sum of all undirected edge weights. *)
 val total_weight : t -> float
+
+(** [diff ~before ~after] is [(added, removed)]: the undirected edges
+    present only in [after] and only in [before], each sorted by
+    [(u, v)] with [u < v]. An edge whose weight changed appears in both
+    arrays (old weight removed, new weight added). The snapshots may
+    have different vertex counts — vertices absent from one side are
+    treated as isolated. O(m_before + m_after). *)
+val diff : before:t -> after:t -> Wgraph.edge array * Wgraph.edge array

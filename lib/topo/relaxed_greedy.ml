@@ -306,3 +306,9 @@ let total_added stats = List.fold_left (fun acc s -> acc + s.n_added) 0 stats
 
 let total_removed stats =
   List.fold_left (fun acc s -> acc + s.n_removed) 0 stats
+
+(* Exported for Dynamic.Engine: one Euclidean PROCESS-LONG-EDGES phase,
+   pure with respect to [spanner] — the caller inserts the kept edges. *)
+let run_phase ~model ~params ~phase ~w_prev_len ~w_len ~bin_edges ~spanner =
+  phase_core ~model ~params ~phi:Fun.id ~phase ~w_prev_len ~w_len ~bin_edges
+    ~spanner

@@ -69,6 +69,25 @@ val build_eps :
   Ubg.Model.t ->
   result
 
+(** [run_phase ~model ~params ~phase ~w_prev_len ~w_len ~bin_edges
+    ~spanner] runs one Euclidean [PROCESS-LONG-EDGES] phase (the five
+    Section 2.2 steps) for the bin [(w_prev_len, w_len]] against the
+    partial spanner, and returns the kept additions plus stats {e
+    without} inserting them — the caller decides how to merge
+    ([Wgraph.add_edge_min]; [n_added] in the returned stats is 0 until
+    then). [spanner] is only read (frozen into one CSR snapshot). The
+    incremental engine ([Dynamic.Engine]) uses this to re-run a phase
+    restricted to a dirty sub-instance. *)
+val run_phase :
+  model:Ubg.Model.t ->
+  params:Params.t ->
+  phase:int ->
+  w_prev_len:float ->
+  w_len:float ->
+  bin_edges:Graph.Wgraph.edge array ->
+  spanner:Graph.Wgraph.t ->
+  Graph.Wgraph.edge array * phase_stats
+
 (** [total_added stats] and [total_removed stats] fold the per-phase
     counters. *)
 val total_added : phase_stats list -> int

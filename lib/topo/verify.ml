@@ -22,6 +22,34 @@ let edge_stretch ~base ~spanner =
 
 let is_t_spanner ~base ~spanner ~t = edge_stretch ~base ~spanner <= t +. 1e-9
 
+let edge_stretch_csr ~base ~spanner =
+  let module Csr = Graph.Csr in
+  if Csr.n_vertices base <> Csr.n_vertices spanner then
+    invalid_arg "Verify.edge_stretch_csr: vertex set mismatch";
+  let n = Csr.n_vertices base in
+  (* One Dijkstra per source vertex that has a base neighbor v > u;
+     sources fan out over the pool, and max is commutative so the
+     ordered fold is bit-identical at any pool size. *)
+  let sources = ref [] in
+  for u = n - 1 downto 0 do
+    let has_fwd = ref false in
+    Csr.iter_neighbors base u (fun v _ -> if v > u then has_fwd := true);
+    if !has_fwd then sources := u :: !sources
+  done;
+  let per_source =
+    Parallel.Pool.map
+      (fun u ->
+        let dist = Graph.Dijkstra.distances_csr spanner u in
+        Csr.fold_neighbors base u
+          (fun v w acc -> if v > u then Float.max acc (dist.(v) /. w) else acc)
+          1.0)
+      (Array.of_list !sources)
+  in
+  Array.fold_left Float.max 1.0 per_source
+
+let is_t_spanner_csr ~base ~spanner ~t =
+  edge_stretch_csr ~base ~spanner <= t +. 1e-9
+
 let exact_stretch ~base ~spanner =
   Graph.Apsp.max_ratio
     ~num:(Graph.Apsp.dijkstra_all spanner)

@@ -17,6 +17,18 @@ val edge_stretch : base:Graph.Wgraph.t -> spanner:Graph.Wgraph.t -> float
     [edge_stretch ~base ~spanner <= t +. 1e-9]. *)
 val is_t_spanner : base:Graph.Wgraph.t -> spanner:Graph.Wgraph.t -> t:float -> bool
 
+(** [edge_stretch_csr ~base ~spanner] is {!edge_stretch} operating
+    directly on frozen {!Graph.Csr} snapshots — the per-epoch
+    certification path of the dynamic engine, which already holds both
+    graphs in CSR form. Sources fan out over {!Parallel.Pool}; the
+    result is bit-identical at every pool size. *)
+val edge_stretch_csr : base:Graph.Csr.t -> spanner:Graph.Csr.t -> float
+
+(** [is_t_spanner_csr ~base ~spanner ~t] is
+    [edge_stretch_csr ~base ~spanner <= t +. 1e-9]. *)
+val is_t_spanner_csr :
+  base:Graph.Csr.t -> spanner:Graph.Csr.t -> t:float -> bool
+
 (** [exact_stretch ~base ~spanner] is the all-pairs stretch
     [max sp_spanner(u,v) / sp_base(u,v)] over connected pairs — the
     literal t-spanner definition. O(n * m log n); use on small

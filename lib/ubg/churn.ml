@@ -1,0 +1,212 @@
+module Point = Geometry.Point
+
+type event =
+  | Join of Point.t
+  | Leave of int
+  | Move of int * Point.t
+
+type batch = event array
+
+type trace = { initial : Model.t; batches : batch array }
+
+let pp_event ppf = function
+  | Join p -> Format.fprintf ppf "join %a" Point.pp p
+  | Leave i -> Format.fprintf ppf "leave %d" i
+  | Move (i, p) -> Format.fprintf ppf "move %d %a" i Point.pp p
+
+(* ------------------------------------------------------------------ *)
+(* Population: the slot-assignment policy                              *)
+(* ------------------------------------------------------------------ *)
+
+module Population = struct
+  type t = {
+    mutable points : Point.t array;
+    mutable alive : bool array;
+    mutable free : int list;  (* dead slots, ascending *)
+    mutable n_alive : int;
+  }
+
+  let of_points pts =
+    let n = Array.length pts in
+    if n = 0 then invalid_arg "Churn.Population.of_points: empty";
+    {
+      points = Array.copy pts;
+      alive = Array.make n true;
+      free = [];
+      n_alive = n;
+    }
+
+  let capacity p = Array.length p.points
+  let n_alive p = p.n_alive
+  let is_alive p i = i >= 0 && i < capacity p && p.alive.(i)
+
+  let point p i =
+    if not (is_alive p i) then invalid_arg "Churn.Population.point: dead slot";
+    p.points.(i)
+
+  let alive_ids p =
+    let acc = ref [] in
+    for i = capacity p - 1 downto 0 do
+      if p.alive.(i) then acc := i :: !acc
+    done;
+    !acc
+
+  let iter_alive p f =
+    Array.iteri (fun i a -> if a then f i) p.alive
+
+  (* Grow by one slot: joins are rare relative to the population, and
+     one-at-a-time growth never leaves placeholder slots behind. *)
+  let grow p =
+    let cap = capacity p in
+    let dim = Point.dim p.points.(0) in
+    let points = Array.make (cap + 1) (Point.origin dim) in
+    Array.blit p.points 0 points 0 cap;
+    let alive = Array.make (cap + 1) false in
+    Array.blit p.alive 0 alive 0 cap;
+    p.points <- points;
+    p.alive <- alive;
+    cap
+
+  let rec insert_sorted i = function
+    | [] -> [ i ]
+    | x :: rest when x < i -> x :: insert_sorted i rest
+    | l -> i :: l
+
+  (* The policy both the generator and the engine share: a join takes
+     the lowest dead slot, extending the array only when none is free.
+     Returns the slot the event landed on. *)
+  let apply p = function
+    | Join pt ->
+        let s =
+          match p.free with
+          | s :: rest ->
+              p.free <- rest;
+              s
+          | [] -> grow p
+        in
+        p.points.(s) <- pt;
+        p.alive.(s) <- true;
+        p.n_alive <- p.n_alive + 1;
+        s
+    | Leave i ->
+        if not (is_alive p i) then
+          invalid_arg (Printf.sprintf "Churn: leave of dead slot %d" i);
+        if p.n_alive <= 1 then
+          invalid_arg "Churn: cannot remove the last node";
+        p.alive.(i) <- false;
+        p.free <- insert_sorted i p.free;
+        p.n_alive <- p.n_alive - 1;
+        i
+    | Move (i, pt) ->
+        if not (is_alive p i) then
+          invalid_arg (Printf.sprintf "Churn: move of dead slot %d" i);
+        p.points.(i) <- pt;
+        i
+
+  let restore p ~points ~alive =
+    if Array.length points <> Array.length alive then
+      invalid_arg "Churn.Population.restore: size mismatch";
+    p.points <- Array.copy points;
+    p.alive <- Array.copy alive;
+    let free = ref [] and n_alive = ref 0 in
+    for i = Array.length alive - 1 downto 0 do
+      if alive.(i) then incr n_alive else free := i :: !free
+    done;
+    p.free <- !free;
+    p.n_alive <- !n_alive
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trace generation: birth-death process + random-waypoint motion      *)
+(* ------------------------------------------------------------------ *)
+
+type dynamics = {
+  join_weight : float;
+  leave_weight : float;
+  move_weight : float;
+  speed : float;
+  side : float;
+}
+
+let default_dynamics ~side =
+  {
+    join_weight = 1.0;
+    leave_weight = 1.0;
+    move_weight = 2.0;
+    speed = 0.25;
+    side;
+  }
+
+let generate ~seed ~epochs ~batch_max dyn (model : Model.t) =
+  if epochs < 0 then invalid_arg "Churn.generate: epochs < 0";
+  if batch_max <= 0 then invalid_arg "Churn.generate: batch_max <= 0";
+  if dyn.side <= 0.0 || dyn.speed <= 0.0 then
+    invalid_arg "Churn.generate: dynamics sizes";
+  let total = dyn.join_weight +. dyn.leave_weight +. dyn.move_weight in
+  if
+    dyn.join_weight < 0.0 || dyn.leave_weight < 0.0 || dyn.move_weight < 0.0
+    || total <= 0.0
+  then invalid_arg "Churn.generate: dynamics weights";
+  let st = Random.State.make [| seed; 0xC4A2; epochs; batch_max |] in
+  let dim = Model.dim model in
+  let pop = Population.of_points model.Model.points in
+  (* Random-waypoint state: each node walks toward a private waypoint at
+     [speed] per move event, redrawing the waypoint on arrival. *)
+  let waypoints = Hashtbl.create (Population.capacity pop) in
+  let fresh_waypoint () = Point.random ~st ~dim ~lo:0.0 ~hi:dyn.side in
+  let waypoint_of s =
+    match Hashtbl.find_opt waypoints s with
+    | Some w -> w
+    | None ->
+        let w = fresh_waypoint () in
+        Hashtbl.replace waypoints s w;
+        w
+  in
+  let pick_alive () =
+    let ids = Population.alive_ids pop in
+    List.nth ids (Random.State.int st (List.length ids))
+  in
+  let step_toward s =
+    let from = Population.point pop s in
+    let rec go w =
+      let d = Point.distance from w in
+      if d <= 1e-9 then begin
+        let w' = fresh_waypoint () in
+        Hashtbl.replace waypoints s w';
+        go w'
+      end
+      else if d <= dyn.speed then begin
+        Hashtbl.replace waypoints s (fresh_waypoint ());
+        w
+      end
+      else Point.add from (Point.scale (dyn.speed /. d) (Point.sub w from))
+    in
+    go (waypoint_of s)
+  in
+  let batches =
+    Array.init epochs (fun _ ->
+        let k = 1 + Random.State.int st batch_max in
+        let evs = ref [] in
+        for _ = 1 to k do
+          let x = Random.State.float st total in
+          let ev =
+            if x < dyn.join_weight then
+              Join (Point.random ~st ~dim ~lo:0.0 ~hi:dyn.side)
+            else if
+              x < dyn.join_weight +. dyn.leave_weight
+              && Population.n_alive pop > 2
+            then Leave (pick_alive ())
+            else
+              let s = pick_alive () in
+              Move (s, step_toward s)
+          in
+          ignore (Population.apply pop ev);
+          (match ev with Leave s -> Hashtbl.remove waypoints s | _ -> ());
+          evs := ev :: !evs
+        done;
+        Array.of_list (List.rev !evs))
+  in
+  { initial = model; batches }
+
+let n_events trace =
+  Array.fold_left (fun acc b -> acc + Array.length b) 0 trace.batches

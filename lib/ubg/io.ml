@@ -1,25 +1,35 @@
 module Point = Geometry.Point
 module Wgraph = Graph.Wgraph
 
+(* On-disk format versions. Writers always emit the current version;
+   readers accept every version ever shipped, including the pre-v1
+   unversioned headers ("ubg-instance" with no suffix). *)
+let instance_version = 2
+let topology_version = 1
+let trace_version = 1
+
+let write_instance_body oc model =
+  let n = Model.n model and dim = Model.dim model in
+  Printf.fprintf oc "%d %d %.17g\n" n dim model.Model.alpha;
+  Array.iter
+    (fun p ->
+      for i = 0 to dim - 1 do
+        if i > 0 then output_char oc ' ';
+        Printf.fprintf oc "%.17g" (Point.coord p i)
+      done;
+      output_char oc '\n')
+    model.Model.points;
+  Printf.fprintf oc "%d\n" (Wgraph.n_edges model.Model.graph);
+  Wgraph.iter_edges model.Model.graph (fun u v _ ->
+      Printf.fprintf oc "%d %d\n" u v)
+
 let save_instance path model =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      let n = Model.n model and dim = Model.dim model in
-      Printf.fprintf oc "ubg-instance v1\n%d %d %.17g\n" n dim
-        model.Model.alpha;
-      Array.iter
-        (fun p ->
-          for i = 0 to dim - 1 do
-            if i > 0 then output_char oc ' ';
-            Printf.fprintf oc "%.17g" (Point.coord p i)
-          done;
-          output_char oc '\n')
-        model.Model.points;
-      Printf.fprintf oc "%d\n" (Wgraph.n_edges model.Model.graph);
-      Wgraph.iter_edges model.Model.graph (fun u v _ ->
-          Printf.fprintf oc "%d %d\n" u v))
+      Printf.fprintf oc "ubg-instance v%d\n" instance_version;
+      write_instance_body oc model)
 
 (* Line reader skipping blanks and # comments, tracking line numbers
    for error messages. *)
@@ -40,51 +50,80 @@ let fields s = String.split_on_char ' ' s |> List.filter (fun f -> f <> "")
 
 let parse_err r what = failwith (Printf.sprintf "line %d: expected %s" r.line what)
 
+(* [expect_header r ~family ~upto] accepts "<family>" (the legacy
+   unversioned form, read as v1) and "<family> vK" for 1 <= K <= upto,
+   returning K. *)
+let expect_header r ~family ~upto =
+  let line = next_line r in
+  let bad () =
+    failwith
+      (Printf.sprintf "line %d: expected %s header (up to v%d), got %S" r.line
+         family upto line)
+  in
+  if line = family then 1
+  else
+    match fields line with
+    | [ f; v ]
+      when f = family
+           && String.length v >= 2
+           && v.[0] = 'v'
+           && String.for_all
+                (fun c -> c >= '0' && c <= '9')
+                (String.sub v 1 (String.length v - 1)) ->
+        let k = int_of_string (String.sub v 1 (String.length v - 1)) in
+        if k < 1 || k > upto then bad () else k
+    | _ -> bad ()
+
+let read_instance_body r =
+  let n, dim, alpha =
+    match fields (next_line r) with
+    | [ a; b; c ] -> (
+        try (int_of_string a, int_of_string b, float_of_string c)
+        with Failure _ -> parse_err r "n dim alpha")
+    | _ -> parse_err r "n dim alpha"
+  in
+  let points =
+    Array.init n (fun _ ->
+        let coords = fields (next_line r) in
+        if List.length coords <> dim then parse_err r "point coordinates";
+        try Point.of_list (List.map float_of_string coords)
+        with Failure _ -> parse_err r "point coordinates")
+  in
+  let m =
+    match fields (next_line r) with
+    | [ a ] -> ( try int_of_string a with Failure _ -> parse_err r "edge count")
+    | _ -> parse_err r "edge count"
+  in
+  let g = Wgraph.create n in
+  for _ = 1 to m do
+    match fields (next_line r) with
+    | [ a; b ] -> (
+        try
+          let u = int_of_string a and v = int_of_string b in
+          Wgraph.add_edge g u v (Point.distance points.(u) points.(v))
+        with Failure _ | Invalid_argument _ -> parse_err r "edge")
+    | _ -> parse_err r "edge"
+  done;
+  Model.make ~alpha points g
+
 let load_instance path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let r = { ic; line = 0 } in
-      if next_line r <> "ubg-instance v1" then parse_err r "header";
-      let n, dim, alpha =
-        match fields (next_line r) with
-        | [ a; b; c ] -> (
-            try (int_of_string a, int_of_string b, float_of_string c)
-            with Failure _ -> parse_err r "n dim alpha")
-        | _ -> parse_err r "n dim alpha"
+      let _version =
+        expect_header r ~family:"ubg-instance" ~upto:instance_version
       in
-      let points =
-        Array.init n (fun _ ->
-            let coords = fields (next_line r) in
-            if List.length coords <> dim then parse_err r "point coordinates";
-            try Point.of_list (List.map float_of_string coords)
-            with Failure _ -> parse_err r "point coordinates")
-      in
-      let m =
-        match fields (next_line r) with
-        | [ a ] -> ( try int_of_string a with Failure _ -> parse_err r "edge count")
-        | _ -> parse_err r "edge count"
-      in
-      let g = Wgraph.create n in
-      for _ = 1 to m do
-        match fields (next_line r) with
-        | [ a; b ] -> (
-            try
-              let u = int_of_string a and v = int_of_string b in
-              Wgraph.add_edge g u v (Point.distance points.(u) points.(v))
-            with Failure _ | Invalid_argument _ -> parse_err r "edge")
-        | _ -> parse_err r "edge"
-      done;
-      Model.make ~alpha points g)
+      read_instance_body r)
 
 let save_topology path g =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Printf.fprintf oc "ubg-topology v1\n%d %d\n" (Wgraph.n_vertices g)
-        (Wgraph.n_edges g);
+      Printf.fprintf oc "ubg-topology v%d\n%d %d\n" topology_version
+        (Wgraph.n_vertices g) (Wgraph.n_edges g);
       Wgraph.iter_edges g (fun u v _ -> Printf.fprintf oc "%d %d\n" u v))
 
 let load_topology path ~model =
@@ -93,7 +132,9 @@ let load_topology path ~model =
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let r = { ic; line = 0 } in
-      if next_line r <> "ubg-topology v1" then parse_err r "header";
+      let _version =
+        expect_header r ~family:"ubg-topology" ~upto:topology_version
+      in
       let n, m =
         match fields (next_line r) with
         | [ a; b ] -> (
@@ -118,3 +159,80 @@ let load_topology path ~model =
         | _ -> parse_err r "edge"
       done;
       g)
+
+(* ------------------------------------------------------------------ *)
+(* Churn traces                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let write_point_fields oc p =
+  for i = 0 to Point.dim p - 1 do
+    output_char oc ' ';
+    Printf.fprintf oc "%.17g" (Point.coord p i)
+  done
+
+let save_trace path (trace : Churn.trace) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "ubg-churn v%d\n" trace_version;
+      write_instance_body oc trace.Churn.initial;
+      Printf.fprintf oc "%d\n" (Array.length trace.Churn.batches);
+      Array.iter
+        (fun batch ->
+          Printf.fprintf oc "batch %d\n" (Array.length batch);
+          Array.iter
+            (fun ev ->
+              (match ev with
+              | Churn.Join p ->
+                  output_string oc "join";
+                  write_point_fields oc p
+              | Churn.Leave i -> Printf.fprintf oc "leave %d" i
+              | Churn.Move (i, p) ->
+                  Printf.fprintf oc "move %d" i;
+                  write_point_fields oc p);
+              output_char oc '\n')
+            batch)
+        trace.Churn.batches)
+
+let load_trace path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let r = { ic; line = 0 } in
+      let _version = expect_header r ~family:"ubg-churn" ~upto:trace_version in
+      let initial = read_instance_body r in
+      let dim = Model.dim initial in
+      let point_of coords =
+        if List.length coords <> dim then parse_err r "event coordinates";
+        try Point.of_list (List.map float_of_string coords)
+        with Failure _ -> parse_err r "event coordinates"
+      in
+      let n_batches =
+        match fields (next_line r) with
+        | [ a ] -> (
+            try int_of_string a with Failure _ -> parse_err r "batch count")
+        | _ -> parse_err r "batch count"
+      in
+      let batches =
+        Array.init n_batches (fun _ ->
+            let k =
+              match fields (next_line r) with
+              | [ "batch"; a ] -> (
+                  try int_of_string a
+                  with Failure _ -> parse_err r "batch size")
+              | _ -> parse_err r "batch header"
+            in
+            Array.init k (fun _ ->
+                match fields (next_line r) with
+                | "join" :: coords -> Churn.Join (point_of coords)
+                | [ "leave"; a ] -> (
+                    try Churn.Leave (int_of_string a)
+                    with Failure _ -> parse_err r "leave slot")
+                | "move" :: a :: coords -> (
+                    try Churn.Move (int_of_string a, point_of coords)
+                    with Failure _ -> parse_err r "move slot")
+                | _ -> parse_err r "event"))
+      in
+      { Churn.initial; batches })

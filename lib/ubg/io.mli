@@ -1,20 +1,38 @@
-(** Plain-text persistence for instances and topologies.
+(** Plain-text persistence for instances, topologies, and churn traces.
+
+    Every file starts with a versioned header [<family> vK]. Writers
+    emit the current version; readers accept all shipped versions of
+    their family, including the pre-versioning bare [ubg-instance] /
+    [ubg-topology] headers (read as v1).
 
     Instance format (line-oriented, `#` comments allowed):
     {v
-    ubg-instance v1
+    ubg-instance v2
     <n> <dim> <alpha>
     <x_1> ... <x_dim>        (n point lines)
     <m>
     <u> <v>                  (m edge lines; weights are recomputed
                               from the coordinates on load)
     v}
+    v1 and the unversioned legacy header carry the identical body.
 
     Topology files reference an instance's vertex ids:
     {v
     ubg-topology v1
     <n> <m>
     <u> <v>                  (m edge lines)
+    v}
+
+    Churn traces embed the starting instance body followed by the
+    event batches ([Churn.trace]):
+    {v
+    ubg-churn v1
+    <instance body as above, without its header>
+    <B>                      (number of batches)
+    batch <k>                (then k event lines, each one of:)
+    join <x_1> ... <x_dim>
+    leave <slot>
+    move <slot> <x_1> ... <x_dim>
     v} *)
 
 (** [save_instance path model] writes [model] to [path]. *)
@@ -31,3 +49,12 @@ val save_topology : string -> Graph.Wgraph.t -> unit
     by the Euclidean distances of [model]; raises [Failure] if an edge
     is not an edge of [model] or ids are out of range. *)
 val load_topology : string -> model:Model.t -> Graph.Wgraph.t
+
+(** [save_trace path trace] writes a churn trace (initial instance +
+    event batches). *)
+val save_trace : string -> Churn.trace -> unit
+
+(** [load_trace path] reads a churn trace; raises [Failure] with a
+    line-numbered message on malformed input. Slot ids are validated
+    only on replay, not on load. *)
+val load_trace : string -> Churn.trace

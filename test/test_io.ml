@@ -79,6 +79,92 @@ let test_comments_and_blanks () =
       Alcotest.(check int) "n" 2 (Model.n m);
       Alcotest.(check int) "m" 1 (Wgraph.n_edges m.Model.graph))
 
+(* The header was originally the bare family name, then "v1"; both must
+   keep loading now that writers emit "ubg-instance v2". *)
+let test_header_compatibility () =
+  let body = "2 2 0.9\n0 0\n0.5 0\n1\n0 1\n" in
+  List.iter
+    (fun header ->
+      let path = write_file (header ^ "\n" ^ body) in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let m = Io.load_instance path in
+          Alcotest.(check int) (header ^ ": n") 2 (Model.n m);
+          Alcotest.(check int)
+            (header ^ ": m")
+            1
+            (Wgraph.n_edges m.Model.graph)))
+    [ "ubg-instance"; "ubg-instance v1"; "ubg-instance v2" ];
+  expect_failure "future version rejected" ("ubg-instance v99\n" ^ body);
+  expect_failure "bad version suffix rejected" ("ubg-instance vX\n" ^ body)
+
+let test_writer_emits_current_version () =
+  let model = random_model ~seed:1 ~n:12 ~dim:2 ~alpha:0.8 in
+  let path = temp_file ".ubg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.save_instance path model;
+      let ic = open_in path in
+      let header =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> input_line ic)
+      in
+      Alcotest.(check string) "header" "ubg-instance v2" header)
+
+let event_eq a b =
+  match (a, b) with
+  | Ubg.Churn.Join p, Ubg.Churn.Join q -> Geometry.Point.compare p q = 0
+  | Ubg.Churn.Leave i, Ubg.Churn.Leave j -> i = j
+  | Ubg.Churn.Move (i, p), Ubg.Churn.Move (j, q) ->
+      i = j && Geometry.Point.compare p q = 0
+  | _ -> false
+
+let prop_trace_roundtrip =
+  qtest ~count:15 "io: churn trace save/load round-trips" seed_arb (fun seed ->
+      let st = rand_state seed in
+      let model = random_model ~seed ~n:(10 + Random.State.int st 30) ~dim:2 ~alpha:0.8 in
+      let trace =
+        Ubg.Churn.generate ~seed ~epochs:(1 + Random.State.int st 6)
+          ~batch_max:5
+          (Ubg.Churn.default_dynamics ~side:4.0)
+          model
+      in
+      let path = temp_file ".churn" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Io.save_trace path trace;
+          let loaded = Io.load_trace path in
+          Model.n loaded.Ubg.Churn.initial = Model.n model
+          && Wgraph.n_edges loaded.Ubg.Churn.initial.Model.graph
+             = Wgraph.n_edges model.Model.graph
+          && Array.length loaded.Ubg.Churn.batches
+             = Array.length trace.Ubg.Churn.batches
+          && Array.for_all2
+               (fun (x : Ubg.Churn.batch) (y : Ubg.Churn.batch) ->
+                 Array.length x = Array.length y && Array.for_all2 event_eq x y)
+               loaded.Ubg.Churn.batches trace.Ubg.Churn.batches))
+
+let test_malformed_trace () =
+  let bad content =
+    let path = write_file content in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Alcotest.(check bool) "rejected" true
+          (try
+             ignore (Io.load_trace path);
+             false
+           with Failure _ -> true))
+  in
+  bad "ubg-topology v1\n2 1\n0 1\n";
+  bad "ubg-churn v1\n2 2 0.9\n0 0\n0.5 0\n1\n0 1\n1\nbatch 1\nexplode 3\n";
+  bad "ubg-churn v1\n2 2 0.9\n0 0\n0.5 0\n1\n0 1\n1\nbatch 1\nmove x 0 0\n";
+  bad "ubg-churn v1\n2 2 0.9\n0 0\n0.5 0\n1\n0 1\n2\nbatch 1\nleave 0\n"
+
 let test_topology_must_be_subgraph () =
   let model = random_model ~seed:3 ~n:10 ~dim:2 ~alpha:0.8 in
   (* Find a non-edge. *)
@@ -118,5 +204,18 @@ let () =
           Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
           Alcotest.test_case "topology subgraph check" `Quick
             test_topology_must_be_subgraph;
+        ] );
+      ( "versioning",
+        [
+          Alcotest.test_case "legacy and current headers load" `Quick
+            test_header_compatibility;
+          Alcotest.test_case "writer emits v2" `Quick
+            test_writer_emits_current_version;
+        ] );
+      ( "trace",
+        [
+          prop_trace_roundtrip;
+          Alcotest.test_case "malformed traces rejected" `Quick
+            test_malformed_trace;
         ] );
     ]
