@@ -1,4 +1,5 @@
-.PHONY: all check test fmt bench bench-smoke bench-churn-smoke clean
+.PHONY: all check test fmt bench bench-smoke bench-churn-smoke \
+	bench-scale-smoke clean
 
 all:
 	dune build @all
@@ -25,6 +26,13 @@ bench-smoke:
 # across domain counts.
 bench-churn-smoke:
 	dune exec bench/main.exe -- E-churn quick
+
+# Scaling gate: E-scale at reduced size, emits BENCH_scale.json.
+# TOPO_SCALE_GATE makes a determinism violation or a perf-gate
+# failure exit non-zero (>= 2 cores: 4-domain wall within 10% of
+# 1-domain; 1 core: oversubscription penalty bounded at 2x).
+bench-scale-smoke:
+	TOPO_SCALE_GATE=1 dune exec bench/main.exe -- E-scale quick
 
 clean:
 	dune clean

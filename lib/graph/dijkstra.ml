@@ -42,10 +42,37 @@ let gen_search_until ~n ~iter src ~stop ~bound =
   done;
   dist
 
+(* Settled vertices come back in nondecreasing-distance order (the
+   order the heap releases them), so the ball is read off the settle
+   trace instead of an O(n) scan over dist — the bounded search only
+   ever pays for what it touched. *)
 let gen_within ~n ~iter src ~bound =
-  let dist = gen_search_until ~n ~iter src ~stop:(fun _ -> false) ~bound in
+  let dist = Array.make n infinity in
+  let heap = Heap.create n in
+  dist.(src) <- 0.0;
+  Heap.insert heap src 0.0;
+  let settled = Array.make n 0 in
+  let n_settled = ref 0 in
+  let finished = ref false in
+  while (not !finished) && not (Heap.is_empty heap) do
+    let u, du = Heap.pop_min heap in
+    if du > bound then finished := true
+    else begin
+      settled.(!n_settled) <- u;
+      incr n_settled;
+      iter u (fun v w ->
+          let dv = du +. w in
+          if dv < dist.(v) then begin
+            dist.(v) <- dv;
+            Heap.insert_or_decrease heap v dv
+          end)
+    end
+  done;
   let acc = ref [] in
-  Array.iteri (fun v d -> if d <= bound then acc := (v, d) :: !acc) dist;
+  for i = !n_settled - 1 downto 0 do
+    let v = settled.(i) in
+    acc := (v, dist.(v)) :: !acc
+  done;
   !acc
 
 let gen_hop_bounded_distance ~n ~iter src dst ~max_hops ~bound =
@@ -53,15 +80,16 @@ let gen_hop_bounded_distance ~n ~iter src dst ~max_hops ~bound =
   else begin
     (* dist.(v) = best length of a path src->v with at most h hops, for
        the current round h. Only vertices improved in the previous round
-       need relaxing, so we keep an explicit frontier. *)
+       need relaxing, so we keep an explicit frontier; the round number
+       stamped into [mark] dedupes it without a per-round hashtable. *)
     let dist = Array.make n infinity in
     dist.(src) <- 0.0;
+    let mark = Array.make n 0 in
     let frontier = ref [ src ] in
     let h = ref 0 in
     while !h < max_hops && !frontier <> [] do
       incr h;
       let improved = ref [] in
-      let seen = Hashtbl.create 16 in
       List.iter
         (fun u ->
           let du = dist.(u) in
@@ -69,8 +97,8 @@ let gen_hop_bounded_distance ~n ~iter src dst ~max_hops ~bound =
               let dv = du +. w in
               if dv < dist.(v) && dv <= bound then begin
                 dist.(v) <- dv;
-                if not (Hashtbl.mem seen v) then begin
-                  Hashtbl.add seen v ();
+                if mark.(v) <> !h then begin
+                  mark.(v) <- !h;
                   improved := v :: !improved
                 end
               end))
@@ -96,6 +124,8 @@ type workspace = {
   mutable dist : float array; (* valid at v iff stamp.(v) = epoch *)
   mutable stamp : int array;
   mutable mark : int array; (* per-round marks, valid iff = mark_epoch *)
+  mutable touched : int array; (* settled vertices of the last search *)
+  mutable n_touched : int;
   mutable epoch : int;
   mutable mark_epoch : int;
   mutable heap : Heap.t;
@@ -106,6 +136,8 @@ let create_workspace () =
     dist = [||];
     stamp = [||];
     mark = [||];
+    touched = [||];
+    n_touched = 0;
     epoch = 0;
     mark_epoch = 0;
     heap = Heap.create 0;
@@ -122,11 +154,13 @@ let ws_prepare ws n =
     ws.dist <- Array.make cap infinity;
     ws.stamp <- Array.make cap 0;
     ws.mark <- Array.make cap 0;
+    ws.touched <- Array.make cap 0;
     ws.epoch <- 0;
     ws.mark_epoch <- 0;
     ws.heap <- Heap.create cap
   end;
   ws.epoch <- ws.epoch + 1;
+  ws.n_touched <- 0;
   Heap.clear ws.heap
 
 let ws_get ws v = if ws.stamp.(v) = ws.epoch then ws.dist.(v) else infinity
@@ -154,20 +188,22 @@ let gen_search_until_ws ws ~n ~iter src ~stop ~bound =
           end)
   done
 
-(* Collects vertices as they settle, so the result comes back in
-   nondecreasing-distance order (the scan-based [gen_within] returns
-   decreasing vertex ids) — the same (v, d) set either way. *)
-let gen_within_ws ws ~n ~iter src ~bound =
+(* Runs the bounded search and leaves the ball in the workspace: the
+   settled vertices, in nondecreasing-distance order, in
+   [touched.(0 .. n_touched - 1)] with their final distances in [dist].
+   Steady state allocates nothing — every result-producing wrapper
+   below reads the settle trace instead of consing during the loop. *)
+let gen_settle_within_ws ws ~n ~iter src ~bound =
   ws_prepare ws n;
   ws_set ws src 0.0;
   Heap.insert ws.heap src 0.0;
-  let acc = ref [] in
   let finished = ref false in
   while (not !finished) && not (Heap.is_empty ws.heap) do
     let u, du = Heap.pop_min ws.heap in
     if du > bound then finished := true
     else begin
-      acc := (u, du) :: !acc;
+      ws.touched.(ws.n_touched) <- u;
+      ws.n_touched <- ws.n_touched + 1;
       iter u (fun v w ->
           let dv = du +. w in
           if dv < ws_get ws v then begin
@@ -175,8 +211,16 @@ let gen_within_ws ws ~n ~iter src ~bound =
             Heap.insert_or_decrease ws.heap v dv
           end)
     end
+  done
+
+let gen_within_ws ws ~n ~iter src ~bound =
+  gen_settle_within_ws ws ~n ~iter src ~bound;
+  let acc = ref [] in
+  for i = ws.n_touched - 1 downto 0 do
+    let v = ws.touched.(i) in
+    acc := (v, ws.dist.(v)) :: !acc
   done;
-  List.rev !acc
+  !acc
 
 (* [gen_hop_bounded_distance] with the dist array and the per-round
    dedup table replaced by stamped workspace arrays: identical
@@ -305,6 +349,22 @@ let distance_upto_csr_ws ws c src dst ~bound =
 
 let within_csr_ws ws c src ~bound =
   gen_within_ws ws ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src ~bound
+
+(* The allocation-free ball: the caller owns the result buffers, so the
+   hot parallel stages (cluster graphs, covers) never materialize an
+   assoc list per center — list cells were what serialized the
+   multicore minor GC when many domains searched at once. *)
+let within_csr_into ws c src ~bound ~out_v ~out_d =
+  gen_settle_within_ws ws ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src ~bound;
+  let k = ws.n_touched in
+  if Array.length out_v < k || Array.length out_d < k then
+    invalid_arg "Dijkstra.within_csr_into: result buffers too small";
+  for i = 0 to k - 1 do
+    let v = ws.touched.(i) in
+    out_v.(i) <- v;
+    out_d.(i) <- ws.dist.(v)
+  done;
+  k
 
 let hop_bounded_distance_csr_ws ws c src dst ~max_hops ~bound =
   gen_hop_bounded_distance_ws ws ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src

@@ -24,8 +24,9 @@ val distance : Wgraph.t -> int -> int -> float
 val distance_upto : Wgraph.t -> int -> int -> bound:float -> float
 
 (** [within g src ~bound] is the list of [(v, d)] with
-    [d = sp(src, v) <= bound], including [(src, 0)]. This is the
-    cluster-ball primitive of Section 2.2.1. *)
+    [d = sp(src, v) <= bound], including [(src, 0)], in
+    nondecreasing-distance (settle) order. This is the cluster-ball
+    primitive of Section 2.2.1. *)
 val within : Wgraph.t -> int -> bound:float -> (int * float) list
 
 (** [path g src dst] is the vertex sequence of a shortest path from
@@ -65,12 +66,13 @@ val hop_bounded_distance_csr :
     above still allocate O(n) dist arrays per call. A {!workspace}
     amortizes that across calls: previous results are invalidated by an
     epoch bump (O(1)), not a refill, and the internal heap is recycled.
-    The [_ws] variants run the {e same relaxation sequence} as their
-    plain counterparts, so every returned distance is bit-identical;
-    only [within_csr_ws] changes the {e order} of its result list
-    (vertices arrive in nondecreasing-distance order as they settle,
-    instead of the decreasing-id order of the O(n) array scan) — the
-    (v, d) set is the same.
+    A bounded search additionally records the vertices it settles on a
+    touched-vertex stack, so results are read off the settle trace —
+    the search never scans, allocates or frees anything proportional
+    to the whole graph in steady state. The [_ws] variants run the
+    {e same relaxation sequence} as their plain counterparts, so every
+    returned distance — and the settle order of every ball — is
+    bit-identical to the plain entry points.
 
     A workspace serves one search at a time and must not be shared
     between domains; {!domain_workspace} returns a per-domain instance
@@ -97,6 +99,22 @@ val distance_upto_csr_ws :
 
 val within_csr_ws :
   workspace -> Csr.t -> int -> bound:float -> (int * float) list
+
+(** [within_csr_into ws c src ~bound ~out_v ~out_d] is the
+    allocation-free {!within_csr_ws}: the ball's vertices and distances
+    are written to the caller-owned buffers [out_v] / [out_d] (in
+    settle order, the same sequence the list variants return) and the
+    number of entries filled is returned. Raises [Invalid_argument]
+    when a buffer is smaller than the ball; buffers of length
+    [Csr.n_vertices c] are always large enough. *)
+val within_csr_into :
+  workspace ->
+  Csr.t ->
+  int ->
+  bound:float ->
+  out_v:int array ->
+  out_d:float array ->
+  int
 
 val hop_bounded_distance_csr_ws :
   workspace -> Csr.t -> int -> int -> max_hops:int -> bound:float -> float

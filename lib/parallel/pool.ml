@@ -12,8 +12,8 @@ type job = {
   run : int -> unit; (* chunk index -> work *)
   n_chunks : int;
   next : int Atomic.t; (* next unclaimed chunk *)
-  mutable pending : int; (* chunks not yet finished; under [mutex] *)
-  mutable failed : exn option; (* first failure; under [mutex] *)
+  pending : int Atomic.t; (* chunks not yet finished *)
+  failed : exn option Atomic.t; (* first failure wins *)
 }
 
 type pool = {
@@ -30,23 +30,26 @@ type pool = {
 (* Claim chunks until the cursor runs off the end. Every chunk index is
    claimed exactly once, and its claimer decrements [pending] exactly
    once, so [pending] always reaches 0 even when bodies raise. After a
-   failure the remaining chunks are claimed but not run. *)
+   failure the remaining chunks are claimed but not run.
+
+   Bookkeeping is a fetch-and-add per chunk; only the claimer of the
+   LAST chunk takes the mutex, for the single wake-up of the waiting
+   submitter (locking around the broadcast is what guarantees the
+   submitter cannot miss it between its pending check and its wait). *)
 let execute pool job =
   let rec claim () =
     let c = Atomic.fetch_and_add job.next 1 in
     if c < job.n_chunks then begin
-      (match job.failed with
+      (match Atomic.get job.failed with
       | None -> (
           try job.run c
-          with e ->
-            Mutex.lock pool.mutex;
-            if job.failed = None then job.failed <- Some e;
-            Mutex.unlock pool.mutex)
+          with e -> ignore (Atomic.compare_and_set job.failed None (Some e)))
       | Some _ -> ());
-      Mutex.lock pool.mutex;
-      job.pending <- job.pending - 1;
-      if job.pending = 0 then Condition.broadcast pool.work_done;
-      Mutex.unlock pool.mutex;
+      if Atomic.fetch_and_add job.pending (-1) = 1 then begin
+        Mutex.lock pool.mutex;
+        Condition.broadcast pool.work_done;
+        Mutex.unlock pool.mutex
+      end;
       claim ()
     end
   in
@@ -165,12 +168,47 @@ let size () = (get_pool ()).n_domains
    sequential path (the flag below) instead of re-entering [submit]. *)
 let submit_lock = Mutex.create ()
 
+(* How many parked workers to wake per job. Waking a worker costs two
+   context switches on the job's critical path (the wake preempts the
+   submitting domain, the worker parks again), so waking more workers
+   than the machine has spare cores can only slow the job down: the
+   extras time-share cores that are already busy. The budget is
+   therefore min(workers, chunks beyond the submitter's first, spare
+   hardware threads). On a single-core box it is 0 and the submitting
+   domain drains every chunk itself — which is also the fastest
+   possible schedule there. Missed wakes are harmless for correctness:
+   the submitter always participates until [pending] reaches 0, and a
+   worker that parks after the signals were sent re-checks the
+   generation under the mutex first. [set_eager_wake true] (or
+   TOPO_EAGER_WAKE=1) restores the wake-everyone broadcast so tests
+   can exercise cross-domain execution even on small machines. *)
+let hardware_threads = Domain.recommended_domain_count ()
+
+let eager_wake =
+  ref
+    (match Sys.getenv_opt "TOPO_EAGER_WAKE" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let set_eager_wake b = eager_wake := b
+
+let wake_budget pool job =
+  if !eager_wake then pool.n_domains - 1
+  else
+    max 0
+      (min (pool.n_domains - 1) (min (job.n_chunks - 1) (hardware_threads - 1)))
+
 let submit pool job =
   Mutex.lock submit_lock;
   Mutex.lock pool.mutex;
   pool.current <- Some job;
   pool.generation <- pool.generation + 1;
-  Condition.broadcast pool.work_ready;
+  (let budget = wake_budget pool job in
+   if budget >= pool.n_domains - 1 then Condition.broadcast pool.work_ready
+   else
+     for _ = 1 to budget do
+       Condition.signal pool.work_ready
+     done);
   Mutex.unlock pool.mutex;
   (* Participate. The in-worker flag makes any nested combinator call
      inside [job.run] run sequentially rather than deadlock here. *)
@@ -178,26 +216,57 @@ let submit pool job =
   execute pool job;
   Domain.DLS.set in_worker_key false;
   Mutex.lock pool.mutex;
-  while job.pending > 0 do
+  while Atomic.get job.pending > 0 do
     Condition.wait pool.work_done pool.mutex
   done;
   Mutex.unlock pool.mutex;
   Mutex.unlock submit_lock;
-  match job.failed with Some e -> raise e | None -> ()
+  match Atomic.get job.failed with Some e -> raise e | None -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Combinators                                                         *)
+(* Grain control                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Chunks per job: enough for balance across uneven items, few enough
-   that the fetch-and-add cursor and pending bookkeeping stay cheap. *)
-let chunks_for pool n = min n (pool.n_domains * 4)
+(* The grain is the number of items per chunk. Sticky settings mirror
+   the domain-count ones: a [?grain] argument wins for that call, then
+   [set_grain], then [TOPO_GRAIN]. With no setting the default is
+   adaptive: enough chunks for the cursor to balance uneven item costs
+   (~6 per domain, the middle of the 4-8x band), never more chunks
+   than items, and a single chunk when only one domain would claim
+   them. Chunks are contiguous index ranges whatever the grain, so
+   every combinator stays order-preserving. *)
+let programmatic_grain : int option ref = ref None
+
+let env_grain () =
+  match Sys.getenv_opt "TOPO_GRAIN" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some g when g >= 1 -> Some g
+      | Some _ | None -> None)
+
+let set_grain g =
+  if g < 1 then invalid_arg "Pool.set_grain: need grain >= 1";
+  programmatic_grain := Some g
+
+let clear_grain () = programmatic_grain := None
+
+let chunks_for pool ?grain n =
+  let forced =
+    match grain with
+    | Some g when g >= 1 -> Some g
+    | Some _ -> invalid_arg "Pool: grain must be >= 1"
+    | None -> ( match !programmatic_grain with Some g -> Some g | None -> env_grain ())
+  in
+  match forced with
+  | Some g -> (n + g - 1) / g
+  | None -> min n (pool.n_domains * 6)
 
 (* Runs [f] on [[lo, hi)] over the pool. Precondition: hi > lo and the
    caller is not a worker and the pool has >= 2 domains. *)
-let for_range pool lo hi f =
+let for_range pool ?grain lo hi f =
   let n = hi - lo in
-  let n_chunks = chunks_for pool n in
+  let n_chunks = chunks_for pool ?grain n in
   let run c =
     let c_lo = lo + (c * n / n_chunks) and c_hi = lo + ((c + 1) * n / n_chunks) in
     for i = c_lo to c_hi - 1 do
@@ -205,14 +274,20 @@ let for_range pool lo hi f =
     done
   in
   submit pool
-    { run; n_chunks; next = Atomic.make 0; pending = n_chunks; failed = None }
+    {
+      run;
+      n_chunks;
+      next = Atomic.make 0;
+      pending = Atomic.make n_chunks;
+      failed = Atomic.make None;
+    }
 
 let sequential ?domains () =
   run_in_worker ()
   ||
   match domains with Some 1 -> true | Some _ | None -> false
 
-let parallel_for ?domains n f =
+let parallel_for ?domains ?grain n f =
   if n > 0 then
     if sequential ?domains () then
       for i = 0 to n - 1 do
@@ -224,9 +299,9 @@ let parallel_for ?domains n f =
         for i = 0 to n - 1 do
           f i
         done
-      else for_range pool 0 n f
+      else for_range pool ?grain 0 n f
 
-let mapi ?domains f a =
+let mapi ?domains ?grain f a =
   let n = Array.length a in
   if n = 0 then [||]
   else if sequential ?domains () then Array.mapi f a
@@ -237,11 +312,11 @@ let mapi ?domains f a =
       (* Slot 0 is computed first on the calling domain, exactly like
          [Array.mapi], and doubles as the array initializer. *)
       let out = Array.make n (f 0 a.(0)) in
-      if n > 1 then for_range pool 1 n (fun i -> out.(i) <- f i a.(i));
+      if n > 1 then for_range pool ?grain 1 n (fun i -> out.(i) <- f i a.(i));
       out
     end
 
-let map ?domains f a = mapi ?domains (fun _ x -> f x) a
+let map ?domains ?grain f a = mapi ?domains ?grain (fun _ x -> f x) a
 
-let map_reduce ?domains ~map:f ~fold ~init a =
-  Array.fold_left fold init (map ?domains f a)
+let map_reduce ?domains ?grain ~map:f ~fold ~init a =
+  Array.fold_left fold init (map ?domains ?grain f a)

@@ -35,6 +35,32 @@ val set_domains : int -> unit
     [TOPO_DOMAINS] / recommended-count default. *)
 val clear_domains : unit -> unit
 
+(** [set_grain g] fixes the number of items per chunk for subsequent
+    combinator calls (overriding the [TOPO_GRAIN] environment variable;
+    a per-call [?grain] still wins). Without any setting the grain is
+    adaptive: roughly 6 chunks per domain, so the claiming cursor can
+    balance uneven item costs while bookkeeping stays a fetch-and-add
+    per chunk. Chunks are contiguous index ranges for every grain, so
+    results are bit-identical whatever the setting — the determinism
+    suite pins this down. Raises [Invalid_argument] on [g <= 0]. *)
+val set_grain : int -> unit
+
+(** [clear_grain ()] drops the {!set_grain} override. *)
+val clear_grain : unit -> unit
+
+(** [set_eager_wake true] makes every job submission wake {e all}
+    parked workers, instead of the default budget of
+    [min (workers, chunks - 1, spare hardware threads)]. The default
+    never wakes workers the machine has no idle core for — each such
+    wake costs two context switches on the job's critical path and the
+    woken worker finds the cursor already drained (the submitting
+    domain always participates, so completion never depends on a
+    wake). Results are bit-identical either way; only the execution
+    schedule changes. The eager mode exists for tests that want to
+    force cross-domain chunk execution on small machines, and can also
+    be set with [TOPO_EAGER_WAKE=1]. *)
+val set_eager_wake : bool -> unit
+
 (** [shutdown ()] joins all worker domains; the pool restarts lazily on
     the next call. Registered via [at_exit] automatically. *)
 val shutdown : unit -> unit
@@ -49,20 +75,22 @@ val run_in_worker : unit -> bool
     exception raised by any [f i] is re-raised in the caller (remaining
     chunks are skipped, and sibling iterations of the failing chunk do
     not run). *)
-val parallel_for : ?domains:int -> int -> (int -> unit) -> unit
+val parallel_for : ?domains:int -> ?grain:int -> int -> (int -> unit) -> unit
 
 (** [map f a] is [Array.map f a] with the calls to [f] spread over the
     pool; slot order is preserved. *)
-val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?domains:int -> ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [mapi f a] is [Array.mapi f a], parallel, order-preserving. *)
-val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val mapi :
+  ?domains:int -> ?grain:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 
 (** [map_reduce ~map ~fold ~init a] maps in parallel, then folds the
     results {b left to right} on the calling domain — deterministic
     even for non-commutative [fold]. *)
 val map_reduce :
   ?domains:int ->
+  ?grain:int ->
   map:('a -> 'b) ->
   fold:('acc -> 'b -> 'acc) ->
   init:'acc ->

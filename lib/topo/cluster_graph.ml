@@ -10,6 +10,26 @@ type t = {
   inter_degree : int array;
 }
 
+(* Per-domain scratch for [Dijkstra.within_csr_into]: each pool worker
+   reuses one pair of ball buffers, so a per-center search allocates
+   only its trimmed (flat, unboxed) result — no assoc list, and
+   therefore no minor-GC pressure shared across domains. *)
+let ball_scratch : (int array ref * float array ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (ref [||], ref [||]))
+
+let ball_into spanner ~n ~reach a =
+  let vbuf, dbuf = Domain.DLS.get ball_scratch in
+  if Array.length !vbuf < n then begin
+    vbuf := Array.make n 0;
+    dbuf := Array.make n 0.0
+  end;
+  let k =
+    Dijkstra.within_csr_into
+      (Dijkstra.domain_workspace ())
+      spanner a ~bound:reach ~out_v:!vbuf ~out_d:!dbuf
+  in
+  (Array.sub !vbuf 0 k, Array.sub !dbuf 0 k)
+
 let build_csr ~spanner ~cover ~w_prev =
   if cover.Cluster_cover.radius > w_prev +. 1e-12 then
     invalid_arg "Cluster_graph.build: cover radius exceeds W_{i-1}";
@@ -34,8 +54,12 @@ let build_csr ~spanner ~cover ~w_prev =
       let a = cover.Cluster_cover.center_of.(u)
       and b = cover.Cluster_cover.center_of.(v) in
       if a <> b then Hashtbl.replace crossing (min a b, max a b) ());
-  let is_center = Array.make n false in
-  Array.iter (fun a -> is_center.(a) <- true) cover.Cluster_cover.centers;
+  (* Merge order of each center doubles as its pair stamp: non-centers
+     keep [max_int]. *)
+  let merge_order = Array.make n max_int in
+  Array.iteri
+    (fun i a -> merge_order.(a) <- i)
+    cover.Cluster_cover.centers;
   (* One bounded Dijkstra per center reaches every qualifying partner:
      condition (i) needs sp <= W, condition (ii) is bounded by
      (2 delta + 1) W = W + 2 * radius (Lemma 5). The per-center
@@ -44,28 +68,30 @@ let build_csr ~spanner ~cover ~w_prev =
      to the sequential build. *)
   let reach = w_prev +. (2.0 *. cover.Cluster_cover.radius) +. 1e-12 in
   let balls =
-    Parallel.Pool.map
-      (fun a ->
-        Dijkstra.within_csr_ws (Dijkstra.domain_workspace ()) spanner a
-          ~bound:reach)
-      cover.Cluster_cover.centers
+    Parallel.Pool.map (ball_into spanner ~n ~reach) cover.Cluster_cover.centers
   in
   Array.iteri
     (fun i a ->
-      List.iter
-        (fun (b, d) ->
-          if b <> a && is_center.(b) && d > 0.0 then begin
-            let qualifies =
-              d <= w_prev +. 1e-12
-              || Hashtbl.mem crossing (min a b, max a b)
-            in
-            if qualifies && not (Wgraph.mem_edge h a b) then begin
-              Wgraph.add_edge h a b d;
-              inter_degree.(a) <- inter_degree.(a) + 1;
-              inter_degree.(b) <- inter_degree.(b) + 1
-            end
-          end)
-        balls.(i))
+      let bs, ds = balls.(i) in
+      for k = 0 to Array.length bs - 1 do
+        let b = bs.(k) and d = ds.(k) in
+        (* [merge_order.(b) > i] admits exactly the partners no earlier
+           merge step could have inserted: balls are symmetric (sp and
+           the qualifying conditions are), so the pair {a, b} is
+           discovered from both endpoints and the earlier-processed one
+           already added it. The stamp comparison replaces the
+           per-candidate [Wgraph.mem_edge] hashtable probe. *)
+        if merge_order.(b) > i && merge_order.(b) < max_int && d > 0.0 then begin
+          let qualifies =
+            d <= w_prev +. 1e-12 || Hashtbl.mem crossing (min a b, max a b)
+          in
+          if qualifies then begin
+            Wgraph.add_edge h a b d;
+            inter_degree.(a) <- inter_degree.(a) + 1;
+            inter_degree.(b) <- inter_degree.(b) + 1
+          end
+        end
+      done)
     cover.Cluster_cover.centers;
   (* Freeze H itself: step (iv) answers every query of the phase
      against this one snapshot. *)

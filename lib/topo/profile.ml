@@ -34,7 +34,11 @@ let clock = ref Sys.time
 let set_clock f = clock := f
 
 let totals = Array.make (List.length all) 0.0
-let reset () = Array.fill totals 0 (Array.length totals) 0.0
+let calls = Array.make (List.length all) 0
+
+let reset () =
+  Array.fill totals 0 (Array.length totals) 0.0;
+  Array.fill calls 0 (Array.length calls) 0
 
 (* Stage sections nest only trivially (they are siblings inside a
    phase) and run on the orchestrating domain, so plain accumulation
@@ -43,6 +47,8 @@ let time stage f =
   let t0 = !clock () in
   let r = f () in
   totals.(index stage) <- totals.(index stage) +. (!clock () -. t0);
+  calls.(index stage) <- calls.(index stage) + 1;
   r
 
 let read () = List.map (fun s -> (name s, totals.(index s))) all
+let read_calls () = List.map (fun s -> (name s, calls.(index s))) all

@@ -37,3 +37,9 @@ val time : stage -> (unit -> 'a) -> 'a
 
 (** [read ()] is the [(name, seconds)] totals, in {!all} order. *)
 val read : unit -> (string * float) list
+
+(** [read_calls ()] is the [(name, n_sections)] counts, in {!all}
+    order — how many timed sections each stage accumulated (one per
+    phase for the pipeline stages), so scaling reports can tell a
+    cheaper stage from a skipped one. *)
+val read_calls : unit -> (string * int) list

@@ -33,16 +33,15 @@ let select ?(weight_of_len = fun len -> len) ~model ~spanner ~cover ~params
   let n_covered = ref 0 in
   (* The covered test is the expensive half (a cone scan of the frozen
      spanner's adjacency per endpoint) and each edge's verdict is
-     independent, so it fans out over the pool. The minimizer of
+     independent, so it fans out over the pool, each verdict landing in
+     its own slot of one preallocated flat array. The minimizer of
      inequality (1), t|xy| - sp(a,x) - sp(b,y), then folds the
      per-edge flags in array order — the same scan, and therefore the
      same tie-breaks, as the sequential single pass. *)
-  let covered =
-    Parallel.Pool.map
-      (fun (e : Wgraph.edge) ->
-        is_covered ~model ~spanner ~params ~u:e.u ~v:e.v ~len:e.w)
-      bin_edges
-  in
+  let covered = Array.make n_bin_edges false in
+  Parallel.Pool.parallel_for n_bin_edges (fun i ->
+      let (e : Wgraph.edge) = bin_edges.(i) in
+      covered.(i) <- is_covered ~model ~spanner ~params ~u:e.u ~v:e.v ~len:e.w);
   let best = Hashtbl.create 64 in
   Array.iteri
     (fun i (e : Wgraph.edge) ->

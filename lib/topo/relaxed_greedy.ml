@@ -110,13 +110,12 @@ let phase_core ~model ~params ~phi ~phase ~w_prev_len ~w_len ~bin_edges
   in
   let added =
     Profile.time Profile.Queries (fun () ->
-        let dists =
-          Parallel.Pool.map
-            (fun (e : Wgraph.edge) ->
-              let budget = params.Params.t *. phi e.w in
-              Cluster_graph.sp_upto h ~max_hops e.u e.v ~bound:budget)
-            selection.Query_select.query_edges
-        in
+        let queries = selection.Query_select.query_edges in
+        let dists = Array.make (Array.length queries) infinity in
+        Parallel.Pool.parallel_for (Array.length queries) (fun i ->
+            let e = queries.(i) in
+            let budget = params.Params.t *. phi e.w in
+            dists.(i) <- Cluster_graph.sp_upto h ~max_hops e.u e.v ~bound:budget);
         let added = ref [] in
         Array.iteri
           (fun i (e : Wgraph.edge) ->

@@ -236,13 +236,30 @@ let prop_engine_certifies_and_tracks_rebuild =
             ok := false);
       !ok)
 
+let with_grain g thunk =
+  match g with
+  | None -> thunk ()
+  | Some g ->
+      Pool.set_grain g;
+      Fun.protect ~finally:Pool.clear_grain thunk
+
 let prop_engine_bit_identical_across_domains =
-  qtest ~count:5 "engine: replay bit-identical at 1 and 4 domains" seed_arb
-    (fun seed ->
+  qtest ~count:4
+    "engine: replay bit-identical across domains {1,4,8} and grains"
+    seed_arb (fun seed ->
       let setup = trace_setup ~seed ~n:70 ~epochs:5 ~batch_max:4 in
-      let _, fp1 = replay_fingerprint ~domains:1 setup in
-      let _, fp4 = replay_fingerprint ~domains:4 setup in
-      fp1 = fp4)
+      let _, base = replay_fingerprint ~domains:1 setup in
+      (* Domains at the adaptive grain, then the grain extremes at 4
+         domains: every schedule must replay to the same per-epoch
+         spanners. *)
+      List.for_all
+        (fun d -> snd (replay_fingerprint ~domains:d setup) = base)
+        [ 4; 8 ]
+      && List.for_all
+           (fun g ->
+             with_grain (Some g) (fun () ->
+                 snd (replay_fingerprint ~domains:4 setup) = base))
+           [ 1; 100_000 ])
 
 let test_engine_spanner_avoids_dead_slots () =
   let model, trace = trace_setup ~seed:11 ~n:50 ~epochs:6 ~batch_max:5 in

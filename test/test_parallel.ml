@@ -119,6 +119,60 @@ let test_set_and_clear_domains () =
     (Invalid_argument "Pool.set_domains: need n >= 1") (fun () ->
       Pool.set_domains 0)
 
+let test_grain_controls () =
+  let a = Array.init 173 (fun i -> i) in
+  let expected = Array.map (fun x -> x * 3) a in
+  (* Any grain — single-item chunks, odd sizes, one chunk for the whole
+     range — must leave the output bit-identical. *)
+  List.iter
+    (fun g ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map at grain %d" g)
+        expected
+        (Pool.map ~domains:4 ~grain:g (fun x -> x * 3) a))
+    [ 1; 7; 64; 10_000 ];
+  Pool.set_grain 5;
+  Fun.protect ~finally:Pool.clear_grain (fun () ->
+      Alcotest.(check (array int))
+        "sticky grain" expected
+        (Pool.map ~domains:3 (fun x -> x * 3) a));
+  Alcotest.(check (array int))
+    "after clear_grain" expected
+    (Pool.map ~domains:3 (fun x -> x * 3) a);
+  Alcotest.check_raises "set_grain rejects 0"
+    (Invalid_argument "Pool.set_grain: need grain >= 1") (fun () ->
+      Pool.set_grain 0)
+
+let test_exception_propagates_at_grain_one () =
+  (* Grain 1 maximizes chunk count — the failure path must still claim
+     and drain every chunk exactly once. *)
+  List.iter
+    (fun d ->
+      let raised =
+        try
+          Pool.parallel_for ~domains:d ~grain:1 64 (fun i ->
+              if i = 13 then raise (Boom i));
+          false
+        with Boom 13 -> true
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "Boom escapes at grain 1, %d domains" d)
+        true raised)
+    sizes
+
+let test_eager_wake_same_results () =
+  (* Eager wake changes only the execution schedule (all workers are
+     woken per job instead of the spare-core budget); outputs must not
+     move. *)
+  Pool.set_eager_wake true;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_eager_wake false)
+    (fun () ->
+      let a = Array.init 211 (fun i -> i) in
+      Alcotest.(check (array int))
+        "eager wake map" (Array.map (fun x -> x - 7) a)
+        (Pool.map ~domains:4 (fun x -> x - 7) a))
+
 (* ------------------------------------------------------------------ *)
 (* Workspace Dijkstra variants agree with the plain entry points       *)
 (* ------------------------------------------------------------------ *)
@@ -163,6 +217,35 @@ let prop_workspace_agrees =
       done;
       !ok)
 
+let prop_within_into_agrees =
+  qtest ~count:40 "workspace: within_csr_into fills what within_csr returns"
+    seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 2 + Random.State.int st 50 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 70) in
+      let c = Csr.of_wgraph g in
+      let ws = Dijkstra.create_workspace () in
+      let out_v = Array.make n 0 and out_d = Array.make n 0.0 in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let u = Random.State.int st n in
+        let bound = Random.State.float st 3.0 in
+        let k = Dijkstra.within_csr_into ws c u ~bound ~out_v ~out_d in
+        let into = List.init k (fun i -> (out_v.(i), out_d.(i))) in
+        (* Exact match including order: both walk the settle trace. *)
+        if into <> Dijkstra.within_csr_ws ws c u ~bound then ok := false;
+        if sorted_pairs into <> sorted_pairs (Dijkstra.within_csr c u ~bound)
+        then ok := false
+      done;
+      (* Undersized buffers are rejected, never written past the end
+         (the source alone already needs one slot). *)
+      (try
+         ignore
+           (Dijkstra.within_csr_into ws c 0 ~bound:1.0 ~out_v:[||] ~out_d:[||]);
+         ok := false
+       with Invalid_argument _ -> ());
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Determinism: parallel build bit-identical to sequential             *)
 (* ------------------------------------------------------------------ *)
@@ -191,6 +274,31 @@ let prop_build_deterministic mode name =
       build_fingerprint ~domains:2 ~mode model = base
       && build_fingerprint ~domains:4 ~mode model = base)
 
+let with_grain g thunk =
+  match g with
+  | None -> thunk ()
+  | Some g ->
+      Pool.set_grain g;
+      Fun.protect ~finally:Pool.clear_grain thunk
+
+(* The full grid the scaling work promises: spanner edges and phase
+   stats identical for every (grain, domains) combination — one-item
+   chunks, the adaptive default, and a single whole-range chunk. *)
+let prop_build_deterministic_grain_grid =
+  qtest ~count:4 "build bit-identical across grains {1,default,n} x domains"
+    seed_arb (fun seed ->
+      let model = connected_model ~seed ~n:90 ~dim:2 ~alpha:0.8 in
+      let base = build_fingerprint ~domains:1 ~mode:`Local model in
+      List.for_all
+        (fun g ->
+          List.for_all
+            (fun d ->
+              with_grain g (fun () ->
+                  build_fingerprint ~domains:d ~mode:`Local model)
+              = base)
+            [ 1; 4; 8 ])
+        [ Some 1; None; Some 100_000 ])
+
 let () =
   Alcotest.run "parallel"
     [
@@ -208,13 +316,19 @@ let () =
             test_nested_maps;
           Alcotest.test_case "set/clear domains" `Quick
             test_set_and_clear_domains;
+          Alcotest.test_case "grain controls" `Quick test_grain_controls;
+          Alcotest.test_case "exceptions propagate at grain 1" `Quick
+            test_exception_propagates_at_grain_one;
+          Alcotest.test_case "eager wake same results" `Quick
+            test_eager_wake_same_results;
         ] );
-      ("workspace", [ prop_workspace_agrees ]);
+      ("workspace", [ prop_workspace_agrees; prop_within_into_agrees ]);
       ( "determinism",
         [
           prop_build_deterministic `Local
             "build (local mode) bit-identical at 1/2/4 domains";
           prop_build_deterministic `Global
             "build (global mode) bit-identical at 1/2/4 domains";
+          prop_build_deterministic_grain_grid;
         ] );
     ]
