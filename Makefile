@@ -1,5 +1,5 @@
 .PHONY: all check test fmt bench bench-smoke bench-churn-smoke \
-	bench-scale-smoke clean
+	bench-scale-smoke trace-smoke clean
 
 all:
 	dune build @all
@@ -33,6 +33,14 @@ bench-churn-smoke:
 # 1-domain; 1 core: oversubscription penalty bounded at 2x).
 bench-scale-smoke:
 	TOPO_SCALE_GATE=1 dune exec bench/main.exe -- E-scale quick
+
+# Observability smoke: run a traced scaling bench (spans from the
+# builder, pool, and stage timers), then validate the emitted Chrome
+# trace — well-formed JSON, strictly nested spans per (pid, tid) lane.
+trace-smoke:
+	TOPO_TRACE=trace.json TOPO_EAGER_WAKE=1 \
+		dune exec bench/main.exe -- E-par quick
+	dune exec bin/topoctl.exe -- trace-check trace.json
 
 clean:
 	dune clean

@@ -1243,6 +1243,58 @@ let e_churn () =
   Printf.printf "   [wrote BENCH_dynamic.json]\n"
 
 (* ------------------------------------------------------------------ *)
+(* E-obs: tracing overhead — the disabled path must be free.           *)
+(* ------------------------------------------------------------------ *)
+
+(* Best-of-3 relaxed-greedy builds with tracing off and on. The "off"
+   number is the one the acceptance gate cares about (instrumented code
+   with the switch down should match the uninstrumented build); the
+   "on" number plus the span count says what a recorded trace costs. *)
+let e_obs () =
+  let n = if !quick then 300 else 1200 in
+  let eps = 0.5 in
+  let model = model_of ~seed:(42 + n) ~n ~dim:2 ~alpha:0.8 in
+  let best_of reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let w = Unix.gettimeofday () -. t0 in
+      if w < !best then best := w
+    done;
+    !best
+  in
+  let was = Obs.Trace.enabled () in
+  Obs.Trace.set_enabled false;
+  let off_s = best_of 3 (fun () -> Relaxed_greedy.build_eps ~eps model) in
+  Obs.Trace.set_enabled true;
+  let n0 = Obs.Trace.n_events () in
+  let on_s = best_of 3 (fun () -> Relaxed_greedy.build_eps ~eps model) in
+  let spans = (Obs.Trace.n_events () - n0) / 3 in
+  Obs.Trace.set_enabled was;
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf "E-obs: tracing overhead (n = %d, eps = %.2f, best \
+                         of 3)" n eps)
+      ~columns:[ "tracing"; "wall s"; "overhead"; "spans/build" ]
+  in
+  Report.add_row t
+    [ "off"; Printf.sprintf "%.3f" off_s; "-"; "0" ];
+  Report.add_row t
+    [
+      "on";
+      Printf.sprintf "%.3f" on_s;
+      Printf.sprintf "%+.1f%%" (100.0 *. ((on_s /. off_s) -. 1.0));
+      Report.cell_i spans;
+    ];
+  Report.print t;
+  print_endline
+    "   (off-mode instrumentation is one atomic load per site; the gate in \
+     ISSUE/EXPERIMENTS\n\
+     \    compares the off row against the pre-instrumentation build)"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment's kernel.        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1390,10 +1442,12 @@ let experiments =
     ("E-par", e_par);
     ("E-scale", e_scale);
     ("E-churn", e_churn);
+    ("E-obs", e_obs);
     ("micro", micro_benchmarks);
   ]
 
 let () =
+  let trace_file = ref (Sys.getenv_opt "TOPO_TRACE") in
   let args =
     Array.to_list Sys.argv |> List.tl
     |> List.filter (fun a ->
@@ -1401,8 +1455,20 @@ let () =
              quick := true;
              false
            end
+           else if String.length a > 8 && String.sub a 0 8 = "--trace=" then begin
+             trace_file := Some (String.sub a 8 (String.length a - 8));
+             false
+           end
            else true)
   in
+  (match !trace_file with
+  | Some path when path <> "" ->
+      Obs.Trace.set_enabled true;
+      at_exit (fun () ->
+          Obs.Export.write_chrome path;
+          Printf.eprintf "[trace: %d spans written to %s]\n"
+            (Obs.Trace.n_events ()) path)
+  | Some _ | None -> ());
   let selected =
     match args with
     | [] -> experiments

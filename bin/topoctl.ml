@@ -1,11 +1,12 @@
 (* topoctl — command-line driver for the topology-control library.
 
    Subcommands:
-     generate   draw a random α-UBG instance and save it
-     build      run a topology-control algorithm on an instance
-     analyze    print quality metrics of a topology (or the raw instance)
-     compare    table of all algorithms on one instance
-     rounds     measure the distributed algorithm's round count *)
+     generate    draw a random α-UBG instance and save it
+     build       run a topology-control algorithm on an instance
+     analyze     print quality metrics of a topology (or the raw instance)
+     compare     table of all algorithms on one instance
+     rounds      measure the distributed algorithm's round count
+     trace-check validate a recorded Chrome trace file *)
 
 open Cmdliner
 
@@ -13,7 +14,32 @@ let setup_logs level =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level level
 
-let logs_term = Term.(const setup_logs $ Logs_cli.level ())
+(* --trace FILE (or TOPO_TRACE=FILE) turns span recording on and writes
+   a Chrome trace-event file at exit, whatever the subcommand did. *)
+let setup_trace trace =
+  match trace with
+  | Some path when path <> "" ->
+      Obs.Trace.set_enabled true;
+      at_exit (fun () ->
+          Obs.Export.write_chrome path;
+          Logs.app (fun m ->
+              m "trace: %d spans written to %s" (Obs.Trace.n_events ()) path))
+  | Some _ | None -> ()
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~env:(Cmd.Env.info "TOPO_TRACE")
+        ~doc:"Record spans and write a Chrome trace-event file to $(docv).")
+
+let logs_term =
+  Term.(
+    const (fun level trace ->
+        setup_logs level;
+        setup_trace trace)
+    $ Logs_cli.level () $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -614,6 +640,32 @@ let churn_cmd =
       $ seed_arg $ epochs $ batch_max $ speed $ eps_arg $ gray $ threshold
       $ check_rebuild)
 
+(* ------------------------------------------------------------------ *)
+(* trace-check                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let trace_check_cmd =
+  let run () path =
+    match Obs.Export.validate_file path with
+    | Ok s ->
+        Format.printf
+          "%s: OK — %d events across %d lanes, max nesting depth %d@." path
+          s.Obs.Export.n_events s.Obs.Export.n_lanes s.Obs.Export.max_depth
+    | Error msg ->
+        Format.eprintf "%s: INVALID — %s@." path msg;
+        exit 1
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Chrome trace-event JSON file to validate.")
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a recorded trace: well-formed JSON, strictly nested spans")
+    Term.(const run $ logs_term $ path)
+
 let () =
   let doc = "local approximation schemes for topology control (PODC 2006)" in
   exit
@@ -622,5 +674,5 @@ let () =
           (Cmd.info "topoctl" ~version:"1.0.0" ~doc)
           [
             generate_cmd; build_cmd; analyze_cmd; compare_cmd; rounds_cmd;
-            route_cmd; simulate_cmd; churn_cmd;
+            route_cmd; simulate_cmd; churn_cmd; trace_check_cmd;
           ]))

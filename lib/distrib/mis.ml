@@ -1,5 +1,15 @@
 module Wgraph = Graph.Wgraph
 
+let log_src = Logs.Src.create "distrib.mis" ~doc:"distributed MIS"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Non-convergence is surfaced through these counters (and a warning)
+   rather than a crash: extensions count budget doublings, forced nodes
+   count the deterministic completion's additions. *)
+let m_extensions = Obs.Metrics.counter "mis.budget_extensions"
+let m_forced = Obs.Metrics.counter "mis.forced_nodes"
+
 let greedy g =
   let n = Wgraph.n_vertices g in
   let selected = Array.make n false in
@@ -18,7 +28,7 @@ type msg = Value of float * int | Joined
 
 type state = { status : status; rng : Random.State.t; draw : float }
 
-let luby ~seed g =
+let luby ?initial_rounds ~seed g =
   let n = Wgraph.n_vertices g in
   let broadcast node payload =
     Wgraph.fold_neighbors g node (fun u _ acc -> (u, payload) :: acc) []
@@ -57,19 +67,66 @@ let luby ~seed g =
           ({ state with status = Out }, [], `Halt)
         else (state, [], `Continue)
   in
-  let max_rounds = 3 * (30 + (4 * (1 + int_of_float (log (float_of_int (max n 2)))))) in
-  let states, stats =
-    Runtime.run ~graph:g ~init ~step ~size_of:(fun _ -> 2) ~max_rounds ()
+  let base_rounds =
+    match initial_rounds with
+    | Some r when r >= 3 -> r
+    | Some _ -> invalid_arg "Mis.luby: initial_rounds must be >= 3"
+    | None ->
+        3 * (30 + (4 * (1 + int_of_float (log (float_of_int (max n 2))))))
   in
-  let membership =
-    Array.map
-      (fun s ->
-        match s.status with
-        | In -> true
-        | Out -> false
-        | Undecided -> failwith "Mis.luby: did not converge within round budget")
-      states
+  (* The protocol is deterministic in [seed], so rerunning with a bigger
+     budget replays the identical round prefix and then keeps going —
+     doubling is a restartable continuation, not a different run. *)
+  let max_attempts = 6 in
+  let rec attempt k budget =
+    let states, stats =
+      Runtime.run ~graph:g ~init ~step ~size_of:(fun _ -> 2)
+        ~max_rounds:budget ()
+    in
+    if
+      Array.exists (fun s -> s.status = Undecided) states
+      && k + 1 < max_attempts
+    then begin
+      Obs.Metrics.incr m_extensions;
+      Log.warn (fun m ->
+          m "luby: %d rounds left undecided nodes; retrying with %d" budget
+            (2 * budget));
+      attempt (k + 1) (2 * budget)
+    end
+    else (states, stats)
   in
+  let states, stats = attempt 0 base_rounds in
+  let membership = Array.map (fun s -> s.status = In) states in
+  (* Deterministic completion of any survivors: sweep ids in order,
+     joining a node iff no neighbor is already in. Valid and maximal —
+     a protocol-Out node always has an In neighbor — and reported, not
+     fatal. *)
+  let forced = ref 0 in
+  Array.iteri
+    (fun v s ->
+      if s.status = Undecided then begin
+        let blocked =
+          Wgraph.fold_neighbors g v (fun u _ acc -> acc || membership.(u)) false
+        in
+        if not blocked then begin
+          membership.(v) <- true;
+          incr forced
+        end
+      end)
+    states;
+  if !forced > 0 || Array.exists (fun s -> s.status = Undecided) states then begin
+    let undecided =
+      Array.fold_left
+        (fun acc s -> if s.status = Undecided then acc + 1 else acc)
+        0 states
+    in
+    Obs.Metrics.add m_forced undecided;
+    Log.warn (fun m ->
+        m
+          "luby: %d nodes still undecided after %d budget doublings; \
+           completed deterministically (%d joined)"
+          undecided (max_attempts - 1) !forced)
+  end;
   (membership, stats)
 
 let is_mis g mis =

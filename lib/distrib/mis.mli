@@ -13,11 +13,22 @@
     membership array. *)
 val greedy : Graph.Wgraph.t -> bool array
 
-(** [luby ~seed g] runs Luby's protocol over the simulator with
-    communication topology [g] and returns membership plus the
-    simulator statistics (3 simulator rounds per Luby iteration).
-    Deterministic in [seed]. *)
-val luby : seed:int -> Graph.Wgraph.t -> bool array * Runtime.stats
+(** [luby ?initial_rounds ~seed g] runs Luby's protocol over the
+    simulator with communication topology [g] and returns membership
+    plus the final run's simulator statistics (3 simulator rounds per
+    Luby iteration). Deterministic in [seed].
+
+    If any node is still undecided at the round budget
+    ([initial_rounds], default [3 * (30 + 4 (1 + ln n))]), the budget
+    is doubled and the protocol rerun — a pure extension, since the
+    rerun replays the identical prefix — up to 5 times; any survivors
+    after that are completed deterministically in id order. Both
+    fallbacks are reported via the [mis.budget_extensions] /
+    [mis.forced_nodes] observability counters and a warning, never a
+    crash. [initial_rounds] (>= 3) exists mainly so tests can force the
+    retry path. *)
+val luby :
+  ?initial_rounds:int -> seed:int -> Graph.Wgraph.t -> bool array * Runtime.stats
 
 (** [is_mis g mis] checks independence and maximality. *)
 val is_mis : Graph.Wgraph.t -> bool array -> bool

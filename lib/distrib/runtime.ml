@@ -1,5 +1,8 @@
 module Wgraph = Graph.Wgraph
 
+let m_rounds = Obs.Metrics.counter "distrib.rounds"
+let m_messages = Obs.Metrics.counter "distrib.messages"
+
 type stats = {
   rounds : int;
   messages : int;
@@ -15,6 +18,9 @@ type ('state, 'msg) step =
   'state * (int * 'msg) list * [ `Continue | `Halt ]
 
 let run ~graph ~init ~step ?(size_of = fun _ -> 1) ~max_rounds () =
+  let info = ref [] in
+  Obs.Trace.span ~cat:"distrib" ~args:(fun () -> !info) "runtime.run"
+  @@ fun () ->
   let n = Wgraph.n_vertices graph in
   (* The topology never changes during a run: freeze it once and check
      every send against the snapshot's sorted adjacency slices. *)
@@ -72,6 +78,13 @@ let run ~graph ~init ~step ?(size_of = fun _ -> 1) ~max_rounds () =
         ()
     done
   done;
+  Obs.Metrics.add m_rounds !rounds;
+  Obs.Metrics.add m_messages !messages;
+  if Obs.Trace.enabled () then
+    info :=
+      [
+        ("rounds", float_of_int !rounds); ("messages", float_of_int !messages);
+      ];
   ( states,
     {
       rounds = !rounds;

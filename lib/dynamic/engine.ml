@@ -13,6 +13,15 @@ let src = Logs.Src.create "dynamic.engine" ~doc:"Incremental spanner engine"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Observability: one "dynamic"/"epoch" span per batch (args filled from
+   the report once it exists), sub-spans for the repair and certify
+   steps, and always-on counters mirroring the engine's own totals. *)
+let m_epochs = Obs.Metrics.counter "engine.epochs"
+let m_incremental = Obs.Metrics.counter "engine.incremental"
+let m_rebuilds = Obs.Metrics.counter "engine.rebuilds"
+let m_cert_failures = Obs.Metrics.counter "engine.cert_failures"
+let g_dirty = Obs.Metrics.gauge "engine.dirty_fraction"
+
 type snapshot = {
   snap_epoch : int;
   snap_points : Point.t array;
@@ -241,7 +250,7 @@ let rollback t =
 (* Batch application                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let apply_batch t (events : Churn.event array) =
+let apply_batch_impl t (events : Churn.event array) =
   let t0 = t.clock () in
   (* 1. Events -> population, recording touched positions (old and new)
      and which slots need their incident α-UBG edges re-derived. *)
@@ -327,52 +336,62 @@ let apply_batch t (events : Churn.event array) =
     if n_ubg_edges = 0 then 0.0
     else float_of_int !n_dirty /. float_of_int n_ubg_edges
   in
+  Obs.Metrics.set_gauge g_dirty dirty_fraction;
   (* 4. Repair: full rebuild past the threshold, else per-bin greedy /
      pipeline over the dirty edges in ascending phase order. *)
   let kind = ref Incremental in
-  if dirty_fraction > t.rebuild_threshold then begin
-    kind := Rebuild_threshold;
-    t.n_rebuilds <- t.n_rebuilds + 1;
-    full_rebuild t
-  end
-  else begin
-    t.n_incremental <- t.n_incremental + 1;
-    let sorted =
-      List.sort
-        (fun (a : Wgraph.edge) (b : Wgraph.edge) ->
-          compare (a.w, a.u, a.v) (b.w, b.u, b.v))
-        !dirty
-    in
-    let binned = Bins.partition bins sorted in
-    let ws = Dijkstra.create_workspace () in
-    Array.iteri
-      (fun i edges ->
-        if Array.length edges > 0 then
-          if i = 0 || Array.length edges < t.pipeline_min_edges then
-            greedy_repair t ws edges
-          else pipeline_repair t ~dmin ~bins i edges)
-      binned
-  end;
+  Obs.Trace.span ~cat:"dynamic"
+    ~args:(fun () ->
+      [ ("dirty", float_of_int !n_dirty); ("dirty_fraction", dirty_fraction) ])
+    "repair"
+    (fun () ->
+      if dirty_fraction > t.rebuild_threshold then begin
+        kind := Rebuild_threshold;
+        t.n_rebuilds <- t.n_rebuilds + 1;
+        Obs.Metrics.incr m_rebuilds;
+        full_rebuild t
+      end
+      else begin
+        t.n_incremental <- t.n_incremental + 1;
+        Obs.Metrics.incr m_incremental;
+        let sorted =
+          List.sort
+            (fun (a : Wgraph.edge) (b : Wgraph.edge) ->
+              compare (a.w, a.u, a.v) (b.w, b.u, b.v))
+            !dirty
+        in
+        let binned = Bins.partition bins sorted in
+        let ws = Dijkstra.create_workspace () in
+        Array.iteri
+          (fun i edges ->
+            if Array.length edges > 0 then
+              if i = 0 || Array.length edges < t.pipeline_min_edges then
+                greedy_repair t ws edges
+              else pipeline_repair t ~dmin ~bins i edges)
+          binned
+      end);
   let repair_seconds = t.clock () -. t0 in
   (* 5. Certify; an incremental result that fails falls back to a full
      rebuild, and a rebuild that fails rolls the engine back. *)
   let c0 = t.clock () in
-  let base, sp, stretch = certify t in
   let base, sp, stretch =
-    if certifies t stretch then (base, sp, stretch)
-    else begin
-      Log.warn (fun m ->
-          m "epoch %d: stretch %g fails t = %g after %s repair; rebuilding"
-            (t.epoch + 1) stretch t.params.Params.t
-            (match !kind with Incremental -> "incremental" | _ -> "rebuild"));
-      t.n_cert_failures <- t.n_cert_failures + 1;
-      if !kind = Incremental then begin
-        kind := Rebuild_cert_failure;
-        full_rebuild t;
-        certify t
-      end
-      else (base, sp, stretch)
-    end
+    Obs.Trace.span ~cat:"dynamic" "certify" (fun () ->
+        let base, sp, stretch = certify t in
+        if certifies t stretch then (base, sp, stretch)
+        else begin
+          Log.warn (fun m ->
+              m "epoch %d: stretch %g fails t = %g after %s repair; rebuilding"
+                (t.epoch + 1) stretch t.params.Params.t
+                (match !kind with Incremental -> "incremental" | _ -> "rebuild"));
+          t.n_cert_failures <- t.n_cert_failures + 1;
+          Obs.Metrics.incr m_cert_failures;
+          if !kind = Incremental then begin
+            kind := Rebuild_cert_failure;
+            full_rebuild t;
+            certify t
+          end
+          else (base, sp, stretch)
+        end)
   in
   if not (certifies t stretch) then begin
     restore_from t (latest t);
@@ -384,6 +403,7 @@ let apply_batch t (events : Churn.event array) =
   end;
   let certify_seconds = t.clock () -. c0 in
   t.epoch <- t.epoch + 1;
+  Obs.Metrics.incr m_epochs;
   push_snapshot t ~base ~sp ~stretch;
   {
     epoch = t.epoch;
@@ -400,6 +420,28 @@ let apply_batch t (events : Churn.event array) =
     repair_seconds;
     certify_seconds;
   }
+
+let kind_code = function
+  | Incremental -> 0.0
+  | Rebuild_threshold -> 1.0
+  | Rebuild_cert_failure -> 2.0
+
+let apply_batch t events =
+  if not (Obs.Trace.enabled ()) then apply_batch_impl t events
+  else begin
+    let info = ref [] in
+    Obs.Trace.span ~cat:"dynamic" ~args:(fun () -> !info) "epoch" (fun () ->
+        let r = apply_batch_impl t events in
+        info :=
+          [
+            ("events", float_of_int r.n_events);
+            ("dirty_fraction", r.dirty_fraction);
+            ("kind", kind_code r.kind);
+            ("repair_s", r.repair_seconds);
+            ("certify_s", r.certify_seconds);
+          ];
+        r)
+  end
 
 let replay t (trace : Churn.trace) ~f =
   Array.iter (fun batch -> f (apply_batch t batch)) trace.Churn.batches

@@ -1,0 +1,15 @@
+(* The single switch every instrumentation site branches on, plus the
+   shared clock. Both are process-global: tracing is a property of a
+   run, not of a subsystem. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Wall clock by default: spans routinely cross domains, where CPU
+   seconds ([Sys.time]) double-count. [Unix.gettimeofday] is not
+   strictly monotonic under clock steps; the exporters clamp negative
+   durations to zero rather than emit malformed traces. *)
+let clock = ref Unix.gettimeofday
+let set_clock f = clock := f
+let now () = !clock ()

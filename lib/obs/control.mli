@@ -1,0 +1,23 @@
+(** Global observability switch and clock.
+
+    Every recording site in the repository guards itself with one
+    [Atomic.get] on {!enabled}; with the flag off, instrumentation is a
+    single branch (the contract the disabled-mode zero-allocation test
+    in [test/test_obs.ml] pins down). Metric cells keep accumulating
+    regardless — they are a handful of stores per phase — only span
+    recording is gated. *)
+
+(** [enabled ()] is the current state of the tracing switch. *)
+val enabled : unit -> bool
+
+(** [set_enabled b] flips the switch. Safe to call at any time; sites
+    observe the change at their next branch. *)
+val set_enabled : bool -> unit
+
+(** [set_clock f] replaces the clock used for spans and timers
+    (default [Unix.gettimeofday]). Tests install deterministic counters
+    here. *)
+val set_clock : (unit -> float) -> unit
+
+(** [now ()] reads the current clock. *)
+val now : unit -> float

@@ -1,0 +1,24 @@
+(** Minimal JSON values and a recursive-descent parser.
+
+    Only what the trace validator needs: the exporter in {!Export}
+    writes its output by hand, and this module reads it back to check
+    well-formedness without pulling a JSON dependency into the image. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [parse src] parses a complete JSON document; trailing non-whitespace
+    is an error. *)
+val parse : string -> (t, string) result
+
+(** [member k v] is field [k] of object [v], if any. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_string : t -> string option
+val to_number : t -> float option

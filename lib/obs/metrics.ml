@@ -1,0 +1,191 @@
+(* Metrics registry. Instruments are registered once by name under a
+   lock (idempotent — a second registration with the same name and kind
+   returns the same instrument); updates go through the caller's shard
+   cell, so incrementing a counter from eight pool workers needs no
+   synchronisation at all. Merged readers fold shards in ascending
+   domain order, which keeps float sums reproducible. *)
+
+type kind = Counter | Timer | Histogram of float array
+
+type t = { id : int; name : string; kind : kind }
+
+let registry_lock = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+let next_id = ref 0
+
+let kind_label = function
+  | Counter -> "counter"
+  | Timer -> "timer"
+  | Histogram _ -> "histogram"
+
+let register name kind =
+  Mutex.lock registry_lock;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m ->
+        if m.kind <> kind then begin
+          Mutex.unlock registry_lock;
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics: %S already registered as a %s" name
+               (kind_label m.kind))
+        end;
+        m
+    | None ->
+        let m = { id = !next_id; name; kind } in
+        incr next_id;
+        Hashtbl.add registry name m;
+        m
+  in
+  Mutex.unlock registry_lock;
+  m
+
+let n_buckets = function
+  | Counter | Timer -> 0
+  | Histogram edges -> Array.length edges + 1 (* + overflow bucket *)
+
+let cell m = Shard.cell (Shard.get ()) m.id ~n_buckets:(n_buckets m.kind)
+
+(* Counters *)
+
+let counter name = register name Counter
+
+let add m n =
+  let c = cell m in
+  c.Shard.count <- c.Shard.count + n
+
+let incr m = add m 1
+
+(* Gauges: last-writer-wins scalars, global rather than sharded — a
+   merged "sum of last values per domain" is meaningless. *)
+
+type gauge = { g_name : string; value : float Atomic.t }
+
+let gauges_lock = Mutex.create ()
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 8
+
+let gauge name =
+  Mutex.lock gauges_lock;
+  let g =
+    match Hashtbl.find_opt gauges name with
+    | Some g -> g
+    | None ->
+        let g = { g_name = name; value = Atomic.make 0.0 } in
+        Hashtbl.add gauges name g;
+        g
+  in
+  Mutex.unlock gauges_lock;
+  g
+
+let set_gauge g v = Atomic.set g.value v
+let gauge_value g = Atomic.get g.value
+
+(* Timers *)
+
+let timer name = register name Timer
+
+let time m f =
+  let t0 = Control.now () in
+  let v = f () in
+  let dt = Control.now () -. t0 in
+  let c = cell m in
+  c.Shard.sum <- c.Shard.sum +. dt;
+  c.Shard.count <- c.Shard.count + 1;
+  v
+
+(* Histograms: [edges] are upper bucket bounds (value v lands in the
+   first bucket with v <= edge); an implicit +inf overflow bucket is
+   appended. Fixed buckets, linear scan — edges arrays are short. *)
+
+let histogram name ~buckets =
+  if Array.length buckets = 0 then
+    invalid_arg "Obs.Metrics.histogram: empty bucket list";
+  for i = 1 to Array.length buckets - 1 do
+    if buckets.(i) <= buckets.(i - 1) then
+      invalid_arg "Obs.Metrics.histogram: bucket edges must increase"
+  done;
+  register name (Histogram buckets)
+
+let observe m v =
+  match m.kind with
+  | Histogram edges ->
+      let c = cell m in
+      let n = Array.length edges in
+      let i = ref 0 in
+      while !i < n && v > edges.(!i) do
+        i := !i + 1
+      done;
+      c.Shard.buckets.(!i) <- c.Shard.buckets.(!i) + 1;
+      c.Shard.sum <- c.Shard.sum +. v;
+      c.Shard.count <- c.Shard.count + 1
+  | Counter | Timer -> invalid_arg "Obs.Metrics.observe: not a histogram"
+
+(* Merged readers — quiescence only (see Shard). *)
+
+let counter_value m =
+  Shard.fold_cells m.id ~init:0 ~f:(fun acc c -> acc + c.Shard.count)
+
+let timer_value m =
+  Shard.fold_cells m.id ~init:(0.0, 0)
+    ~f:(fun (s, n) c -> (s +. c.Shard.sum, n + c.Shard.count))
+
+let histogram_counts m =
+  match m.kind with
+  | Histogram edges ->
+      let acc = Array.make (Array.length edges + 1) 0 in
+      Shard.fold_cells m.id ~init:()
+        ~f:(fun () c ->
+          let b = c.Shard.buckets in
+          if Array.length b > 0 then
+            Array.iteri (fun i n -> acc.(i) <- acc.(i) + n) b);
+      acc
+  | Counter | Timer -> invalid_arg "Obs.Metrics.histogram_counts: not a histogram"
+
+let bucket_edges m =
+  match m.kind with
+  | Histogram edges -> Array.copy edges
+  | Counter | Timer -> invalid_arg "Obs.Metrics.bucket_edges: not a histogram"
+
+let reset m = Shard.reset_cell m.id
+
+let reset_all () =
+  Shard.reset_all_cells ();
+  Mutex.lock gauges_lock;
+  Hashtbl.iter (fun _ g -> Atomic.set g.value 0.0) gauges;
+  Mutex.unlock gauges_lock
+
+(* Flat key/value view of every registered instrument, sorted by key —
+   the substrate of Export.kv. *)
+let kv () =
+  Mutex.lock registry_lock;
+  let instruments = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  Mutex.lock gauges_lock;
+  let gs = Hashtbl.fold (fun _ g acc -> g :: acc) gauges [] in
+  Mutex.unlock gauges_lock;
+  let rows =
+    List.concat_map
+      (fun m ->
+        match m.kind with
+        | Counter -> [ (m.name, float_of_int (counter_value m)) ]
+        | Timer ->
+            let s, n = timer_value m in
+            [ (m.name ^ ".total_s", s); (m.name ^ ".calls", float_of_int n) ]
+        | Histogram edges ->
+            let counts = histogram_counts m in
+            let s, n =
+              Shard.fold_cells m.id ~init:(0.0, 0)
+                ~f:(fun (s, n) c -> (s +. c.Shard.sum, n + c.Shard.count))
+            in
+            let label i =
+              if i < Array.length edges then
+                Printf.sprintf "%s.le_%g" m.name edges.(i)
+              else m.name ^ ".le_inf"
+            in
+            (m.name ^ ".sum", s)
+            :: (m.name ^ ".count", float_of_int n)
+            :: List.init (Array.length counts) (fun i ->
+                   (label i, float_of_int counts.(i))))
+      instruments
+    @ List.map (fun g -> (g.g_name, Atomic.get g.value)) gs
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows

@@ -1,0 +1,116 @@
+(* Per-domain storage. Every domain that records anything owns exactly
+   one shard, fetched through DLS, so the hot path never takes a lock:
+   span pushes and metric-cell updates touch memory only this domain
+   writes. The registry mutex guards only shard creation and the
+   merge/reset entry points, which run at quiescence (no job in flight
+   on the pool) — the same contract as [Parallel.Pool.set_domains]. *)
+
+type event = {
+  name : string;
+  cat : string;
+  dom : int;
+  depth : int; (* enclosing spans on this domain when recorded *)
+  t0 : float;
+  t1 : float;
+  args : (string * float) list;
+}
+
+type cell = {
+  mutable sum : float;
+  mutable count : int;
+  mutable buckets : int array; (* [||] unless the instrument is a histogram *)
+}
+
+type t = {
+  dom : int;
+  mutable events : event list; (* newest first *)
+  mutable n_events : int;
+  mutable stack : (string * string * float) list; (* open spans: name, cat, t0 *)
+  mutable cells : cell array; (* instrument id -> cell *)
+}
+
+let registry_lock = Mutex.create ()
+let shards : t list ref = ref []
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          dom = (Domain.self () :> int);
+          events = [];
+          n_events = 0;
+          stack = [];
+          cells = [||];
+        }
+      in
+      Mutex.lock registry_lock;
+      shards := s :: !shards;
+      Mutex.unlock registry_lock;
+      s)
+
+let get () = Domain.DLS.get key
+
+let all () =
+  Mutex.lock registry_lock;
+  let l = !shards in
+  Mutex.unlock registry_lock;
+  List.sort (fun a b -> compare a.dom b.dom) l
+
+let record s ev =
+  s.events <- ev :: s.events;
+  s.n_events <- s.n_events + 1
+
+let fresh_cell n_buckets =
+  { sum = 0.0; count = 0; buckets = (if n_buckets = 0 then [||] else Array.make n_buckets 0) }
+
+(* Cells are created lazily by the owning domain; growth copies into a
+   larger array, so a concurrent merge (which must not run while work
+   is in flight anyway) never sees a torn cell. *)
+let cell s id ~n_buckets =
+  let len = Array.length s.cells in
+  if id >= len then
+    s.cells <-
+      Array.init
+        (max (id + 1) (max 8 (2 * len)))
+        (fun i -> if i < len then s.cells.(i) else fresh_cell 0);
+  let c = s.cells.(id) in
+  if n_buckets > 0 && Array.length c.buckets = 0 then
+    c.buckets <- Array.make n_buckets 0;
+  c
+
+let clear_events () =
+  List.iter
+    (fun s ->
+      s.events <- [];
+      s.n_events <- 0;
+      s.stack <- [])
+    (all ())
+
+let reset_cell id =
+  List.iter
+    (fun s ->
+      if id < Array.length s.cells then begin
+        let c = s.cells.(id) in
+        c.sum <- 0.0;
+        c.count <- 0;
+        Array.fill c.buckets 0 (Array.length c.buckets) 0
+      end)
+    (all ())
+
+let reset_all_cells () =
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun c ->
+          c.sum <- 0.0;
+          c.count <- 0;
+          Array.fill c.buckets 0 (Array.length c.buckets) 0)
+        s.cells)
+    (all ())
+
+(* Merged reads fold shards in ascending domain order — float sums are
+   therefore reproducible for a fixed set of recording domains. *)
+let fold_cells id ~init ~f =
+  List.fold_left
+    (fun acc s -> if id < Array.length s.cells then f acc s.cells.(id) else acc)
+    init (all ())

@@ -1,0 +1,66 @@
+(** Per-domain storage for spans and metric cells.
+
+    One shard per recording domain, fetched through domain-local
+    storage, so recording never takes a lock and never races: a shard's
+    events, span stack and metric cells are written only by the domain
+    that owns them. The cross-shard entry points ({!all},
+    {!clear_events}, {!reset_cell}, {!fold_cells}) must run at
+    quiescence — after every pool job has joined — which is where the
+    engine merges anyway (reports are read after builds, traces
+    exported at process exit).
+
+    This module is the substrate shared by {!Trace} and {!Metrics};
+    user code should not need it except to inspect raw events. *)
+
+type event = {
+  name : string;
+  cat : string;
+  dom : int;  (** domain id the span executed on *)
+  depth : int;  (** enclosing open spans on that domain at record time *)
+  t0 : float;
+  t1 : float;
+  args : (string * float) list;
+}
+
+type cell = {
+  mutable sum : float;
+  mutable count : int;
+  mutable buckets : int array;
+}
+
+type t = {
+  dom : int;
+  mutable events : event list;  (** newest first *)
+  mutable n_events : int;
+  mutable stack : (string * string * float) list;
+  mutable cells : cell array;
+}
+
+(** [get ()] is the calling domain's shard, created and registered on
+    first use. *)
+val get : unit -> t
+
+(** [all ()] lists every shard ever registered, in ascending domain-id
+    order — the deterministic merge order for a fixed domain count. *)
+val all : unit -> t list
+
+(** [record s ev] appends [ev] to [s] (owner domain only). *)
+val record : t -> event -> unit
+
+(** [cell s id ~n_buckets] is instrument [id]'s cell in [s], created
+    (with [n_buckets] histogram slots, 0 for scalar instruments) on
+    first touch. Owner domain only. *)
+val cell : t -> int -> n_buckets:int -> cell
+
+(** [clear_events ()] drops all recorded spans and open stacks. *)
+val clear_events : unit -> unit
+
+(** [reset_cell id] zeroes instrument [id] across all shards. *)
+val reset_cell : int -> unit
+
+(** [reset_all_cells ()] zeroes every instrument across all shards. *)
+val reset_all_cells : unit -> unit
+
+(** [fold_cells id ~init ~f] folds instrument [id]'s cells across
+    shards in ascending domain order. *)
+val fold_cells : int -> init:'a -> f:('a -> cell -> 'a) -> 'a

@@ -1,0 +1,71 @@
+(* Nested span recording. A span is opened on the domain it runs on and
+   pushed on that domain's stack; closing pops and records a complete
+   event carrying the remaining stack depth, so per-domain events are
+   well-nested by construction (children recorded before parents, at
+   greater depth). Everything is gated on [Control.enabled]: the
+   disabled cost of [span] is one atomic load and the call to [f]. *)
+
+type event = Shard.event = {
+  name : string;
+  cat : string;
+  dom : int;
+  depth : int;
+  t0 : float;
+  t1 : float;
+  args : (string * float) list;
+}
+
+let enabled = Control.enabled
+let set_enabled = Control.set_enabled
+
+let begin_ ?(cat = "") name =
+  if Control.enabled () then begin
+    let s = Shard.get () in
+    s.Shard.stack <- (name, cat, Control.now ()) :: s.Shard.stack
+  end
+
+let end_ ?args () =
+  if Control.enabled () then begin
+    let s = Shard.get () in
+    match s.Shard.stack with
+    | [] -> () (* tolerate an enable/disable flip inside an open span *)
+    | (name, cat, t0) :: rest ->
+        s.Shard.stack <- rest;
+        let t1 = Control.now () in
+        let args = match args with None -> [] | Some f -> f () in
+        Shard.record s
+          { name; cat; dom = s.Shard.dom; depth = List.length rest; t0; t1; args }
+  end
+
+let span ?cat ?args name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    begin_ ?cat name;
+    match f () with
+    | v ->
+        end_ ?args ();
+        v
+    | exception e ->
+        end_ ?args ();
+        raise e
+  end
+
+let events () =
+  List.concat_map (fun s -> List.rev s.Shard.events) (Shard.all ())
+
+let n_events () =
+  List.fold_left (fun acc s -> acc + s.Shard.n_events) 0 (Shard.all ())
+
+let clear () = Shard.clear_events ()
+
+(* The schedule-independent skeleton of a trace: drop the pool-worker
+   category (whose events depend on how chunks were claimed) and the
+   timestamps, keep name/category/depth/args in merge order. For a
+   deterministic algorithm this is identical whatever TOPO_DOMAINS is
+   — the property test_obs pins down. *)
+let structure ?(ignore_cats = [ "pool" ]) () =
+  List.filter_map
+    (fun e ->
+      if List.mem e.cat ignore_cats then None
+      else Some (e.cat, e.name, e.depth, e.args))
+    (events ())

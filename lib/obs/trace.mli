@@ -1,0 +1,63 @@
+(** Nested span tracing over per-domain sharded buffers.
+
+    Spans are recorded where they run: each domain pushes open spans on
+    its own stack and appends completed events to its own buffer
+    (see {!Shard}), so recording from pool workers is race-free and
+    allocation-light. Merging ({!events}) concatenates shards in
+    ascending domain order — deterministic for a fixed domain count.
+
+    With tracing disabled ({!Control.set_enabled}[ false], the default)
+    every entry point here is a single branch on an [Atomic.t]. *)
+
+type event = Shard.event = {
+  name : string;
+  cat : string;
+  dom : int;
+  depth : int;
+  t0 : float;
+  t1 : float;
+  args : (string * float) list;
+}
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** [span ?cat ?args name f] runs [f ()] inside a span. [args] is
+    evaluated once, after [f] returns (or raises — the span is closed
+    either way), and only when tracing is enabled, so call sites can
+    thread result-dependent arguments through a ref without paying for
+    them disabled. *)
+val span :
+  ?cat:string ->
+  ?args:(unit -> (string * float) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+
+(** [begin_ ?cat name] / [end_ ?args ()] are the explicit form for call
+    sites where a closure is unwelcome (pool hot paths). They must pair
+    on the same domain; a stray [end_] on an empty stack is ignored. *)
+val begin_ : ?cat:string -> string -> unit
+
+val end_ : ?args:(unit -> (string * float) list) -> unit -> unit
+
+(** [events ()] is the merged trace: shards in ascending domain order,
+    each in record order (children before their parent, since spans
+    record on close). Read at quiescence. *)
+val events : unit -> event list
+
+(** [n_events ()] is the total recorded span count. *)
+val n_events : unit -> int
+
+(** [clear ()] drops all recorded spans and any open stacks. *)
+val clear : unit -> unit
+
+(** [structure ?ignore_cats ()] is the schedule-independent skeleton of
+    the trace: (cat, name, depth, args) in merge order, with the
+    categories in [ignore_cats] (default [["pool"]], whose events
+    depend on chunk scheduling) removed. For a deterministic build this
+    list is identical across pool sizes. *)
+val structure :
+  ?ignore_cats:string list ->
+  unit ->
+  (string * string * int * (string * float) list) list

@@ -8,12 +8,26 @@
 let in_worker_key = Domain.DLS.new_key (fun () -> false)
 let run_in_worker () = Domain.DLS.get in_worker_key
 
+(* Observability: counters are always on (a store per job), task spans
+   and queue-wait samples only when tracing is enabled. *)
+let m_jobs = Obs.Metrics.counter "pool.jobs"
+let m_wakes = Obs.Metrics.counter "pool.wakes"
+
+let m_queue_wait =
+  Obs.Metrics.histogram "pool.queue_wait_s"
+    ~buckets:[| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1 |]
+
+let m_chunk_items =
+  Obs.Metrics.histogram "pool.chunk_items"
+    ~buckets:[| 1.; 8.; 64.; 512.; 4096.; 32768. |]
+
 type job = {
   run : int -> unit; (* chunk index -> work *)
   n_chunks : int;
   next : int Atomic.t; (* next unclaimed chunk *)
   pending : int Atomic.t; (* chunks not yet finished *)
   failed : exn option Atomic.t; (* first failure wins *)
+  published : float; (* submit time when tracing is enabled, else 0 *)
 }
 
 type pool = {
@@ -42,7 +56,13 @@ let execute pool job =
     if c < job.n_chunks then begin
       (match Atomic.get job.failed with
       | None -> (
-          try job.run c
+          try
+            if Obs.Control.enabled () then
+              Obs.Trace.span ~cat:"pool"
+                ~args:(fun () -> [ ("chunk", float_of_int c) ])
+                "task"
+                (fun () -> job.run c)
+            else job.run c
           with e -> ignore (Atomic.compare_and_set job.failed None (Some e)))
       | Some _ -> ());
       if Atomic.fetch_and_add job.pending (-1) = 1 then begin
@@ -74,7 +94,13 @@ let worker_loop pool =
       Mutex.unlock pool.mutex;
       (* A late wake-up may find the job already drained; [execute]
          then claims nothing and returns immediately. *)
-      match job with None -> () | Some job -> execute pool job
+      match job with
+      | None -> ()
+      | Some job ->
+          if job.published > 0.0 && Obs.Control.enabled () then
+            Obs.Metrics.observe m_queue_wait
+              (Float.max 0.0 (Obs.Control.now () -. job.published));
+          execute pool job
     end
   done
 
@@ -200,10 +226,12 @@ let wake_budget pool job =
 
 let submit pool job =
   Mutex.lock submit_lock;
+  Obs.Metrics.incr m_jobs;
   Mutex.lock pool.mutex;
   pool.current <- Some job;
   pool.generation <- pool.generation + 1;
   (let budget = wake_budget pool job in
+   Obs.Metrics.add m_wakes budget;
    if budget >= pool.n_domains - 1 then Condition.broadcast pool.work_ready
    else
      for _ = 1 to budget do
@@ -273,6 +301,7 @@ let for_range pool ?grain lo hi f =
       f i
     done
   in
+  Obs.Metrics.observe m_chunk_items (float_of_int n /. float_of_int n_chunks);
   submit pool
     {
       run;
@@ -280,6 +309,7 @@ let for_range pool ?grain lo hi f =
       next = Atomic.make 0;
       pending = Atomic.make n_chunks;
       failed = Atomic.make None;
+      published = (if Obs.Control.enabled () then Obs.Control.now () else 0.0);
     }
 
 let sequential ?domains () =

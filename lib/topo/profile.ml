@@ -1,3 +1,9 @@
+(* Thin façade over lib/obs. Stage timing now lands in per-domain
+   metric shards (Obs.Metrics), so stages timed from pool workers no
+   longer race on shared accumulators, and each timed section also
+   emits a "stage" trace span when tracing is enabled. The historic
+   interface is unchanged. *)
+
 type stage =
   | Short_edges
   | Freeze
@@ -27,28 +33,27 @@ let name = function
   | Queries -> "queries"
   | Redundant -> "redundant"
 
-(* Default clock is [Sys.time] (process CPU seconds) to avoid a unix
-   dependency in the library; the bench harness installs a wall clock,
-   which is the meaningful one when stages run on several domains. *)
-let clock = ref Sys.time
-let set_clock f = clock := f
+let timers =
+  let arr = Array.make (List.length all) None in
+  List.iter
+    (fun s -> arr.(index s) <- Some (Obs.Metrics.timer ("stage." ^ name s)))
+    all;
+  Array.map Option.get arr
 
-let totals = Array.make (List.length all) 0.0
-let calls = Array.make (List.length all) 0
+let set_clock = Obs.Control.set_clock
 
-let reset () =
-  Array.fill totals 0 (Array.length totals) 0.0;
-  Array.fill calls 0 (Array.length calls) 0
+let reset () = Array.iter Obs.Metrics.reset timers
 
-(* Stage sections nest only trivially (they are siblings inside a
-   phase) and run on the orchestrating domain, so plain accumulation
-   is race-free. *)
 let time stage f =
-  let t0 = !clock () in
-  let r = f () in
-  totals.(index stage) <- totals.(index stage) +. (!clock () -. t0);
-  calls.(index stage) <- calls.(index stage) + 1;
-  r
+  Obs.Metrics.time timers.(index stage) (fun () ->
+      Obs.Trace.span ~cat:"stage" (name stage) f)
 
-let read () = List.map (fun s -> (name s, totals.(index s))) all
-let read_calls () = List.map (fun s -> (name s, calls.(index s))) all
+let read () =
+  List.map
+    (fun s -> (name s, fst (Obs.Metrics.timer_value timers.(index s))))
+    all
+
+let read_calls () =
+  List.map
+    (fun s -> (name s, snd (Obs.Metrics.timer_value timers.(index s))))
+    all

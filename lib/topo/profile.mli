@@ -7,9 +7,11 @@
     emits the totals (bench/main.exe, experiment [E-par], and
     [BENCH_relaxed.json]).
 
-    Timing always runs; with the default [Sys.time] clock its overhead
-    is a few clock reads per phase. Sections execute on the
-    orchestrating domain only, so the counters need no locking. *)
+    This module is a façade over [lib/obs]: each stage is an
+    [Obs.Metrics] timer accumulating into per-domain shards, so timed
+    sections are race-free wherever they run, and each section also
+    emits a ["stage"] trace span when tracing is enabled. Timing always
+    runs and costs a few clock reads per phase. *)
 
 type stage =
   | Short_edges  (** phase 0: per-component clique spanners *)
@@ -25,8 +27,9 @@ val all : stage list
 (** [name s] is the stable snake_case label used in reports/JSON. *)
 val name : stage -> string
 
-(** [set_clock f] replaces the clock (default [Sys.time]); benches
-    install [Unix.gettimeofday] for wall time. *)
+(** [set_clock f] replaces the observability clock — an alias for
+    [Obs.Control.set_clock] (default [Unix.gettimeofday]), shared with
+    span tracing. *)
 val set_clock : (unit -> float) -> unit
 
 (** [reset ()] zeroes all accumulators. *)

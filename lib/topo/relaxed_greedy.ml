@@ -27,6 +27,32 @@ let log_src = Logs.Src.create "topo.relaxed_greedy" ~doc:"relaxed greedy spanner
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Observability: per-phase counters always accumulate (a few stores per
+   phase); the per-bin spans cost nothing when tracing is off. The span
+   args are threaded through a ref because the interesting numbers only
+   exist once the phase returns its stats. *)
+let m_bins = Obs.Metrics.counter "relaxed.bins"
+let m_bin_edges = Obs.Metrics.counter "relaxed.bin_edges"
+let m_query_edges = Obs.Metrics.counter "relaxed.query_edges"
+let m_added = Obs.Metrics.counter "relaxed.added"
+let m_removed = Obs.Metrics.counter "relaxed.removed"
+
+let bin_span i info f =
+  if Obs.Trace.enabled () then
+    Obs.Trace.span ~cat:"bin"
+      ~args:(fun () -> !info)
+      ("bin-" ^ string_of_int i)
+      f
+  else f ()
+
+let span_info (s : phase_stats) =
+  [
+    ("bin_edges", float_of_int s.n_bin_edges);
+    ("query_edges", float_of_int s.n_query);
+    ("added", float_of_int s.n_added);
+    ("removed", float_of_int s.n_removed);
+  ]
+
 (* Phase 0, PROCESS-SHORT-EDGES: connected components of the short-edge
    graph induce cliques in G (Lemma 1); run SEQ-GREEDY inside each.
    Components are vertex-disjoint and phase-0 greedy paths never leave
@@ -272,27 +298,51 @@ let build ?(metric = Geometry.Metric.Euclidean) ?(mode = `Auto)
     Log.debug (fun m ->
         m "phase %d: |E_i|=%d covered=%d query=%d added=%d removed=%d" s.phase
           s.n_bin_edges s.n_covered s.n_query s.n_added s.n_removed);
+    Obs.Metrics.incr m_bins;
+    Obs.Metrics.add m_bin_edges s.n_bin_edges;
+    Obs.Metrics.add m_query_edges s.n_query;
+    Obs.Metrics.add m_added s.n_added;
+    Obs.Metrics.add m_removed s.n_removed;
     stats := s :: !stats
   in
-  push
-    (process_short_edges ~model ~metric ~params ~bin_edges:binned.(0) ~spanner);
-  observer ~phase:0 ~spanner;
-  for i = 1 to bins.Bins.m do
-    if Array.length binned.(i) > 0 then begin
-      let w_prev_len = Bins.w bins (i - 1) and w_len = Bins.w bins i in
-      let s =
-        match tree with
-        | Some tree ->
-            process_long_edges_local ~model ~tree ~params ~phase:i ~w_prev_len
-              ~w_len ~bin_edges:binned.(i) ~spanner
-        | None ->
-            process_long_edges ~model ~params ~phi ~phase:i ~w_prev_len ~w_len
-              ~bin_edges:binned.(i) ~spanner
+  Obs.Trace.span ~cat:"build"
+    ~args:(fun () -> [ ("n", float_of_int n) ])
+    "relaxed_greedy"
+    (fun () ->
+      let info0 = ref [] in
+      let s0 =
+        bin_span 0 info0 (fun () ->
+            let s =
+              process_short_edges ~model ~metric ~params ~bin_edges:binned.(0)
+                ~spanner
+            in
+            info0 := span_info s;
+            s)
       in
-      push s;
-      observer ~phase:i ~spanner
-    end
-  done;
+      push s0;
+      observer ~phase:0 ~spanner;
+      for i = 1 to bins.Bins.m do
+        if Array.length binned.(i) > 0 then begin
+          let w_prev_len = Bins.w bins (i - 1) and w_len = Bins.w bins i in
+          let info = ref [] in
+          let s =
+            bin_span i info (fun () ->
+                let s =
+                  match tree with
+                  | Some tree ->
+                      process_long_edges_local ~model ~tree ~params ~phase:i
+                        ~w_prev_len ~w_len ~bin_edges:binned.(i) ~spanner
+                  | None ->
+                      process_long_edges ~model ~params ~phi ~phase:i
+                        ~w_prev_len ~w_len ~bin_edges:binned.(i) ~spanner
+                in
+                info := span_info s;
+                s)
+          in
+          push s;
+          observer ~phase:i ~spanner
+        end
+      done);
   { spanner; params; bins; stats = List.rev !stats }
 
 let build_eps ?metric ?mode ~eps model =

@@ -60,16 +60,43 @@ let instance ~alpha ?(gray = Gray_zone.Keep_all) pts =
 let generate ~seed ~dim ~n ~alpha ?gray placement =
   instance ~alpha ?gray (points ~seed ~dim ~n placement)
 
+(* Retry seed for draw [attempt] of base [seed]. The old [seed + 1000k]
+   scheme collided across nearby caller seeds (draw 1 of seed 1 = draw 0
+   of seed 1001); mixing both through a splitmix64 finalizer makes the
+   streams disjoint in practice. Attempt 0 keeps the caller's seed
+   untouched so every existing first-draw instance is unchanged. *)
+let retry_seed ~seed ~attempt =
+  if attempt = 0 then seed
+  else begin
+    let open Int64 in
+    let mix z =
+      let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+      let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+      logxor z (shift_right_logical z 31)
+    in
+    let z =
+      mix (add (of_int seed) (mul (of_int attempt) 0x9E3779B97F4A7C15L))
+    in
+    to_int (logand z (of_int Stdlib.max_int))
+  end
+
 let connected ~seed ~dim ~n ~alpha ?gray placement =
-  let rec attempt k =
-    if k >= 50 then failwith "Generator.connected: no connected instance in 50 draws"
+  let rec attempt k tried =
+    if k >= 50 then
+      failwith
+        (Printf.sprintf
+           "Generator.connected: no connected instance in 50 draws (seeds \
+            tried: %s)"
+           (String.concat ", "
+              (List.rev_map string_of_int tried)))
     else begin
-      let model = generate ~seed:(seed + (1000 * k)) ~dim ~n ~alpha ?gray placement in
+      let s = retry_seed ~seed ~attempt:k in
+      let model = generate ~seed:s ~dim ~n ~alpha ?gray placement in
       if Graph.Components.is_connected model.Model.graph then model
-      else attempt (k + 1)
+      else attempt (k + 1) (s :: tried)
     end
   in
-  attempt 0
+  attempt 0 []
 
 (* Volume of the d-dimensional unit ball. *)
 let unit_ball_volume dim =

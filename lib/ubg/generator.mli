@@ -38,10 +38,17 @@ val generate :
   placement ->
   Model.t
 
+(** [retry_seed ~seed ~attempt] is the derived seed {!connected} uses
+    for its [attempt]-th draw: the caller's [seed] itself for attempt 0,
+    and a splitmix64-style hash of (seed, attempt) after that, so retry
+    streams of nearby caller seeds never collide. Exposed for tests. *)
+val retry_seed : seed:int -> attempt:int -> int
+
 (** [connected ~seed ~dim ~n ~alpha ?gray placement] retries [generate]
-    with derived seeds until the instance is connected (at most 50
-    attempts, then raises [Failure]). Experiments use connected
-    instances so that spanner stretch is finite everywhere. *)
+    with {!retry_seed}-derived seeds until the instance is connected (at
+    most 50 attempts, then raises [Failure] listing every seed tried).
+    Experiments use connected instances so that spanner stretch is
+    finite everywhere. *)
 val connected :
   seed:int ->
   dim:int ->

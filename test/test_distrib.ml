@@ -131,6 +131,25 @@ let test_luby_clique () =
   Alcotest.(check int) "exactly one in a clique" 1
     (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mis)
 
+(* An absurdly small initial budget (one Luby iteration) forces the
+   doubling path that replaced the old [failwith]: the run must extend
+   its budget, never crash, and — since a rerun replays the identical
+   prefix — still land on the same MIS as the default budget. *)
+let test_luby_budget_extension () =
+  let st = rand_state 123 in
+  let g = random_graph ~st ~n:40 ~extra_edges:60 in
+  let ext = Obs.Metrics.counter "mis.budget_extensions" in
+  let before = Obs.Metrics.counter_value ext in
+  let mis, _ = Mis.luby ~initial_rounds:3 ~seed:7 g in
+  Alcotest.(check bool) "valid MIS under tiny budget" true (Mis.is_mis g mis);
+  Alcotest.(check bool) "extension path taken" true
+    (Obs.Metrics.counter_value ext > before);
+  let default, _ = Mis.luby ~seed:7 g in
+  Alcotest.(check bool) "agrees with the default budget" true (mis = default);
+  Alcotest.check_raises "initial_rounds < 3 rejected"
+    (Invalid_argument "Mis.luby: initial_rounds must be >= 3") (fun () ->
+      ignore (Mis.luby ~initial_rounds:2 ~seed:7 g))
+
 (* ------------------------------------------------------------------ *)
 (* Distributed relaxed greedy                                         *)
 (* ------------------------------------------------------------------ *)
@@ -308,6 +327,8 @@ let () =
           prop_luby_deterministic_in_seed;
           Alcotest.test_case "edgeless" `Quick test_luby_edgeless;
           Alcotest.test_case "clique" `Quick test_luby_clique;
+          Alcotest.test_case "budget extension" `Quick
+            test_luby_budget_extension;
         ] );
       ( "dist_greedy",
         [

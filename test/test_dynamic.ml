@@ -261,6 +261,23 @@ let prop_engine_bit_identical_across_domains =
                  snd (replay_fingerprint ~domains:4 setup) = base))
            [ 1; 100_000 ])
 
+(* The epoch/repair/certify spans must observe the replay without
+   perturbing it: per-epoch spanners bit-identical with tracing on. *)
+let prop_engine_identical_traced =
+  qtest ~count:4 "engine: replay bit-identical with tracing on" seed_arb
+    (fun seed ->
+      let setup = trace_setup ~seed ~n:60 ~epochs:5 ~batch_max:4 in
+      let replay ~traced =
+        let prev = Obs.Trace.enabled () in
+        Obs.Trace.set_enabled traced;
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Trace.set_enabled prev;
+            Obs.Trace.clear ())
+          (fun () -> snd (replay_fingerprint ~domains:2 setup))
+      in
+      replay ~traced:true = replay ~traced:false)
+
 let test_engine_spanner_avoids_dead_slots () =
   let model, trace = trace_setup ~seed:11 ~n:50 ~epochs:6 ~batch_max:5 in
   let e = Engine.create ~params:(params_for model) model in
@@ -361,6 +378,7 @@ let () =
         [
           prop_engine_certifies_and_tracks_rebuild;
           prop_engine_bit_identical_across_domains;
+          prop_engine_identical_traced;
           Alcotest.test_case "dead slots isolated" `Quick
             test_engine_spanner_avoids_dead_slots;
           Alcotest.test_case "rollback" `Quick test_engine_rollback;

@@ -1,0 +1,304 @@
+module Pool = Parallel.Pool
+open Test_helpers
+
+(* ------------------------------------------------------------------ *)
+(* Harness: deterministic clock, scoped tracing                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A counter clock: every read ticks by 1. Span timestamps become exact
+   integers, so nesting assertions need no tolerance. *)
+let with_counter_clock f =
+  let t = ref 0.0 in
+  Obs.Control.set_clock (fun () ->
+      t := !t +. 1.0;
+      !t);
+  Fun.protect ~finally:(fun () -> Obs.Control.set_clock Unix.gettimeofday) f
+
+let with_tracing f =
+  let prev = Obs.Trace.enabled () in
+  Obs.Trace.set_enabled true;
+  Obs.Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled prev;
+      Obs.Trace.clear ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Span nesting well-formedness                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  with_counter_clock @@ fun () ->
+  let r =
+    Obs.Trace.span ~cat:"t" "outer" (fun () ->
+        let a =
+          Obs.Trace.span ~cat:"t"
+            ~args:(fun () -> [ ("k", 1.0) ])
+            "inner"
+            (fun () -> 7)
+        in
+        let b = Obs.Trace.span ~cat:"t" "sibling" (fun () -> 1) in
+        a + b)
+  in
+  Alcotest.(check int) "span returns f's result" 8 r;
+  match Obs.Trace.events () with
+  | [ inner; sibling; outer ] ->
+      (* Spans record on close: children precede their parent. *)
+      Alcotest.(check string) "inner first" "inner" inner.Obs.Trace.name;
+      Alcotest.(check string) "outer last" "outer" outer.Obs.Trace.name;
+      Alcotest.(check int) "outer depth" 0 outer.depth;
+      Alcotest.(check int) "inner depth" 1 inner.depth;
+      Alcotest.(check int) "sibling depth" 1 sibling.depth;
+      Alcotest.(check bool) "args captured" true (inner.args = [ ("k", 1.0) ]);
+      (* Counter clock ticks: outer [1,6], inner [2,3], sibling [4,5]. *)
+      check_float "outer t0" 1.0 outer.t0;
+      check_float "outer t1" 6.0 outer.t1;
+      Alcotest.(check bool) "strictly nested" true
+        (outer.t0 < inner.t0 && inner.t1 < sibling.t0
+        && sibling.t1 < outer.t1)
+  | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs)
+
+let test_span_closed_on_exception () =
+  with_tracing @@ fun () ->
+  (try Obs.Trace.span "boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite raise" 1 (Obs.Trace.n_events ());
+  (* A stray end_ on an empty stack must be a no-op, not a crash. *)
+  Obs.Trace.end_ ();
+  Alcotest.(check int) "stray end_ ignored" 1 (Obs.Trace.n_events ())
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic merged output across domain counts                    *)
+(* ------------------------------------------------------------------ *)
+
+let traced_structure ~domains model =
+  Obs.Trace.clear ();
+  Pool.set_domains domains;
+  Fun.protect ~finally:Pool.clear_domains (fun () ->
+      ignore (Topo.Relaxed_greedy.build_eps ~mode:`Local ~eps:0.5 model));
+  Obs.Trace.structure ()
+
+let test_structure_deterministic () =
+  with_tracing @@ fun () ->
+  let model = connected_model ~seed:11 ~n:90 ~dim:2 ~alpha:0.8 in
+  let base = traced_structure ~domains:1 model in
+  Alcotest.(check bool) "trace is non-empty" true (base <> []);
+  (* The skeleton includes the per-bin spans with their edge counts;
+     those args are part of what must not drift across pool sizes. *)
+  Alcotest.(check bool) "bin spans carry args" true
+    (List.exists (fun (cat, _, _, args) -> cat = "bin" && args <> []) base);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "structure identical at %d domains" d)
+        true
+        (traced_structure ~domains:d model = base))
+    [ 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: counters, timers, histogram bucket edges                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_and_timer () =
+  let c = Obs.Metrics.counter "test.counter" in
+  Obs.Metrics.reset c;
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  Alcotest.(check int) "counter merges" 5 (Obs.Metrics.counter_value c);
+  Alcotest.(check bool) "registration is idempotent" true
+    (Obs.Metrics.counter_value (Obs.Metrics.counter "test.counter") = 5);
+  with_counter_clock @@ fun () ->
+  let tm = Obs.Metrics.timer "test.timer" in
+  Obs.Metrics.reset tm;
+  Alcotest.(check int) "time returns f's result" 42
+    (Obs.Metrics.time tm (fun () -> 42));
+  let total, calls = Obs.Metrics.timer_value tm in
+  check_float "one tick elapsed" 1.0 total;
+  Alcotest.(check int) "one call" 1 calls;
+  (* Historic Profile contract: a raising section records nothing. *)
+  (try Obs.Metrics.time tm (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check bool) "raise records nothing" true
+    (Obs.Metrics.timer_value tm = (total, calls))
+
+let test_histogram_buckets () =
+  let h = Obs.Metrics.histogram "test.hist" ~buckets:[| 1.0; 10.0; 100.0 |] in
+  Obs.Metrics.reset h;
+  List.iter (Obs.Metrics.observe h) [ 0.5; 1.0; 1.5; 10.0; 99.9; 1000.0 ];
+  (* le semantics: v lands in the first bucket with v <= edge, values
+     exactly on an edge included below, everything past the last edge
+     in the implicit overflow bucket. *)
+  Alcotest.(check (array int))
+    "counts per bucket" [| 2; 2; 1; 1 |]
+    (Obs.Metrics.histogram_counts h);
+  Alcotest.(check bool) "edges preserved" true
+    (Obs.Metrics.bucket_edges h = [| 1.0; 10.0; 100.0 |]);
+  let kv = Obs.Metrics.kv () in
+  check_float "kv count" 6.0 (List.assoc "test.hist.count" kv);
+  check_float "kv le_10" 2.0 (List.assoc "test.hist.le_10" kv);
+  check_float "kv overflow" 1.0 (List.assoc "test.hist.le_inf" kv);
+  Alcotest.check_raises "non-increasing edges rejected"
+    (Invalid_argument "Obs.Metrics.histogram: bucket edges must increase")
+    (fun () -> ignore (Obs.Metrics.histogram "test.bad" ~buckets:[| 2.0; 1.0 |]))
+
+let test_kind_mismatch_rejected () =
+  ignore (Obs.Metrics.counter "test.kind");
+  (try
+     ignore (Obs.Metrics.timer "test.kind");
+     Alcotest.fail "re-registering under a different kind must raise"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Disabled mode: a span is one branch, no allocation                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_no_alloc () =
+  let prev = Obs.Trace.enabled () in
+  Obs.Trace.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.Trace.set_enabled prev) @@ fun () ->
+  let c = Obs.Metrics.counter "test.noalloc" in
+  let body () = Obs.Metrics.incr c in
+  let iter () =
+    for _ = 1 to 1000 do
+      Obs.Trace.span "noalloc" body
+    done
+  in
+  iter () (* warm up: shard, cell array growth *);
+  let before = Gc.minor_words () in
+  iter ();
+  let delta = Gc.minor_words () -. before in
+  (* Gc.minor_words itself boxes its float result (a few words); any
+     per-iteration allocation would show as >= 2000 words here. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no per-span allocation when disabled (delta %.0f words)"
+       delta)
+    true (delta < 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters: Chrome JSON round-trip and the nesting validator         *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "test_obs" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_chrome_roundtrip () =
+  with_tracing @@ fun () ->
+  with_counter_clock @@ fun () ->
+  Obs.Trace.span ~cat:"t" "outer" (fun () ->
+      Obs.Trace.span ~cat:"t"
+        ~args:(fun () -> [ ("n", 3.0) ])
+        "inner" ignore);
+  let doc = Obs.Export.chrome_json () in
+  (match Obs.Json.parse doc with
+  | Error e -> Alcotest.failf "chrome_json does not parse: %s" e
+  | Ok json ->
+      let events =
+        Option.get (Obs.Json.to_list (Option.get (Obs.Json.member "traceEvents" json)))
+      in
+      Alcotest.(check int) "one event per span" 2 (List.length events);
+      let names =
+        List.filter_map
+          (fun ev -> Option.bind (Obs.Json.member "name" ev) Obs.Json.to_string)
+          events
+      in
+      Alcotest.(check bool) "names survive" true
+        (List.sort compare names = [ "inner"; "outer" ]));
+  with_temp_file @@ fun path ->
+  Obs.Export.write_chrome path;
+  match Obs.Export.validate_file path with
+  | Ok s ->
+      Alcotest.(check int) "validator sees both spans" 2 s.Obs.Export.n_events;
+      Alcotest.(check int) "one lane" 1 s.n_lanes;
+      Alcotest.(check int) "nesting depth 2" 2 s.max_depth
+  | Error e -> Alcotest.failf "validate_file: %s" e
+
+let test_validator_rejects_overlap () =
+  with_temp_file @@ fun path ->
+  let oc = open_out path in
+  output_string oc
+    {|{"traceEvents":[
+        {"name":"a","ph":"X","pid":0,"tid":0,"ts":0,"dur":10},
+        {"name":"b","ph":"X","pid":0,"tid":0,"ts":5,"dur":10}]}|};
+  close_out oc;
+  match Obs.Export.validate_file path with
+  | Ok _ -> Alcotest.fail "overlapping spans must not validate"
+  | Error msg ->
+      Alcotest.(check bool) "error names the overlap" true
+        (String.length msg > 0)
+
+let test_export_kv_includes_span_aggregates () =
+  with_tracing @@ fun () ->
+  with_counter_clock @@ fun () ->
+  Obs.Trace.span ~cat:"t" "agg" ignore;
+  Obs.Trace.span ~cat:"t" "agg" ignore;
+  let kv = Obs.Export.kv () in
+  check_float "span call count aggregated" 2.0
+    (List.assoc "span.t.agg.calls" kv);
+  Alcotest.(check bool) "keys sorted" true
+    (let keys = List.map fst kv in
+     List.sort compare keys = keys)
+
+(* ------------------------------------------------------------------ *)
+(* Topo.Profile over shards: concurrent sections merge losslessly      *)
+(* ------------------------------------------------------------------ *)
+
+(* The historic Profile accumulated into plain global float/int arrays,
+   so sections timed inside pool workers raced and dropped updates.
+   Now each domain accumulates into its own shard; the merged call
+   count must be exact no matter where the sections ran. *)
+let test_profile_multidomain () =
+  Topo.Profile.reset ();
+  let n = 400 in
+  Pool.set_domains 4;
+  Fun.protect ~finally:Pool.clear_domains (fun () ->
+      Pool.parallel_for n (fun _ ->
+          Topo.Profile.time Topo.Profile.Cover (fun () -> ())));
+  Alcotest.(check int) "no lost sections across domains" n
+    (List.assoc "cover" (Topo.Profile.read_calls ()));
+  Alcotest.(check bool) "total is non-negative" true
+    (List.assoc "cover" (Topo.Profile.read ()) >= 0.0);
+  Topo.Profile.reset ();
+  Alcotest.(check int) "reset zeroes every shard" 0
+    (List.assoc "cover" (Topo.Profile.read_calls ()))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span closes on exception" `Quick
+            test_span_closed_on_exception;
+          Alcotest.test_case "structure deterministic across domains" `Quick
+            test_structure_deterministic;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and timer" `Quick test_counter_and_timer;
+          Alcotest.test_case "histogram bucket edges" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "kind mismatch rejected" `Quick
+            test_kind_mismatch_rejected;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "disabled mode allocates nothing" `Quick
+            test_disabled_no_alloc;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome JSON round-trip" `Quick
+            test_chrome_roundtrip;
+          Alcotest.test_case "validator rejects overlap" `Quick
+            test_validator_rejects_overlap;
+          Alcotest.test_case "kv span aggregates" `Quick
+            test_export_kv_includes_span_aggregates;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "multi-domain sections merge" `Quick
+            test_profile_multidomain;
+        ] );
+    ]

@@ -299,6 +299,25 @@ let prop_build_deterministic_grain_grid =
             [ 1; 4; 8 ])
         [ Some 1; None; Some 100_000 ])
 
+(* Tracing must observe the build, never perturb it: spanner edges and
+   phase stats bit-identical with spans recorded or not, at the domain
+   counts the observability work promises (1 and 4). *)
+let prop_build_identical_traced =
+  qtest ~count:4 "build bit-identical with tracing on, 1/4 domains" seed_arb
+    (fun seed ->
+      let model = connected_model ~seed ~n:90 ~dim:2 ~alpha:0.8 in
+      let base = build_fingerprint ~domains:1 ~mode:`Local model in
+      let traced domains =
+        let prev = Obs.Trace.enabled () in
+        Obs.Trace.set_enabled true;
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Trace.set_enabled prev;
+            Obs.Trace.clear ())
+          (fun () -> build_fingerprint ~domains ~mode:`Local model)
+      in
+      traced 1 = base && traced 4 = base)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -330,5 +349,6 @@ let () =
           prop_build_deterministic `Global
             "build (global mode) bit-identical at 1/2/4 domains";
           prop_build_deterministic_grain_grid;
+          prop_build_identical_traced;
         ] );
     ]

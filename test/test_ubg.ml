@@ -199,6 +199,30 @@ let test_generator_errors () =
        false
      with Invalid_argument _ -> true)
 
+(* The historic retry scheme [seed + 1000k] made draw 1 of seed s the
+   same instance as draw 0 of seed s + 1000 — correlated "independent"
+   experiment repetitions. The hashed scheme must keep attempt 0 as the
+   caller's seed and make every other (seed, attempt) stream distinct. *)
+let test_retry_seed () =
+  Alcotest.(check int) "attempt 0 is the caller's seed" 42
+    (Generator.retry_seed ~seed:42 ~attempt:0);
+  Alcotest.(check bool) "old seed+1000k collision gone" true
+    (Generator.retry_seed ~seed:1 ~attempt:1
+    <> Generator.retry_seed ~seed:1001 ~attempt:0);
+  let seen = Hashtbl.create 128 in
+  for seed = 0 to 9 do
+    for attempt = 0 to 9 do
+      let s = Generator.retry_seed ~seed ~attempt in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d attempt %d non-negative" seed attempt)
+        true (s >= 0);
+      if Hashtbl.mem seen s then
+        Alcotest.failf "retry_seed collision at seed=%d attempt=%d" seed
+          attempt;
+      Hashtbl.replace seen s ()
+    done
+  done
+
 let () =
   Alcotest.run "ubg"
     [
@@ -229,6 +253,7 @@ let () =
           prop_gray_policies_nested;
           Alcotest.test_case "placements" `Quick test_generator_placements;
           Alcotest.test_case "connected" `Quick test_generator_connected;
+          Alcotest.test_case "retry seeds" `Quick test_retry_seed;
           Alcotest.test_case "side monotone" `Quick test_side_for_degree_monotone;
           Alcotest.test_case "errors" `Quick test_generator_errors;
         ] );
