@@ -1,5 +1,5 @@
 .PHONY: all check test fmt bench bench-smoke bench-churn-smoke \
-	bench-scale-smoke trace-smoke clean
+	bench-scale-smoke bench-compare-smoke trace-smoke clean
 
 all:
 	dune build @all
@@ -33,6 +33,12 @@ bench-churn-smoke:
 # 1-domain; 1 core: oversubscription penalty bounded at 2x).
 bench-scale-smoke:
 	TOPO_SCALE_GATE=1 dune exec bench/main.exe -- E-scale quick
+
+# Backend head-to-head at tiny n: every registered SPANNER backend
+# builds one instance; emits BENCH_compare.json and fails if any
+# backend violates its advertised stretch.
+bench-compare-smoke:
+	dune exec bench/main.exe -- E-compare quick
 
 # Observability smoke: run a traced scaling bench (spans from the
 # builder, pool, and stage timers), then validate the emitted Chrome

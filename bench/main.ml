@@ -61,17 +61,9 @@ let sweep_cells =
                Metrics.summarize ~base:model.Model.graph
                  r.Relaxed_greedy.spanner
              in
-             let max_qpc =
-               List.fold_left
-                 (fun acc (s : Relaxed_greedy.phase_stats) ->
-                   max acc s.max_queries_per_cluster)
-                 0 r.Relaxed_greedy.stats
-             and max_inter =
-               List.fold_left
-                 (fun acc (s : Relaxed_greedy.phase_stats) ->
-                   max acc s.max_inter_degree)
-                 0 r.Relaxed_greedy.stats
-             in
+             let totals = Relaxed_greedy.totals r.Relaxed_greedy.stats in
+             let max_qpc = totals.Relaxed_greedy.peak_queries_per_cluster
+             and max_inter = totals.Relaxed_greedy.peak_inter_degree in
              {
                eps;
                n;
@@ -1174,7 +1166,8 @@ let e_churn () =
           (match r.Dynamic.Engine.kind with
           | Dynamic.Engine.Incremental -> "incr"
           | Dynamic.Engine.Rebuild_threshold -> "rebuild"
-          | Dynamic.Engine.Rebuild_cert_failure -> "cert-fail");
+          | Dynamic.Engine.Rebuild_cert_failure -> "cert-fail"
+          | Dynamic.Engine.Rebuild_backend -> "backend");
           Report.cell_f (1e3 *. r.Dynamic.Engine.repair_seconds);
           Report.cell_f (1e3 *. r.Dynamic.Engine.certify_seconds);
           Report.cell_f (1e3 *. rebuild_s);
@@ -1228,7 +1221,8 @@ let e_churn () =
            (match r.Dynamic.Engine.kind with
            | Dynamic.Engine.Incremental -> "incremental"
            | Dynamic.Engine.Rebuild_threshold -> "rebuild_threshold"
-           | Dynamic.Engine.Rebuild_cert_failure -> "rebuild_cert_failure")
+           | Dynamic.Engine.Rebuild_cert_failure -> "rebuild_cert_failure"
+           | Dynamic.Engine.Rebuild_backend -> "rebuild_backend")
            r.Dynamic.Engine.repair_seconds r.Dynamic.Engine.certify_seconds
            rebuild_s
            (rebuild_s /. Float.max 1e-9 r.Dynamic.Engine.repair_seconds)
@@ -1293,6 +1287,43 @@ let e_obs () =
     "   (off-mode instrumentation is one atomic load per site; the gate in \
      ISSUE/EXPERIMENTS\n\
      \    compares the off row against the pre-instrumentation build)"
+
+(* ------------------------------------------------------------------ *)
+(* E-compare: every registered SPANNER backend head-to-head on one     *)
+(* instance — stretch / degree / weight / power / rounds / messages /  *)
+(* build time, as a table, as gauges (kv), and as BENCH_compare.json.  *)
+(* ------------------------------------------------------------------ *)
+
+let e_compare () =
+  Spanner.Backends.ensure ();
+  let n = if !quick then 200 else 600 in
+  let eps = 0.5 and alpha = 0.8 in
+  let model = model_of ~seed:(23 + n) ~n ~dim:2 ~alpha in
+  let params = Topo.Params.of_epsilon ~eps ~alpha ~dim:2 in
+  let rows = Spanner.Compare.run ~params model in
+  Report.print
+    (Spanner.Compare.table
+       ~title:
+         (Printf.sprintf
+            "E-compare: registered SPANNER backends (n = %d, t = %.2f)" n
+            params.Topo.Params.t)
+       rows);
+  Spanner.Compare.set_gauges rows;
+  let json = Spanner.Compare.to_json ~params ~model rows in
+  (match Obs.Json.parse json with
+  | Ok _ -> ()
+  | Error e -> failwith ("E-compare: emitted JSON does not parse: " ^ e));
+  let oc = open_out "BENCH_compare.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "   [wrote BENCH_compare.json]\n";
+  List.iter
+    (fun (r : Spanner.Compare.row) ->
+      if r.Spanner.Compare.t_ok = Some false then
+        failwith
+          (Spanner.Backend.name r.Spanner.Compare.backend
+          ^ ": measured stretch exceeds the advertised bound"))
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment's kernel.        *)
@@ -1443,6 +1474,7 @@ let experiments =
     ("E-scale", e_scale);
     ("E-churn", e_churn);
     ("E-obs", e_obs);
+    ("E-compare", e_compare);
     ("micro", micro_benchmarks);
   ]
 

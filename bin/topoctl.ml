@@ -4,7 +4,8 @@
      generate    draw a random α-UBG instance and save it
      build       run a topology-control algorithm on an instance
      analyze     print quality metrics of a topology (or the raw instance)
-     compare     table of all algorithms on one instance
+     backends    list the registered SPANNER backends
+     compare     head-to-head of every registered backend on one instance
      rounds      measure the distributed algorithm's round count
      trace-check validate a recorded Chrome trace file *)
 
@@ -198,7 +199,21 @@ let print_summary name ~base g =
 let build_cmd =
   let run () instance algo eps k cones out svg =
     let model = Ubg.Io.load_instance instance in
-    let g = build_topology ~algo ~eps ~k ~cones model in
+    let g =
+      match algo with
+      | `Relaxed ->
+          let r = Topo.Relaxed_greedy.build_eps ~eps model in
+          let tot = Topo.Relaxed_greedy.totals r.Topo.Relaxed_greedy.stats in
+          Format.printf
+            "phases: %d added, %d removed; peak queries/cluster %d, peak \
+             inter-degree %d@."
+            tot.Topo.Relaxed_greedy.sum_added
+            tot.Topo.Relaxed_greedy.sum_removed
+            tot.Topo.Relaxed_greedy.peak_queries_per_cluster
+            tot.Topo.Relaxed_greedy.peak_inter_degree;
+          r.Topo.Relaxed_greedy.spanner
+      | _ -> build_topology ~algo ~eps ~k ~cones model
+    in
     print_summary "result" ~base:model.Ubg.Model.graph g;
     Option.iter
       (fun path ->
@@ -276,45 +291,88 @@ let analyze_cmd =
 (* compare                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let resolve_backend name =
+  Spanner.Backends.ensure ();
+  match Spanner.Backend.find name with
+  | Some b -> b
+  | None ->
+      failwith
+        (Printf.sprintf "unknown backend %s (known: %s)" name
+           (String.concat ", " (Spanner.Backend.names ())))
+
 let compare_cmd =
-  let run () instance eps =
+  let run () instance eps backend_names json =
+    Spanner.Backends.ensure ();
     let model = Ubg.Io.load_instance instance in
-    let base = model.Ubg.Model.graph in
-    let table =
-      Analysis.Report.create
-        ~title:(Printf.sprintf "algorithms on %s (t = %.2f)" instance (1.0 +. eps))
-        ~columns:
-          [ "algorithm"; "edges"; "maxdeg"; "stretch"; "w/MST"; "power/MST" ]
+    let params =
+      Topo.Params.of_epsilon ~eps ~alpha:model.Ubg.Model.alpha
+        ~dim:(Ubg.Model.dim model)
     in
-    List.iter
-      (fun (name, topo) ->
-        let g =
-          match topo with
-          | `Input -> base
-          | #algo as algo -> build_topology ~algo ~eps ~k:1 ~cones:8 model
-        in
-        let s = Analysis.Metrics.summarize ~base g in
-        Analysis.Report.add_row table
-          [
-            name;
-            Analysis.Report.cell_i s.Analysis.Metrics.n_edges;
-            Analysis.Report.cell_i s.Analysis.Metrics.max_degree;
-            Analysis.Report.cell_f s.Analysis.Metrics.edge_stretch;
-            Analysis.Report.cell_f s.Analysis.Metrics.mst_ratio;
-            Analysis.Report.cell_f s.Analysis.Metrics.power_ratio;
-          ])
-      [
-        ("input", `Input); ("relaxed", `Relaxed); ("greedy", `Greedy);
-        ("yao", `Yao); ("theta", `Theta); ("gabriel", `Gabriel);
-        ("rng", `Rng); ("lmst", `Lmst); ("xtc", `Xtc); ("udel", `Udel);
-        ("bounded-planar", `Bounded_planar); ("mst", `Mst);
-      ]
-    |> ignore;
-    Analysis.Report.print table
+    let backends =
+      match backend_names with
+      | [] -> Spanner.Backend.all ()
+      | names -> List.map resolve_backend names
+    in
+    print_summary "input" ~base:model.Ubg.Model.graph model.Ubg.Model.graph;
+    let rows = Spanner.Compare.run ~backends ~params model in
+    Analysis.Report.print
+      (Spanner.Compare.table
+         ~title:
+           (Printf.sprintf "SPANNER backends on %s (t = %.2f)" instance
+              params.Topo.Params.t)
+         rows);
+    Spanner.Compare.set_gauges rows;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Spanner.Compare.to_json ~params ~model rows);
+        close_out oc;
+        Format.printf "wrote %s@." path)
+      json
+  in
+  let backends =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "backends" ] ~docv:"NAMES"
+          ~doc:"Comma-separated registry names (default: every backend).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the comparison as a JSON document to $(docv).")
   in
   Cmd.v
-    (Cmd.info "compare" ~doc:"Compare every algorithm on one instance")
-    Term.(const run $ logs_term $ instance_arg $ eps_arg)
+    (Cmd.info "compare"
+       ~doc:"Head-to-head of the registered SPANNER backends on one instance")
+    Term.(const run $ logs_term $ instance_arg $ eps_arg $ backends $ json)
+
+(* ------------------------------------------------------------------ *)
+(* backends                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let backends_cmd =
+  let run () =
+    Spanner.Backends.ensure ();
+    List.iter
+      (fun b ->
+        let c = Spanner.Backend.capabilities b in
+        Format.printf "%-11s %c%c%c%c  %s@." (Spanner.Backend.name b)
+          (if c.Spanner.Backend.incremental then 'I' else '-')
+          (if c.Spanner.Backend.localized then 'L' else '-')
+          (if c.Spanner.Backend.metric_aware then 'M' else '-')
+          (if c.Spanner.Backend.subgraph then 'S' else '-')
+          (Spanner.Backend.description b))
+      (Spanner.Backend.all ())
+  in
+  Cmd.v
+    (Cmd.info "backends"
+       ~doc:
+         "List the registered SPANNER backends (flags: I incremental, L \
+          localized, M metric-aware, S subgraph)")
+    Term.(const run $ logs_term)
 
 (* ------------------------------------------------------------------ *)
 (* rounds                                                              *)
@@ -484,7 +542,7 @@ let simulate_cmd =
 
 let churn_cmd =
   let run () trace_path record n dim alpha degree seed epochs batch_max speed
-      eps gray threshold check_rebuild =
+      eps gray threshold check_rebuild backend_name =
     if record then begin
       let side =
         Ubg.Generator.side_for_expected_degree ~dim ~n ~alpha ~degree
@@ -509,8 +567,20 @@ let churn_cmd =
         Topo.Params.of_epsilon ~eps ~alpha:model.Ubg.Model.alpha
           ~dim:(Ubg.Model.dim model)
       in
+      let backend =
+        match backend_name with
+        | Some name -> Some (resolve_backend name)
+        | None -> (
+            (* honor the registry's TOPO_BACKEND override, but leave
+               the engine on its historic path when unset *)
+            match Sys.getenv_opt "TOPO_BACKEND" with
+            | Some _ ->
+                Spanner.Backends.ensure ();
+                Some (Spanner.Backend.default ())
+            | None -> None)
+      in
       let engine =
-        Dynamic.Engine.create ~gray ~rebuild_threshold:threshold
+        Dynamic.Engine.create ?backend ~gray ~rebuild_threshold:threshold
           ~clock:Unix.gettimeofday ~params model
       in
       Format.printf
@@ -555,7 +625,8 @@ let churn_cmd =
               (match r.Dynamic.Engine.kind with
               | Dynamic.Engine.Incremental -> "incr"
               | Dynamic.Engine.Rebuild_threshold -> "rebuild"
-              | Dynamic.Engine.Rebuild_cert_failure -> "cert-fail");
+              | Dynamic.Engine.Rebuild_cert_failure -> "cert-fail"
+              | Dynamic.Engine.Rebuild_backend -> "backend");
               Analysis.Report.cell_f
                 (1e3 *. r.Dynamic.Engine.repair_seconds);
               Analysis.Report.cell_f (1e3 *. rebuild_s);
@@ -568,7 +639,7 @@ let churn_cmd =
       Analysis.Report.print table;
       let incr, rebuilds, cert_failures = Dynamic.Engine.counters engine in
       Format.printf
-        "epochs: %d incremental, %d threshold rebuilds, %d certification \
+        "epochs: %d incremental, %d full rebuilds, %d certification \
          failures@.totals: repair %.1f ms vs rebuild %.1f ms (%.1fx)@."
         incr rebuilds cert_failures (1e3 *. !sum_repair)
         (1e3 *. !sum_rebuild)
@@ -632,13 +703,23 @@ let churn_cmd =
             "Measure a real from-scratch rebuild every epoch instead of \
              reusing the engine's estimate (slower).")
   in
+  let backend =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "backend" ] ~docv:"NAME"
+          ~doc:
+            "SPANNER backend for (re)builds (see $(b,topoctl backends)); a \
+             non-incremental backend rebuilds every epoch. Default: the \
+             engine's own relaxed-greedy path, or \\$TOPO_BACKEND when set.")
+  in
   Cmd.v
     (Cmd.info "churn"
        ~doc:"Replay (or record) a churn trace through the incremental engine")
     Term.(
       const run $ logs_term $ trace_arg $ record $ n $ dim $ alpha $ degree
       $ seed_arg $ epochs $ batch_max $ speed $ eps_arg $ gray $ threshold
-      $ check_rebuild)
+      $ check_rebuild $ backend)
 
 (* ------------------------------------------------------------------ *)
 (* trace-check                                                         *)
@@ -673,6 +754,6 @@ let () =
        (Cmd.group
           (Cmd.info "topoctl" ~version:"1.0.0" ~doc)
           [
-            generate_cmd; build_cmd; analyze_cmd; compare_cmd; rounds_cmd;
-            route_cmd; simulate_cmd; churn_cmd; trace_check_cmd;
+            generate_cmd; build_cmd; analyze_cmd; backends_cmd; compare_cmd;
+            rounds_cmd; route_cmd; simulate_cmd; churn_cmd; trace_check_cmd;
           ]))

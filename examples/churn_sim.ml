@@ -39,6 +39,7 @@ let () =
         | Dynamic.Engine.Incremental -> "incr"
         | Dynamic.Engine.Rebuild_threshold -> "rebuild"
         | Dynamic.Engine.Rebuild_cert_failure -> "cert"
+        | Dynamic.Engine.Rebuild_backend -> "backend"
       in
       Format.printf "%6d %4d %6d %7.1f %6s %9.1f %8.4f@." r.epoch r.n_events
         r.n_alive

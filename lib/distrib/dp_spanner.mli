@@ -1,0 +1,50 @@
+(** Localized quasi-UDG (1+ε)-spanner, after Damian–Pemmaraju
+    ("Localized Spanners for Wireless Networks", arXiv 0806.4221).
+
+    The source paper builds, for any quasi-unit disk graph and any
+    ε > 0, a (1+ε)-spanner by a {e localized} algorithm: a constant
+    number of communication rounds in which every node learns a
+    constant-hop neighborhood, followed by purely local edge-selection
+    decisions. This module reproduces that structure on the repo's
+    infrastructure:
+
+    - the neighborhood acquisition runs as a {e real protocol} on the
+      {!Runtime} simulator via {!Flood.gather} ([h] rounds, messages
+      counted), with [h = max 2 (ceil (2t/α))] — the constant-hop
+      knowledge radius the quasi-UDG geometry affords;
+    - edge selection is the localized greedy rule: edges are examined
+      in the globally consistent (length, id) order and edge [{u, v}]
+      is dropped exactly when the already-kept subgraph {e restricted
+      to the owner's h-hop view} contains a [u]-[v] path of length at
+      most [t·w(u,v)] (the owner is the smaller endpoint id; both
+      endpoints hold the full view needed for the decision).
+
+    Restricting the witness search to the local view only ever makes
+    the rule more conservative — a found witness is a genuine t-path in
+    the final spanner — so the output is unconditionally a t-spanner of
+    the input α-UBG, by the same induction as [SEQ-GREEDY]. The view
+    restriction is what makes the computation implementable in O(h)
+    rounds, the source paper's point. The construction is deterministic
+    (no coin flips) and uses no shared-memory parallelism, so its
+    output is trivially identical at every pool size. *)
+
+type result = {
+  spanner : Graph.Wgraph.t;
+  rounds : int;  (** simulator rounds of the h-hop gather *)
+  messages : int;  (** simulator messages of the gather *)
+  max_message_words : int;  (** largest gather message, in words *)
+  gather_hops : int;  (** the knowledge radius h *)
+  max_view : int;  (** largest h-hop view any node acquired *)
+  n_dropped : int;  (** edges rejected by a local witness path *)
+}
+
+(** [build ~params model] runs the localized construction. Euclidean
+    weights; [params] must match the model's alpha and dimension. *)
+val build : params:Topo.Params.t -> Ubg.Model.t -> result
+
+(** [build_eps ~eps model] derives params from the model. *)
+val build_eps : eps:float -> Ubg.Model.t -> result
+
+(** [gather_hops ~params] is the knowledge radius [h] the build uses —
+    exposed so harnesses can report it without running the protocol. *)
+val gather_hops : params:Topo.Params.t -> int

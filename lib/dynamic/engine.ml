@@ -31,7 +31,11 @@ type snapshot = {
   snap_stretch : float;
 }
 
-type repair_kind = Incremental | Rebuild_threshold | Rebuild_cert_failure
+type repair_kind =
+  | Incremental
+  | Rebuild_threshold
+  | Rebuild_cert_failure
+  | Rebuild_backend
 
 type report = {
   epoch : int;
@@ -51,6 +55,9 @@ type report = {
 
 type t = {
   params : Params.t;
+  backend : Spanner.Backend.t option;
+      (* None = historic relaxed-greedy path, bit-identical replays *)
+  backend_incremental : bool;  (* true also when backend = None *)
   gray : Ubg.Gray_zone.t;
   rebuild_threshold : float;
   pipeline_min_edges : int;
@@ -70,6 +77,7 @@ type t = {
 let epoch t = t.epoch
 let n_alive t = Population.n_alive t.pop
 let params t = t.params
+let backend t = t.backend
 let ubg t = t.ubg
 let spanner t = t.spanner
 let last_rebuild_seconds t = t.last_rebuild
@@ -119,13 +127,22 @@ let current_model t =
 (* Full rebuild fallback                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* One full construction of a compacted model through the configured
+   strategy. [backend = None] keeps the historic direct call (no extra
+   trace span), so default replays stay bit-identical. *)
+let construct ~backend ~params model =
+  match backend with
+  | None ->
+      (Topo.Relaxed_greedy.build ~params model).Topo.Relaxed_greedy.spanner
+  | Some b -> (Spanner.Backend.build b ~params model).Spanner.Backend.spanner
+
 let full_rebuild t =
   let model, ids = current_model t in
   let t0 = t.clock () in
-  let result = Topo.Relaxed_greedy.build ~params:t.params model in
+  let spanner = construct ~backend:t.backend ~params:t.params model in
   t.last_rebuild <- t.clock () -. t0;
   let sp = Wgraph.create (Population.capacity t.pop) in
-  Wgraph.iter_edges result.Topo.Relaxed_greedy.spanner (fun u v w ->
+  Wgraph.iter_edges spanner (fun u v w ->
       Wgraph.add_edge sp ids.(u) ids.(v) w);
   t.spanner <- sp
 
@@ -345,7 +362,15 @@ let apply_batch_impl t (events : Churn.event array) =
       [ ("dirty", float_of_int !n_dirty); ("dirty_fraction", dirty_fraction) ])
     "repair"
     (fun () ->
-      if dirty_fraction > t.rebuild_threshold then begin
+      if not t.backend_incremental then begin
+        (* Non-incremental backend: every epoch is a rebuild, then
+           certified like any other repair. *)
+        kind := Rebuild_backend;
+        t.n_rebuilds <- t.n_rebuilds + 1;
+        Obs.Metrics.incr m_rebuilds;
+        full_rebuild t
+      end
+      else if dirty_fraction > t.rebuild_threshold then begin
         kind := Rebuild_threshold;
         t.n_rebuilds <- t.n_rebuilds + 1;
         Obs.Metrics.incr m_rebuilds;
@@ -425,6 +450,7 @@ let kind_code = function
   | Incremental -> 0.0
   | Rebuild_threshold -> 1.0
   | Rebuild_cert_failure -> 2.0
+  | Rebuild_backend -> 3.0
 
 let apply_batch t events =
   if not (Obs.Trace.enabled ()) then apply_batch_impl t events
@@ -450,20 +476,27 @@ let replay t (trace : Churn.trace) ~f =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(gray = Ubg.Gray_zone.Keep_all) ?(rebuild_threshold = 0.3)
-    ?(pipeline_min_edges = 16) ?(history = 4) ?(clock = Sys.time) ~params
-    model =
+let create ?backend ?(gray = Ubg.Gray_zone.Keep_all)
+    ?(rebuild_threshold = 0.3) ?(pipeline_min_edges = 16) ?(history = 4)
+    ?(clock = Sys.time) ~params model =
   if rebuild_threshold <= 0.0 || rebuild_threshold > 1.0 then
     invalid_arg "Engine.create: rebuild_threshold must be in (0, 1]";
   if pipeline_min_edges < 1 then
     invalid_arg "Engine.create: pipeline_min_edges must be >= 1";
   if history < 2 then invalid_arg "Engine.create: history must be >= 2";
+  let backend_incremental =
+    match backend with
+    | None -> true
+    | Some b -> (Spanner.Backend.capabilities b).Spanner.Backend.incremental
+  in
   let t0 = clock () in
-  let result = Topo.Relaxed_greedy.build ~params model in
+  let spanner0 = construct ~backend ~params model in
   let build_seconds = clock () -. t0 in
   let t =
     {
       params;
+      backend;
+      backend_incremental;
       gray;
       rebuild_threshold;
       pipeline_min_edges;
@@ -471,7 +504,7 @@ let create ?(gray = Ubg.Gray_zone.Keep_all) ?(rebuild_threshold = 0.3)
       clock;
       pop = Population.of_points model.Model.points;
       ubg = Wgraph.copy model.Model.graph;
-      spanner = result.Topo.Relaxed_greedy.spanner;
+      spanner = spanner0;
       epoch = 0;
       snaps = [];
       last_rebuild = build_seconds;

@@ -49,6 +49,9 @@ type repair_kind =
   | Incremental  (** dirty-region repair *)
   | Rebuild_threshold  (** dirty fraction exceeded the threshold *)
   | Rebuild_cert_failure  (** incremental result failed certification *)
+  | Rebuild_backend
+      (** the configured backend has no incremental repair path; the
+          epoch was a per-batch rebuild-with-certification *)
 
 (** Per-epoch accounting returned by {!apply_batch}. *)
 type report = {
@@ -69,10 +72,24 @@ type report = {
 
 type t
 
-(** [create ?gray ?rebuild_threshold ?pipeline_min_edges ?history
-    ?clock ~params model] builds the initial spanner with a full
-    {!Topo.Relaxed_greedy.build}, certifies it, and snapshots epoch 0.
-    [params] must match the model's alpha and dimension.
+(** [create ?backend ?gray ?rebuild_threshold ?pipeline_min_edges
+    ?history ?clock ~params model] builds the initial spanner,
+    certifies it, and snapshots epoch 0. [params] must match the
+    model's alpha and dimension.
+
+    [backend] selects the construction strategy. Omitted, the engine
+    runs exactly its historic path: {!Topo.Relaxed_greedy.build} plus
+    the incremental dirty-region repair — replays are bit-identical to
+    pre-backend versions. With an [incremental] backend (the
+    registry's ["relaxed"]) the repair path is kept and only full
+    rebuilds route through the backend. With a {e non-incremental}
+    backend the engine degrades to per-epoch
+    rebuild-with-certification: every batch rebuilds via the backend
+    (reported as {!Rebuild_backend}); dirty marking still runs so
+    reports stay comparable. Certification is always against
+    [params.t], so a backend whose construction cannot meet it (LMST,
+    XTC, Yao/Theta advertise no stretch) fails [create] or the first
+    batch — pick a backend with [advertised_stretch <= t].
 
     [gray] (default [Keep_all]) re-decides gray-zone pairs incident to
     joined or moved nodes. [rebuild_threshold] (default [0.3]) is the
@@ -82,6 +99,7 @@ type t
     rule, which is exact. [history] (default [4], min 2) bounds the
     snapshot list. [clock] (default [Sys.time]) times repairs. *)
 val create :
+  ?backend:Spanner.Backend.t ->
   ?gray:Ubg.Gray_zone.t ->
   ?rebuild_threshold:float ->
   ?pipeline_min_edges:int ->
@@ -90,6 +108,10 @@ val create :
   params:Topo.Params.t ->
   Ubg.Model.t ->
   t
+
+(** The backend chosen at {!create} ([None] = historic relaxed-greedy
+    path). *)
+val backend : t -> Spanner.Backend.t option
 
 (** [apply_batch t events] applies one epoch's events and repairs +
     certifies the spanner. Raises [Invalid_argument] on an event
@@ -124,7 +146,8 @@ val current_model : t -> Ubg.Model.t * int array
     [topoctl churn]. *)
 val last_rebuild_seconds : t -> float
 
-(** (incremental epochs, threshold rebuilds, certification failures). *)
+(** (incremental epochs, full rebuilds — threshold- or backend-driven,
+    certification failures). *)
 val counters : t -> int * int * int
 
 (** {2 Snapshots} *)

@@ -1,0 +1,138 @@
+module Model = Ubg.Model
+module Metrics = Analysis.Metrics
+module Report = Analysis.Report
+
+type row = {
+  backend : Backend.t;
+  result : Backend.result;
+  summary : Metrics.summary;
+  t_ok : bool option;
+}
+
+let run ?metric ?mode ?backends ~params model =
+  let backends =
+    match backends with Some bs -> bs | None -> Backend.all ()
+  in
+  let base =
+    Model.reweight model
+      (match metric with Some m -> m | None -> Geometry.Metric.Euclidean)
+  in
+  List.map
+    (fun b ->
+      let result = Backend.build b ?metric ?mode ~params model in
+      let summary = Metrics.summarize ~base result.Backend.spanner in
+      let t_ok =
+        Option.map
+          (fun t -> summary.Metrics.edge_stretch <= t +. 1e-9)
+          result.Backend.advertised_stretch
+      in
+      { backend = b; result; summary; t_ok })
+    backends
+
+let table ~title rows =
+  let report =
+    Report.create ~title
+      ~columns:
+        [
+          "backend";
+          "edges";
+          "maxdeg";
+          "stretch";
+          "t-ok";
+          "w/MST";
+          "power";
+          "rounds";
+          "msgs";
+          "build-s";
+        ]
+  in
+  List.iter
+    (fun { backend = b; result = r; summary = s; t_ok } ->
+      Report.add_row report
+        [
+          Backend.name b;
+          Report.cell_i s.Metrics.n_edges;
+          Report.cell_i s.Metrics.max_degree;
+          Report.cell_f s.Metrics.edge_stretch;
+          (match t_ok with
+          | None -> "-"
+          | Some true -> "yes"
+          | Some false -> "NO");
+          Report.cell_f s.Metrics.mst_ratio;
+          Report.cell_f s.Metrics.power_ratio;
+          Report.cell_i r.Backend.rounds;
+          Report.cell_i r.Backend.messages;
+          Report.cell_f r.Backend.build_seconds;
+        ])
+    rows;
+  report
+
+let json_num b x =
+  if Float.is_finite x then Buffer.add_string b (Printf.sprintf "%.6g" x)
+  else Buffer.add_string b "null"
+
+let to_json ~params ~model rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"n\": %d,\n  \"dim\": %d,\n" (Model.n model)
+       (Model.dim model));
+  Buffer.add_string b
+    (Printf.sprintf "  \"alpha\": %.6g,\n  \"t\": %.6g,\n"
+       model.Model.alpha params.Topo.Params.t);
+  Buffer.add_string b "  \"backends\": [\n";
+  List.iteri
+    (fun i { backend = bk; result = r; summary = s; t_ok } ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b "    { \"name\": \"";
+      Buffer.add_string b (Backend.name bk);
+      Buffer.add_string b "\"";
+      let caps = Backend.capabilities bk in
+      Buffer.add_string b
+        (Printf.sprintf
+           ", \"incremental\": %b, \"localized\": %b, \"subgraph\": %b"
+           caps.Backend.incremental caps.Backend.localized
+           caps.Backend.subgraph);
+      Buffer.add_string b
+        (Printf.sprintf ", \"edges\": %d, \"max_degree\": %d"
+           s.Metrics.n_edges s.Metrics.max_degree);
+      Buffer.add_string b ", \"stretch\": ";
+      json_num b s.Metrics.edge_stretch;
+      Buffer.add_string b ", \"advertised_stretch\": ";
+      (match r.Backend.advertised_stretch with
+      | Some t -> json_num b t
+      | None -> Buffer.add_string b "null");
+      Buffer.add_string b ", \"t_ok\": ";
+      (match t_ok with
+      | None -> Buffer.add_string b "null"
+      | Some ok -> Buffer.add_string b (string_of_bool ok));
+      Buffer.add_string b ", \"mst_ratio\": ";
+      json_num b s.Metrics.mst_ratio;
+      Buffer.add_string b ", \"power_ratio\": ";
+      json_num b s.Metrics.power_ratio;
+      Buffer.add_string b
+        (Printf.sprintf ", \"rounds\": %d, \"messages\": %d"
+           r.Backend.rounds r.Backend.messages);
+      Buffer.add_string b ", \"build_seconds\": ";
+      json_num b r.Backend.build_seconds;
+      Buffer.add_string b " }")
+    rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let set_gauges rows =
+  let set name v =
+    Obs.Metrics.set_gauge (Obs.Metrics.gauge name) v
+  in
+  List.iter
+    (fun { backend = bk; result = r; summary = s; t_ok = _ } ->
+      let p q = Printf.sprintf "compare.%s.%s" (Backend.name bk) q in
+      set (p "edges") (float_of_int s.Metrics.n_edges);
+      set (p "max_degree") (float_of_int s.Metrics.max_degree);
+      set (p "stretch") s.Metrics.edge_stretch;
+      set (p "mst_ratio") s.Metrics.mst_ratio;
+      set (p "power_ratio") s.Metrics.power_ratio;
+      set (p "rounds") (float_of_int r.Backend.rounds);
+      set (p "messages") (float_of_int r.Backend.messages);
+      set (p "build_s") r.Backend.build_seconds)
+    rows

@@ -351,10 +351,33 @@ let build_eps ?metric ?mode ~eps model =
   in
   build ?metric ?mode ~params model
 
-let total_added stats = List.fold_left (fun acc s -> acc + s.n_added) 0 stats
+type totals = {
+  sum_added : int;
+  sum_removed : int;
+  peak_queries_per_cluster : int;
+  peak_inter_degree : int;
+}
 
-let total_removed stats =
-  List.fold_left (fun acc s -> acc + s.n_removed) 0 stats
+let totals stats =
+  List.fold_left
+    (fun acc s ->
+      {
+        sum_added = acc.sum_added + s.n_added;
+        sum_removed = acc.sum_removed + s.n_removed;
+        peak_queries_per_cluster =
+          max acc.peak_queries_per_cluster s.max_queries_per_cluster;
+        peak_inter_degree = max acc.peak_inter_degree s.max_inter_degree;
+      })
+    {
+      sum_added = 0;
+      sum_removed = 0;
+      peak_queries_per_cluster = 0;
+      peak_inter_degree = 0;
+    }
+    stats
+
+let total_added stats = (totals stats).sum_added
+let total_removed stats = (totals stats).sum_removed
 
 (* Exported for Dynamic.Engine: one Euclidean PROCESS-LONG-EDGES phase,
    pure with respect to [spanner] — the caller inserts the kept edges. *)

@@ -93,3 +93,16 @@ val run_phase :
 val total_added : phase_stats list -> int
 
 val total_removed : phase_stats list -> int
+
+(** One fold over a build's phase stats: the sums and maxima every
+    consumer of {!result} wants (the bench sweep, [topoctl], the
+    comparison harness). [sum_*] add the per-phase counters; [peak_*]
+    are the Lemma 4 / Lemma 6 quantities maximized over phases. *)
+type totals = {
+  sum_added : int;
+  sum_removed : int;
+  peak_queries_per_cluster : int;  (** max over phases, Lemma 4 *)
+  peak_inter_degree : int;  (** max over phases, Lemma 6 *)
+}
+
+val totals : phase_stats list -> totals

@@ -1,0 +1,242 @@
+(* Backend conformance: one identical battery against EVERY entry of
+   the SPANNER registry (ISSUE 6 satellite), plus the engine's
+   degradation path for non-incremental backends.
+
+   The battery per backend:
+     - subgraph of the input α-UBG whenever capabilities.subgraph;
+     - connected whenever the input is;
+     - Verify.is_t_spanner_csr at the advertised stretch (skipped for
+       heuristics that advertise none);
+     - bit-identical output at TOPO_DOMAINS=1 vs 4;
+     - a traced build writes a Chrome file that Export.validate_file
+       accepts, and the top-level span carries the backend=<name> arg. *)
+
+module Wgraph = Graph.Wgraph
+module Csr = Graph.Csr
+module Pool = Parallel.Pool
+module Model = Ubg.Model
+module Churn = Ubg.Churn
+module Backend = Spanner.Backend
+module Backends = Spanner.Backends
+module Engine = Dynamic.Engine
+open Test_helpers
+
+let () = Backends.ensure ()
+let eps = 0.5
+
+let params_of model =
+  Topo.Params.of_epsilon ~eps ~alpha:model.Model.alpha
+    ~dim:(Model.dim model)
+
+(* One shared instance; connected, so the connectivity check bites. *)
+let model = lazy (connected_model ~seed:11 ~n:80 ~dim:2 ~alpha:0.8)
+
+let canonical g =
+  List.sort compare
+    (List.map
+       (fun (e : Wgraph.edge) -> (min e.u e.v, max e.u e.v, e.w))
+       (Wgraph.edges g))
+
+let build_with b model = Backend.build b ~params:(params_of model) model
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_populated () =
+  let names = Backend.names () in
+  if List.length names < 6 then
+    Alcotest.failf "registry has %d backends, expected >= 6"
+      (List.length names);
+  List.iter
+    (fun n ->
+      if not (List.mem n names) then Alcotest.failf "missing backend %s" n)
+    [ "relaxed"; "seq-greedy"; "dp-quasi"; "ft-greedy"; "lmst"; "xtc" ];
+  (* names are the registry keys *)
+  List.iter
+    (fun n ->
+      match Backend.find n with
+      | Some b -> Alcotest.(check string) "find/name" n (Backend.name b)
+      | None -> Alcotest.failf "find %s = None" n)
+    names
+
+let test_registry_default () =
+  (* Without TOPO_BACKEND the default is the paper's algorithm. *)
+  Alcotest.(check string)
+    "default" Backend.default_name
+    (Backend.name (Backend.default ()))
+
+let test_ft_greedy_param () =
+  (* The k parameter reaches the construction: k=2 keeps extra edges. *)
+  let model = Lazy.force model in
+  let e1 = (build_with (Backends.ft_greedy ~k:1) model).Backend.spanner in
+  let e2 = (build_with (Backends.ft_greedy ~k:2) model).Backend.spanner in
+  if Wgraph.n_edges e2 < Wgraph.n_edges e1 then
+    Alcotest.failf "k=2 kept fewer edges (%d) than k=1 (%d)"
+      (Wgraph.n_edges e2) (Wgraph.n_edges e1)
+
+let registry_tests =
+  [
+    Alcotest.test_case "registry has >= 6 backends, findable by name" `Quick
+      test_registry_populated;
+    Alcotest.test_case "default backend is relaxed" `Quick
+      test_registry_default;
+    Alcotest.test_case "ft-greedy honors its k parameter" `Quick
+      test_ft_greedy_param;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-backend conformance battery                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_subgraph b () =
+  let model = Lazy.force model in
+  let r = build_with b model in
+  if (Backend.capabilities b).Backend.subgraph then
+    Wgraph.iter_edges r.Backend.spanner (fun u v _ ->
+        if not (Wgraph.mem_edge model.Model.graph u v) then
+          Alcotest.failf "edge {%d,%d} is not in the base UBG" u v)
+
+let test_connected b () =
+  let model = Lazy.force model in
+  let r = build_with b model in
+  Alcotest.(check bool)
+    "spanner connected on a connected input" true
+    (Graph.Components.is_connected r.Backend.spanner)
+
+let test_advertised_stretch b () =
+  let model = Lazy.force model in
+  let r = build_with b model in
+  match r.Backend.advertised_stretch with
+  | None -> ()
+  | Some t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "is_t_spanner_csr at t = %g" t)
+        true
+        (Topo.Verify.is_t_spanner_csr
+           ~base:(Csr.of_wgraph model.Model.graph)
+           ~spanner:(Csr.of_wgraph r.Backend.spanner)
+           ~t)
+
+let test_deterministic b () =
+  let model = Lazy.force model in
+  let at domains =
+    Pool.set_domains domains;
+    Fun.protect ~finally:Pool.clear_domains (fun () ->
+        canonical (build_with b model).Backend.spanner)
+  in
+  Alcotest.(check bool)
+    "identical edge set at 1 vs 4 domains" true
+    (at 1 = at 4)
+
+let test_traced_build b () =
+  let model = Lazy.force model in
+  Obs.Trace.set_enabled true;
+  Obs.Trace.clear ();
+  let finally () =
+    Obs.Trace.set_enabled false;
+    Obs.Trace.clear ()
+  in
+  Fun.protect ~finally (fun () ->
+      ignore (build_with b model);
+      let tagged =
+        List.exists
+          (fun (e : Obs.Trace.event) ->
+            e.name = "build"
+            && List.mem_assoc ("backend=" ^ Backend.name b) e.args)
+          (Obs.Trace.events ())
+      in
+      Alcotest.(check bool) "top-level span carries backend=<name>" true
+        tagged;
+      let path =
+        Filename.temp_file
+          ("trace_" ^ Backend.name b ^ "_")
+          ".json"
+      in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Obs.Export.write_chrome path;
+          match Obs.Export.validate_file path with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "trace invalid: %s" msg))
+
+let conformance_suite b =
+  let name = Backend.name b in
+  ( "conformance:" ^ name,
+    [
+      Alcotest.test_case (name ^ " subgraph") `Quick (test_subgraph b);
+      Alcotest.test_case (name ^ " connected") `Quick (test_connected b);
+      Alcotest.test_case (name ^ " advertised stretch") `Quick
+        (test_advertised_stretch b);
+      Alcotest.test_case (name ^ " deterministic 1 vs 4 domains") `Quick
+        (test_deterministic b);
+      Alcotest.test_case (name ^ " traced build validates") `Quick
+        (test_traced_build b);
+    ] )
+
+(* ------------------------------------------------------------------ *)
+(* Engine over backends                                                *)
+(* ------------------------------------------------------------------ *)
+
+let trace_setup ~seed ~n ~epochs ~batch_max =
+  let alpha = 0.8 in
+  let model = connected_model ~seed ~n ~dim:2 ~alpha in
+  let side =
+    Ubg.Generator.side_for_expected_degree ~dim:2 ~n ~alpha ~degree:9.0
+  in
+  let trace =
+    Churn.generate ~seed:(seed + 17) ~epochs ~batch_max
+      (Churn.default_dynamics ~side)
+      model
+  in
+  (model, trace)
+
+let fingerprint ?backend (model, trace) =
+  let e = Engine.create ?backend ~params:(params_of model) model in
+  let per_epoch = ref [] in
+  Engine.replay e trace ~f:(fun r ->
+      per_epoch :=
+        (r.Engine.epoch, r.Engine.kind, canonical (Engine.spanner e))
+        :: !per_epoch);
+  (e, List.rev !per_epoch)
+
+(* The explicit relaxed backend must not perturb the default engine:
+   same per-epoch spanners, same repair kinds. *)
+let prop_engine_relaxed_backend_identical =
+  qtest ~count:5 "engine: explicit relaxed backend replays bit-identical"
+    seed_arb (fun seed ->
+      let setup = trace_setup ~seed ~n:60 ~epochs:5 ~batch_max:4 in
+      let relaxed = Option.get (Backend.find "relaxed") in
+      snd (fingerprint setup) = snd (fingerprint ~backend:relaxed setup))
+
+(* A non-incremental backend degrades to rebuild-with-certification:
+   every epoch completes, reports Rebuild_backend, and certifies. *)
+let prop_engine_non_incremental_rebuilds =
+  qtest ~count:5 "engine: non-incremental backend rebuilds every epoch"
+    seed_arb (fun seed ->
+      let ((model, _) as setup) =
+        trace_setup ~seed ~n:60 ~epochs:5 ~batch_max:4
+      in
+      let seq = Option.get (Backend.find "seq-greedy") in
+      let t = (params_of model).Topo.Params.t in
+      let e, epochs = fingerprint ~backend:seq setup in
+      List.length epochs = 5
+      && List.for_all
+           (fun (_, kind, _) -> kind = Engine.Rebuild_backend)
+           epochs
+      && (Engine.latest e).Engine.snap_stretch <= t +. 1e-9)
+
+let engine_tests =
+  [
+    prop_engine_relaxed_backend_identical;
+    prop_engine_non_incremental_rebuilds;
+  ]
+
+let () =
+  let suites =
+    ("registry", registry_tests)
+    :: List.map conformance_suite (Backend.all ())
+    @ [ ("engine-backends", engine_tests) ]
+  in
+  Alcotest.run "backends" suites
