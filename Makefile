@@ -1,5 +1,6 @@
 .PHONY: all check test fmt bench bench-smoke bench-churn-smoke \
-	bench-scale-smoke bench-compare-smoke trace-smoke clean
+	bench-scale-smoke bench-compare-smoke bench-oracle-smoke \
+	trace-smoke clean
 
 all:
 	dune build @all
@@ -39,6 +40,15 @@ bench-scale-smoke:
 # backend violates its advertised stretch.
 bench-compare-smoke:
 	dune exec bench/main.exe -- E-compare quick
+
+# Query-serving gate: E-qps at reduced size, emits BENCH_oracle.json.
+# TOPO_QPS_GATE makes any sub-gate failure exit non-zero: oracle
+# estimates must sit in [exact, (1+eps) exact], distance batches must
+# be bit-identical at 1 and 4 domains, the far-path batch must not
+# allocate per query, and on >= 4 cores the 4-domain batch must run
+# at >= 2x the 1-domain qps (1 core: ratio recorded but waived).
+bench-oracle-smoke:
+	TOPO_QPS_GATE=1 dune exec bench/main.exe -- E-qps quick
 
 # Observability smoke: run a traced scaling bench (spans from the
 # builder, pool, and stage timers), then validate the emitted Chrome

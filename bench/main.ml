@@ -1326,6 +1326,295 @@ let e_compare () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* E-qps: oracle query-serving throughput.                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Builds the relaxed-greedy spanner at n = 10^4 (quick: 1500), freezes
+   it to CSR, precomputes the distance/routing oracle, and answers >=
+   10^6 mixed queries against it: ~70% point-to-point distance
+   estimates in pool batches, ~20% greedy next-hop forwarding steps,
+   ~10% full route extractions. Four sub-checks ride along:
+
+   - correctness: on sampled pairs the estimate is sandwiched between
+     the exact CSR distance and (1 + eps) times it, the oracle's
+     advertised regime (near answers are exact, far answers are real
+     walk lengths);
+   - determinism: the distance batch is bit-identical at 1 and 4
+     domains (slot-disjoint writes, schedule-independent values);
+   - allocation: a far-only single-domain batch must not allocate per
+     query — the far path is flat int/float array arithmetic, and this
+     is the sub-gate that catches an accidental boxing regression;
+   - throughput: batch qps at 4 domains vs 1 domain. On a >= 4 core
+     box the soft gate wants 2x; on 2-3 cores it wants 1.2x; on 1 core
+     the ratio is recorded but waived (oversubscription mode, like
+     E-scale) and only the correctness sub-gates bind.
+
+   Emits BENCH_oracle.json; TOPO_QPS_GATE=1 turns any sub-gate failure
+   into exit 2 (CI). *)
+let e_qps () =
+  let n = if !quick then 1500 else 10_000 in
+  let eps = 0.5 in
+  let dist_total = if !quick then 70_000 else 700_000 in
+  let hop_total = if !quick then 20_000 else 200_000 in
+  let path_total = if !quick then 10_000 else 100_000 in
+  let model = model_of ~seed:(42 + n) ~n ~dim:2 ~alpha:0.8 in
+  let t0 = Unix.gettimeofday () in
+  let r = Relaxed_greedy.build_eps ~eps model in
+  let spanner_s = Unix.gettimeofday () -. t0 in
+  let csr = Graph.Csr.of_wgraph r.Relaxed_greedy.spanner in
+  let oracle = Oracle.Dist.build ~eps csr in
+  let st = Oracle.Dist.stats oracle in
+  let qws = Oracle.Dist.create_query_ws () in
+  (* -- correctness: estimate in [exact, (1+eps) * exact] on samples -- *)
+  let rand = Random.State.make [| 42 + n; 0x09d5 |] in
+  let sample_pairs = 200 in
+  let max_ratio = ref 1.0 in
+  let correct = ref true in
+  for _ = 1 to sample_pairs do
+    let u = Random.State.int rand n and v = Random.State.int rand n in
+    let est = Oracle.Dist.distance_estimate oracle qws u v in
+    let exact = Graph.Dijkstra.distance_csr csr u v in
+    if exact = infinity then begin
+      if est <> infinity then correct := false
+    end
+    else begin
+      if est < exact -. 1e-9 then correct := false;
+      if est > ((1.0 +. eps) *. exact) +. 1e-9 then correct := false;
+      if exact > 0.0 then max_ratio := Float.max !max_ratio (est /. exact)
+    end
+  done;
+  (* -- distance batches at 1 and 4 domains ------------------------- *)
+  let us = Array.init dist_total (fun _ -> Random.State.int rand n) in
+  let vs = Array.init dist_total (fun _ -> Random.State.int rand n) in
+  let out1 = Array.make dist_total 0.0 in
+  let out4 = Array.make dist_total 0.0 in
+  let reps = 2 in
+  let measure d out =
+    Parallel.Pool.set_domains d;
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      Oracle.Dist.distance_batch_into oracle ~u:us ~v:vs ~out;
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    Parallel.Pool.clear_domains ();
+    float_of_int dist_total /. !best
+  in
+  let qps1 = measure 1 out1 in
+  let dist_wall = float_of_int dist_total /. qps1 in
+  let qps4 = measure 4 out4 in
+  let deterministic = out1 = out4 in
+  (* -- allocation probe: far-only batch on the warm main domain ----- *)
+  let far_u = ref [] and far_v = ref [] and n_far = ref 0 in
+  Array.iteri
+    (fun i d ->
+      if d < infinity && d > st.Oracle.Dist.near_bound +. 1e-6 then begin
+        far_u := us.(i) :: !far_u;
+        far_v := vs.(i) :: !far_v;
+        incr n_far
+      end)
+    out1;
+  let alloc_measured = !n_far >= 1_000 in
+  let alloc_per_query =
+    if not alloc_measured then nan
+    else begin
+      let fu = Array.of_list !far_u and fv = Array.of_list !far_v in
+      let fout = Array.make !n_far 0.0 in
+      Oracle.Dist.distance_batch_into ~domains:1 oracle ~u:fu ~v:fv
+        ~out:fout;
+      let w0 = Gc.minor_words () in
+      Oracle.Dist.distance_batch_into ~domains:1 oracle ~u:fu ~v:fv
+        ~out:fout;
+      let w1 = Gc.minor_words () in
+      (w1 -. w0) /. float_of_int !n_far
+    end
+  in
+  let alloc_pass = (not alloc_measured) || alloc_per_query < 0.5 in
+  (* -- next-hop forwarding chains ----------------------------------- *)
+  let hops = ref 0 and chains = ref 0 and delivered = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  while !hops < hop_total do
+    let src = Random.State.int rand n and dst = Random.State.int rand n in
+    if src <> dst then begin
+      incr chains;
+      let cur = ref src and live = ref true and steps = ref 0 in
+      while !live do
+        let h = Oracle.Dist.next_hop oracle qws !cur ~dst in
+        incr hops;
+        incr steps;
+        if h = -1 || h = -2 || !steps > 4 * n then live := false
+        else begin
+          cur := h;
+          if h = dst then begin
+            incr delivered;
+            live := false
+          end
+        end
+      done
+    end
+  done;
+  let hop_wall = Unix.gettimeofday () -. t0 in
+  (* -- full route extractions --------------------------------------- *)
+  let routed = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to path_total do
+    let src = Random.State.int rand n and dst = Random.State.int rand n in
+    match Oracle.Dist.spanner_path oracle qws ~src ~dst with
+    | Some _ -> incr routed
+    | None -> ()
+  done;
+  let path_wall = Unix.gettimeofday () -. t0 in
+  let total = dist_total + hop_total + path_total in
+  let mixed_wall = dist_wall +. hop_wall +. path_wall in
+  let mixed_qps = float_of_int total /. mixed_wall in
+  (* -- gates ---------------------------------------------------------- *)
+  let cores = Domain.recommended_domain_count () in
+  let gate_mode, gate_limit =
+    if cores >= 4 then ("scaling", 2.0)
+    else if cores >= 2 then ("partial", 1.2)
+    else ("oversubscription", 0.0)
+  in
+  let gate_ratio = qps4 /. qps1 in
+  let gate_pass = gate_ratio >= gate_limit in
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E-qps: oracle serving throughput (n = %d, eps = %.2f, %d \
+            clusters, %d cores)"
+           n eps st.Oracle.Dist.n_clusters cores)
+      ~columns:[ "workload"; "queries"; "wall s"; "queries/s"; "note" ]
+  in
+  Report.add_row t
+    [
+      "distance batch (1d)"; Report.cell_i dist_total;
+      Printf.sprintf "%.3f" dist_wall; Printf.sprintf "%.3g" qps1;
+      Printf.sprintf "%d far" !n_far;
+    ];
+  Report.add_row t
+    [
+      "distance batch (4d)"; Report.cell_i dist_total;
+      Printf.sprintf "%.3f" (float_of_int dist_total /. qps4);
+      Printf.sprintf "%.3g" qps4;
+      (if deterministic then "identical" else "DIFFERS");
+    ];
+  Report.add_row t
+    [
+      "next_hop chains"; Report.cell_i !hops;
+      Printf.sprintf "%.3f" hop_wall;
+      Printf.sprintf "%.3g" (float_of_int !hops /. hop_wall);
+      Printf.sprintf "%d/%d delivered" !delivered !chains;
+    ];
+  Report.add_row t
+    [
+      "spanner_path"; Report.cell_i path_total;
+      Printf.sprintf "%.3f" path_wall;
+      Printf.sprintf "%.3g" (float_of_int path_total /. path_wall);
+      Printf.sprintf "%d routed" !routed;
+    ];
+  Report.add_row t
+    [
+      "mixed total"; Report.cell_i total; Printf.sprintf "%.3f" mixed_wall;
+      Printf.sprintf "%.3g" mixed_qps; "";
+    ];
+  Report.print t;
+  Printf.printf
+    "   oracle: build %.3f s (spanner %.3f s), %d clusters, radius %.4g, \
+     near bound %.4g, %d table words\n"
+    st.Oracle.Dist.build_seconds spanner_s st.Oracle.Dist.n_clusters
+    st.Oracle.Dist.radius st.Oracle.Dist.near_bound
+    st.Oracle.Dist.table_words;
+  Printf.printf
+    "   correctness on %d sampled pairs: %s (max est/exact %.4f, bound \
+     %.4f)\n"
+    sample_pairs
+    (if !correct then "PASS" else "FAIL")
+    !max_ratio (1.0 +. eps);
+  Printf.printf "   allocation: %s\n"
+    (if not alloc_measured then
+       Printf.sprintf "skipped (%d far pairs < 1000)" !n_far
+     else
+       Printf.sprintf "%.4f minor words/query over %d far queries: %s"
+         alloc_per_query !n_far
+         (if alloc_pass then "PASS" else "FAIL"));
+  Printf.printf
+    "   soft qps gate [%s: 4-domain qps >= %.1fx 1-domain]: %s (ratio \
+     %.2f)\n"
+    gate_mode gate_limit
+    (if gate_pass then "PASS" else "FAIL")
+    gate_ratio;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E-qps\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"n\": %d,\n  \"m\": %d,\n  \"eps\": %.2f,\n  \"cores\": %d,\n" n
+       st.Oracle.Dist.n_edges eps cores);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"oracle\": { \"clusters\": %d, \"radius\": %.6f, \
+        \"near_bound\": %.6f, \"table_words\": %d, \"build_s\": %.6f, \
+        \"spanner_build_s\": %.6f },\n"
+       st.Oracle.Dist.n_clusters st.Oracle.Dist.radius
+       st.Oracle.Dist.near_bound st.Oracle.Dist.table_words
+       st.Oracle.Dist.build_seconds spanner_s);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"queries\": { \"distance\": %d, \"next_hop\": %d, \"path\": %d, \
+        \"total\": %d, \"mixed_wall_s\": %.6f, \"mixed_qps\": %.1f },\n"
+       dist_total !hops path_total total mixed_wall mixed_qps);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"batch\": { \"qps_1d\": %.1f, \"qps_4d\": %.1f, \"ratio\": \
+        %.4f, \"deterministic\": %b },\n"
+       qps1 qps4 gate_ratio deterministic);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"alloc\": { \"measured\": %b, \"far_queries\": %d, \
+        \"minor_words_per_query\": %s, \"pass\": %b },\n"
+       alloc_measured !n_far
+       (if alloc_measured then Printf.sprintf "%.6f" alloc_per_query
+        else "null")
+       alloc_pass);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"correctness\": { \"pairs\": %d, \"max_ratio\": %.6f, \
+        \"bound\": %.2f, \"pass\": %b },\n"
+       sample_pairs !max_ratio (1.0 +. eps) !correct);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"gate\": { \"mode\": \"%s\", \"limit_ratio\": %.2f, \"ratio\": \
+        %.4f, \"pass\": %b }\n"
+       gate_mode gate_limit gate_ratio gate_pass);
+  Buffer.add_string buf "}\n";
+  (match Obs.Json.parse (Buffer.contents buf) with
+  | Ok _ -> ()
+  | Error e -> failwith ("E-qps: emitted JSON does not parse: " ^ e));
+  let oc = open_out "BENCH_oracle.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "   [wrote BENCH_oracle.json]\n";
+  if Sys.getenv_opt "TOPO_QPS_GATE" <> None then begin
+    if not !correct then begin
+      prerr_endline "E-qps: oracle estimate outside [exact, (1+eps)*exact]";
+      exit 2
+    end;
+    if not deterministic then begin
+      prerr_endline "E-qps: DETERMINISM VIOLATION (1d vs 4d batch differs)";
+      exit 2
+    end;
+    if not alloc_pass then begin
+      prerr_endline "E-qps: far-path batch allocates per query";
+      exit 2
+    end;
+    if not gate_pass then begin
+      prerr_endline
+        "E-qps: soft qps gate FAILED (4-domain batch below the mode's \
+         speedup floor)";
+      exit 2
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment's kernel.        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1475,6 +1764,7 @@ let experiments =
     ("E-churn", e_churn);
     ("E-obs", e_obs);
     ("E-compare", e_compare);
+    ("E-qps", e_qps);
     ("micro", micro_benchmarks);
   ]
 

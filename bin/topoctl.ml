@@ -7,6 +7,8 @@
      backends    list the registered SPANNER backends
      compare     head-to-head of every registered backend on one instance
      rounds      measure the distributed algorithm's round count
+     query       answer distance/route queries from a precomputed oracle
+     serve-bench serve oracle queries concurrently with a churn replay
      trace-check validate a recorded Chrome trace file *)
 
 open Cmdliner
@@ -722,6 +724,219 @@ let churn_cmd =
       $ check_rebuild $ backend)
 
 (* ------------------------------------------------------------------ *)
+(* query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_eps_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "oracle-eps" ] ~docv:"EPS"
+        ~doc:
+          "Oracle slack: far answers are within 1 + $(docv) of the exact \
+           topology distance (near answers are exact).")
+
+let load_pairs file =
+  let ic = open_in file in
+  let pairs = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match
+           String.split_on_char ' ' line
+           |> List.filter (fun s -> s <> "")
+           |> List.map int_of_string_opt
+         with
+         | [ Some u; Some v ] -> pairs := (u, v) :: !pairs
+         | _ -> failwith (Printf.sprintf "%s: bad pair line %S" file line)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Array.of_list (List.rev !pairs)
+
+let query_cmd =
+  let run () instance algo eps oeps src dst batch show_path =
+    let model = Ubg.Io.load_instance instance in
+    let topology = build_topology ~algo ~eps ~k:1 ~cones:8 model in
+    let csr = Graph.Csr.of_wgraph topology in
+    let service = Oracle.Service.of_csr ~eps:oeps csr in
+    let entry = Oracle.Service.current service in
+    let oracle = entry.Oracle.Service.oracle in
+    let st = Oracle.Dist.stats oracle in
+    Format.printf
+      "oracle: %d clusters over n = %d, m = %d; radius %.4g, near bound \
+       %.4g, %d table words, built in %.1f ms@."
+      st.Oracle.Dist.n_clusters st.Oracle.Dist.n st.Oracle.Dist.n_edges
+      st.Oracle.Dist.radius st.Oracle.Dist.near_bound
+      st.Oracle.Dist.table_words
+      (1e3 *. st.Oracle.Dist.build_seconds);
+    match batch with
+    | Some file ->
+        let pairs = load_pairs file in
+        let m = Array.length pairs in
+        let u = Array.map fst pairs and v = Array.map snd pairs in
+        let out = Array.make m 0.0 in
+        let t0 = Unix.gettimeofday () in
+        Oracle.Dist.distance_batch_into oracle ~u ~v ~out;
+        let dt = Unix.gettimeofday () -. t0 in
+        Array.iteri
+          (fun i d -> Format.printf "%d %d %g@." u.(i) v.(i) d)
+          out;
+        Format.printf "# %d queries in %.3f ms (%.3g queries/s)@." m
+          (1e3 *. dt)
+          (float_of_int m /. Float.max 1e-9 dt)
+    | None ->
+        let src =
+          match src with
+          | Some s -> s
+          | None -> failwith "query: need SRC DST positions or --batch FILE"
+        in
+        let dst =
+          match dst with
+          | Some d -> d
+          | None -> failwith "query: need SRC DST positions or --batch FILE"
+        in
+        let qws = Oracle.Dist.create_query_ws () in
+        let est = Oracle.Dist.distance_estimate oracle qws src dst in
+        let exact = Graph.Dijkstra.distance_csr csr src dst in
+        Format.printf
+          "estimate %d -> %d: %g (exact %g, ratio %.4f, advertised <= %.4f)@."
+          src dst est exact
+          (if exact > 0.0 && exact < infinity then est /. exact else 1.0)
+          (1.0 +. oeps);
+        if show_path then begin
+          match Oracle.Dist.spanner_path oracle qws ~src ~dst with
+          | None -> Format.printf "route: unreachable@."
+          | Some path ->
+              Format.printf "route (%d hops):" (Array.length path - 1);
+              Array.iter (fun v -> Format.printf " %d" v) path;
+              Format.printf "@."
+        end
+  in
+  let src =
+    Arg.(
+      value & pos 1 (some int) None
+      & info [] ~docv:"SRC" ~doc:"Source vertex (single-query mode).")
+  in
+  let dst =
+    Arg.(
+      value & pos 2 (some int) None
+      & info [] ~docv:"DST" ~doc:"Destination vertex (single-query mode).")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "batch" ] ~docv:"FILE"
+          ~doc:
+            "Answer every \"u v\" pair in $(docv) (one per line, # \
+             comments) on the domain pool and print one distance per line.")
+  in
+  let show_path =
+    Arg.(
+      value & flag
+      & info [ "path" ]
+          ~doc:"Also print the oracle's route (single-query mode).")
+  in
+  let algo =
+    Arg.(
+      value & opt algo_conv `Relaxed
+      & info [ "algo" ] ~doc:"Topology to serve queries over.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Answer point-to-point distance/route queries from an oracle")
+    Term.(
+      const run $ logs_term $ instance_arg $ algo $ eps_arg $ oracle_eps_arg
+      $ src $ dst $ batch $ show_path)
+
+(* ------------------------------------------------------------------ *)
+(* serve-bench                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench_cmd =
+  let run () trace_path eps oeps batch seed =
+    let trace = Ubg.Io.load_trace trace_path in
+    let model = trace.Ubg.Churn.initial in
+    let params =
+      Topo.Params.of_epsilon ~eps ~alpha:model.Ubg.Model.alpha
+        ~dim:(Ubg.Model.dim model)
+    in
+    let engine =
+      Dynamic.Engine.create ~clock:Unix.gettimeofday ~params model
+    in
+    let service = Oracle.Service.attach ~eps:oeps engine in
+    (* The replay domain owns the pool (repairs, certification, oracle
+       builds all run there); the main domain serves scalar queries
+       lock-free off the RCU cell the whole time. *)
+    let done_flag = Atomic.make false in
+    let replayer =
+      Domain.spawn (fun () ->
+          let n = ref 0 in
+          Dynamic.Engine.replay engine trace ~f:(fun _ -> incr n);
+          Atomic.set done_flag true;
+          !n)
+    in
+    let qws = Oracle.Dist.create_query_ws () in
+    let st = Random.State.make [| seed; 0x5e7e |] in
+    let queries = ref 0 in
+    let epochs_seen = ref 0 in
+    let builds_s = ref 0.0 in
+    let last_epoch = ref (-1) in
+    let checksum = ref 0.0 in
+    let t0 = Unix.gettimeofday () in
+    while not (Atomic.get done_flag) do
+      let entry = Oracle.Service.current service in
+      let ep = entry.Oracle.Service.epoch in
+      if ep <> !last_epoch then begin
+        last_epoch := ep;
+        incr epochs_seen;
+        builds_s :=
+          !builds_s
+          +. (Oracle.Dist.stats entry.Oracle.Service.oracle)
+               .Oracle.Dist.build_seconds
+      end;
+      let oracle = entry.Oracle.Service.oracle in
+      let n = Graph.Csr.n_vertices entry.Oracle.Service.csr in
+      for _ = 1 to batch do
+        let u = Random.State.int st n and v = Random.State.int st n in
+        let d = Oracle.Dist.distance_estimate oracle qws u v in
+        if d < infinity then checksum := !checksum +. d
+      done;
+      queries := !queries + batch
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let replayed = Domain.join replayer in
+    Format.printf
+      "served %d queries in %.3f s (%.3g queries/s, checksum %.6g) while \
+       replaying %d epochs@.observed %d distinct published epochs; oracle \
+       builds totalled %.1f ms@."
+      !queries dt
+      (float_of_int !queries /. Float.max 1e-9 dt)
+      !checksum replayed !epochs_seen (1e3 *. !builds_s)
+  in
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Churn trace (ubg-churn format).")
+  in
+  let batch =
+    Arg.(
+      value & opt int 1024
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Queries per RCU read of the serving cell.")
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Serve oracle queries concurrently with a churn replay (one \
+          writer, lock-free readers)")
+    Term.(
+      const run $ logs_term $ trace_arg $ eps_arg $ oracle_eps_arg $ batch
+      $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
 (* trace-check                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -755,5 +970,6 @@ let () =
           (Cmd.info "topoctl" ~version:"1.0.0" ~doc)
           [
             generate_cmd; build_cmd; analyze_cmd; backends_cmd; compare_cmd;
-            rounds_cmd; route_cmd; simulate_cmd; churn_cmd; trace_check_cmd;
+            rounds_cmd; route_cmd; simulate_cmd; churn_cmd; query_cmd;
+            serve_bench_cmd; trace_check_cmd;
           ]))

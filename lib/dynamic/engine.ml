@@ -72,6 +72,9 @@ type t = {
   mutable n_incremental : int;
   mutable n_rebuilds : int;
   mutable n_cert_failures : int;
+  mutable epoch_hooks : (snapshot -> unit) list;
+      (* newest first; fired in registration order after each
+         successful apply_batch snapshot push *)
 }
 
 let epoch t = t.epoch
@@ -88,6 +91,8 @@ let latest t =
   match t.snaps with
   | s :: _ -> s
   | [] -> assert false (* create always pushes epoch 0 *)
+
+let on_epoch t f = t.epoch_hooks <- f :: t.epoch_hooks
 
 let diff ~before ~after =
   Csr.diff ~before:before.snap_spanner ~after:after.snap_spanner
@@ -430,6 +435,8 @@ let apply_batch_impl t (events : Churn.event array) =
   t.epoch <- t.epoch + 1;
   Obs.Metrics.incr m_epochs;
   push_snapshot t ~base ~sp ~stretch;
+  (let snap = latest t in
+   List.iter (fun f -> f snap) (List.rev t.epoch_hooks));
   {
     epoch = t.epoch;
     n_events = Array.length events;
@@ -511,6 +518,7 @@ let create ?backend ?(gray = Ubg.Gray_zone.Keep_all)
       n_incremental = 0;
       n_rebuilds = 0;
       n_cert_failures = 0;
+      epoch_hooks = [];
     }
   in
   let base, sp, stretch = certify t in

@@ -157,6 +157,16 @@ val snapshots : t -> snapshot list
 
 val latest : t -> snapshot
 
+(** [on_epoch t f] registers [f] to run on each new snapshot, on the
+    domain calling {!apply_batch}, after certification succeeds and
+    the snapshot is pushed but before the report is returned — the
+    publish hook the oracle serving plane attaches to. Hooks fire in
+    registration order and are never unregistered; neither {!create}'s
+    epoch-0 snapshot (register-then-publish yourself via {!latest})
+    nor {!rollback} fires them. A hook that raises aborts the batch
+    {e after} the epoch was committed — keep hooks total. *)
+val on_epoch : t -> (snapshot -> unit) -> unit
+
 (** [diff ~before ~after] is {!Graph.Csr.diff} on the two snapshots'
     spanners: the edges added and removed between the epochs. *)
 val diff : before:snapshot -> after:snapshot -> Graph.Wgraph.edge array * Graph.Wgraph.edge array

@@ -125,6 +125,7 @@ type workspace = {
   mutable stamp : int array;
   mutable mark : int array; (* per-round marks, valid iff = mark_epoch *)
   mutable touched : int array; (* settled vertices of the last search *)
+  mutable par : int array; (* tree parents, valid where stamp = epoch *)
   mutable n_touched : int;
   mutable epoch : int;
   mutable mark_epoch : int;
@@ -137,6 +138,7 @@ let create_workspace () =
     stamp = [||];
     mark = [||];
     touched = [||];
+    par = [||];
     n_touched = 0;
     epoch = 0;
     mark_epoch = 0;
@@ -155,6 +157,7 @@ let ws_prepare ws n =
     ws.stamp <- Array.make cap 0;
     ws.mark <- Array.make cap 0;
     ws.touched <- Array.make cap 0;
+    ws.par <- Array.make cap (-1);
     ws.epoch <- 0;
     ws.mark_epoch <- 0;
     ws.heap <- Heap.create cap
@@ -208,6 +211,32 @@ let gen_settle_within_ws ws ~n ~iter src ~bound =
           let dv = du +. w in
           if dv < ws_get ws v then begin
             ws_set ws v dv;
+            Heap.insert_or_decrease ws.heap v dv
+          end)
+    end
+  done
+
+(* [gen_settle_within_ws] plus tree parents: identical relaxation and
+   settle order (so results stay bit-identical to the parentless
+   variant), with [par.(v)] recording the predecessor that last
+   improved [v]. Valid only at settled vertices of this search. *)
+let gen_settle_parents_ws ws ~n ~iter src ~bound =
+  ws_prepare ws n;
+  ws_set ws src 0.0;
+  ws.par.(src) <- -1;
+  Heap.insert ws.heap src 0.0;
+  let finished = ref false in
+  while (not !finished) && not (Heap.is_empty ws.heap) do
+    let u, du = Heap.pop_min ws.heap in
+    if du > bound then finished := true
+    else begin
+      ws.touched.(ws.n_touched) <- u;
+      ws.n_touched <- ws.n_touched + 1;
+      iter u (fun v w ->
+          let dv = du +. w in
+          if dv < ws_get ws v then begin
+            ws_set ws v dv;
+            ws.par.(v) <- u;
             Heap.insert_or_decrease ws.heap v dv
           end)
     end
@@ -363,6 +392,32 @@ let within_csr_into ws c src ~bound ~out_v ~out_d =
     let v = ws.touched.(i) in
     out_v.(i) <- v;
     out_d.(i) <- ws.dist.(v)
+  done;
+  k
+
+(* Runs the parents search and leaves everything in the workspace for
+   [ws_reached] / [ws_distance] / [ws_parent] — the oracle's route
+   reader walks the tree in place instead of copying it out. *)
+let settle_parents_csr_ws ws c src ~bound =
+  gen_settle_parents_ws ws ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src ~bound
+
+let ws_reached ws v = ws.stamp.(v) = ws.epoch
+let ws_distance ws v = ws_get ws v
+let ws_parent ws v = if ws.stamp.(v) = ws.epoch then ws.par.(v) else -1
+
+(* The oracle's shortest-path-tree primitive: same settle trace as
+   [within_csr_into], plus the tree parent of every settled vertex
+   ([-1] at [src]). *)
+let within_parents_csr_into ws c src ~bound ~out_v ~out_d ~out_p =
+  gen_settle_parents_ws ws ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src ~bound;
+  let k = ws.n_touched in
+  if Array.length out_v < k || Array.length out_d < k || Array.length out_p < k
+  then invalid_arg "Dijkstra.within_parents_csr_into: result buffers too small";
+  for i = 0 to k - 1 do
+    let v = ws.touched.(i) in
+    out_v.(i) <- v;
+    out_d.(i) <- ws.dist.(v);
+    out_p.(i) <- ws.par.(v)
   done;
   k
 

@@ -116,5 +116,43 @@ val within_csr_into :
   out_d:float array ->
   int
 
+(** [settle_parents_csr_ws ws c src ~bound] runs the bounded
+    shortest-path-tree search from [src] and leaves the result in the
+    workspace, to be read in place through the three accessors below —
+    no copy-out. The tree is valid until the workspace's next search. *)
+val settle_parents_csr_ws : workspace -> Csr.t -> int -> bound:float -> unit
+
+(** [ws_reached ws v] is [true] when the last search touched [v]. A
+    touched vertex whose final distance is within the bound is settled
+    and its distance and parent are exact; a touched-but-unsettled
+    frontier vertex (tentative label beyond the bound) reports its
+    tentative values — callers walking the tree should start from a
+    vertex they know is settled. *)
+val ws_reached : workspace -> int -> bool
+
+(** Distance label of the last search, [infinity] when untouched. *)
+val ws_distance : workspace -> int -> float
+
+(** Tree parent from the last {e parents} search, [-1] when untouched
+    (or the source). After a parentless search the value is stale —
+    only use after {!settle_parents_csr_ws} /
+    {!within_parents_csr_into}. *)
+val ws_parent : workspace -> int -> int
+
+(** [within_parents_csr_into ws c src ~bound ~out_v ~out_d ~out_p] is
+    {!within_csr_into} plus the shortest-path tree: [out_p.(i)] is the
+    tree parent of [out_v.(i)] ([-1] for [src]). Same relaxation and
+    settle order as the parentless variant, so [out_v] / [out_d] are
+    bit-identical to it. This is the oracle's SPT primitive. *)
+val within_parents_csr_into :
+  workspace ->
+  Csr.t ->
+  int ->
+  bound:float ->
+  out_v:int array ->
+  out_d:float array ->
+  out_p:int array ->
+  int
+
 val hop_bounded_distance_csr_ws :
   workspace -> Csr.t -> int -> int -> max_hops:int -> bound:float -> float

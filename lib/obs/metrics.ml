@@ -96,6 +96,23 @@ let time m f =
    first bucket with v <= edge); an implicit +inf overflow bucket is
    appended. Fixed buckets, linear scan — edges arrays are short. *)
 
+(* Log-spaced edges for latency-style histograms whose interesting
+   range spans decades (a query is ~100ns, an oracle build ~1s). *)
+let exp_buckets ~lo ~hi ~per_decade =
+  if not (lo > 0.0 && hi > lo) then
+    invalid_arg "Obs.Metrics.exp_buckets: need 0 < lo < hi";
+  if per_decade < 1 then
+    invalid_arg "Obs.Metrics.exp_buckets: need per_decade >= 1";
+  let step = 10.0 ** (1.0 /. float_of_int per_decade) in
+  let acc = ref [] in
+  let e = ref lo in
+  while !e < hi *. (1.0 -. 1e-12) do
+    acc := !e :: !acc;
+    e := !e *. step
+  done;
+  acc := hi :: !acc;
+  Array.of_list (List.rev !acc)
+
 let histogram name ~buckets =
   if Array.length buckets = 0 then
     invalid_arg "Obs.Metrics.histogram: empty bucket list";

@@ -48,6 +48,12 @@ val timer_value : t -> float * int
     bucket after the last edge. *)
 
 val histogram : string -> buckets:float array -> t
+
+(** [exp_buckets ~lo ~hi ~per_decade] is a log-spaced edge array from
+    [lo] to [hi] (both included) with [per_decade] edges per decade —
+    the natural bucket shape for latency histograms spanning decades.
+    Requires [0 < lo < hi] and [per_decade >= 1]. *)
+val exp_buckets : lo:float -> hi:float -> per_decade:int -> float array
 val observe : t -> float -> unit
 
 (** [histogram_counts t] has [Array.length edges + 1] entries, the last

@@ -1,0 +1,503 @@
+module Csr = Graph.Csr
+module Dijkstra = Graph.Dijkstra
+module Wgraph = Graph.Wgraph
+module Pool = Parallel.Pool
+
+(* Flat-array oracle over one frozen snapshot. Center indices (not
+   vertex ids) index every k-sized table; [dmat] / [next_center] are
+   k x k row-major. The center graph H keeps its own CSR-style arrays
+   so each H edge can carry its portal (the crossing spanner edge the
+   route expansion threads through) — [Graph.Csr] has no edge
+   payloads. *)
+type t = {
+  csr : Csr.t;
+  eps : float;
+  radius : float;
+  near_bound : float;
+  k : int;
+  centers : int array; (* center index -> vertex id *)
+  center_ix : int array; (* vertex -> center index, -1 = isolated *)
+  dist_to_center : float array; (* vertex -> exact d(v, own center) *)
+  up : int array; (* vertex -> SPT parent toward own center, -1 at centers *)
+  dmat : float array; (* k*k center-graph distances *)
+  next_center : int array; (* k*k first center hop, -1 = unreachable *)
+  h_off : int array; (* k+1: center graph adjacency offsets *)
+  h_dst : int array;
+  h_px : int array; (* portal endpoint inside the source cluster *)
+  h_py : int array; (* portal endpoint inside the destination cluster *)
+  build_seconds : float;
+}
+
+let csr t = t.csr
+
+type stats = {
+  n : int;
+  n_edges : int;
+  n_clusters : int;
+  radius : float;
+  eps : float;
+  near_bound : float;
+  build_seconds : float;
+  table_words : int;
+}
+
+let stats t =
+  {
+    n = Csr.n_vertices t.csr;
+    n_edges = Csr.n_edges t.csr;
+    n_clusters = t.k;
+    radius = t.radius;
+    eps = t.eps;
+    near_bound = t.near_bound;
+    build_seconds = t.build_seconds;
+    table_words =
+      Array.length t.centers + Array.length t.center_ix
+      + Array.length t.dist_to_center + Array.length t.up
+      + Array.length t.dmat + Array.length t.next_center
+      + Array.length t.h_off + Array.length t.h_dst + Array.length t.h_px
+      + Array.length t.h_py;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let m_builds = Obs.Metrics.counter "oracle.builds"
+let m_queries = Obs.Metrics.counter "oracle.queries"
+let m_batches = Obs.Metrics.counter "oracle.batches"
+let g_build_seconds = Obs.Metrics.gauge "oracle.build_seconds"
+let g_batch_qps = Obs.Metrics.gauge "oracle.last_batch_qps"
+
+(* Per-query latency is only meaningful averaged over a batch: a far
+   answer is ~100ns and timing each one would cost more than the
+   answer. One observation per batch, of the mean. *)
+let m_query_latency =
+  Obs.Metrics.histogram "oracle.query_mean_latency_s"
+    ~buckets:(Obs.Metrics.exp_buckets ~lo:1e-8 ~hi:1e-2 ~per_decade:2)
+
+(* ------------------------------------------------------------------ *)
+(* Build                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Pick the cover by radius doubling: start at four mean edge weights
+   and double until the greedy cover fits under the cluster cap, so k
+   stays O(max_clusters) whatever the weight scale. Everything is a
+   pure function of the snapshot — no randomness, no schedule
+   dependence. *)
+let find_cover j ~max_clusters =
+  let m = Csr.n_edges j in
+  let mean_w = if m = 0 then 0.0 else Csr.total_weight j /. float_of_int m in
+  let rho = ref (4.0 *. mean_w) in
+  let cover = ref None in
+  let attempts = ref 0 in
+  while !cover = None && !attempts < 60 do
+    incr attempts;
+    (match
+       Topo.Cluster_cover.compute_csr_limited j ~radius:!rho
+         ~skip_isolated:true ~max_clusters ()
+     with
+    | Some c -> cover := Some c
+    | None -> rho := !rho *. 2.0)
+  done;
+  match !cover with
+  | Some c -> c
+  | None ->
+      (* Radius exceeds the total edge weight: clusters are whole
+         components and the count cannot shrink further — accept. *)
+      Option.get
+        (Topo.Cluster_cover.compute_csr_limited j ~radius:!rho
+           ~skip_isolated:true ~max_clusters:max_int ())
+
+let build ?(eps = 0.5) ?max_clusters j =
+  if not (eps > 0.0) then invalid_arg "Oracle.build: eps must be > 0";
+  let t0 = Unix.gettimeofday () in
+  let n = Csr.n_vertices j in
+  let max_clusters =
+    match max_clusters with
+    | Some k when k >= 1 -> k
+    | Some _ -> invalid_arg "Oracle.build: max_clusters must be >= 1"
+    | None -> max 16 (int_of_float (4.0 *. sqrt (float_of_int n)))
+  in
+  let cover = find_cover j ~max_clusters in
+  let centers = cover.Topo.Cluster_cover.centers in
+  let k = Array.length centers in
+  let radius = cover.Topo.Cluster_cover.radius in
+  let center_ix = Array.make n (-1) in
+  Array.iteri (fun ix c -> center_ix.(c) <- ix) centers;
+  (* center_of holds vertex ids; fold to indices in one pass. *)
+  let center_of = cover.Topo.Cluster_cover.center_of in
+  for v = 0 to n - 1 do
+    if center_of.(v) >= 0 then center_ix.(v) <- center_ix.(center_of.(v))
+  done;
+  let dist_to_center = Array.copy cover.Topo.Cluster_cover.dist_to_center in
+  (* Cluster SPTs: one bounded parents search per center, batched on
+     the pool in contiguous chunks so each chunk pays for its scratch
+     buffers once. Members of distinct clusters are disjoint, so the
+     [up] writes are slot-disjoint and the result is schedule-free. *)
+  let up = Array.make n (-1) in
+  Pool.iter_chunks k (fun lo hi ->
+      let ws = Dijkstra.domain_workspace () in
+      let out_v = Array.make n 0 in
+      let out_d = Array.make n 0.0 in
+      let out_p = Array.make n 0 in
+      for ix = lo to hi - 1 do
+        let c = centers.(ix) in
+        let cnt =
+          Dijkstra.within_parents_csr_into ws j c ~bound:radius ~out_v ~out_d
+            ~out_p
+        in
+        for i = 0 to cnt - 1 do
+          let v = out_v.(i) in
+          if center_ix.(v) = ix && v <> c then up.(v) <- out_p.(i)
+        done
+      done);
+  (* Center graph H: scan the snapshot's edges (deterministic u < v
+     lexicographic order) for cluster-crossing ones; each adjacent
+     cluster pair keeps the crossing edge minimizing
+     d(a,x) + w + d(y,b) as its portal, ties to the first in scan
+     order. *)
+  let h_edges = Hashtbl.create (4 * k) in
+  let h_order = ref [] in
+  let n_h = ref 0 in
+  Csr.iter_edges j (fun x y w ->
+      let cx = center_ix.(x) and cy = center_ix.(y) in
+      if cx >= 0 && cy >= 0 && cx <> cy then begin
+        let key = if cx < cy then (cx, cy) else (cy, cx) in
+        let px, py = if cx < cy then (x, y) else (y, x) in
+        let cost = dist_to_center.(x) +. w +. dist_to_center.(y) in
+        match Hashtbl.find_opt h_edges key with
+        | None ->
+            Hashtbl.add h_edges key (cost, px, py);
+            h_order := key :: !h_order;
+            incr n_h
+        | Some (best, _, _) ->
+            if cost < best then Hashtbl.replace h_edges key (cost, px, py)
+      end);
+  let h_list = Array.of_list (List.rev !h_order) in
+  (* Both directions, counting-sorted into CSR form; [h_order] fixes a
+     deterministic edge order and rows come out sorted by source, with
+     insertion order within a row given by the scan. *)
+  let deg = Array.make (k + 1) 0 in
+  Array.iter
+    (fun (a, b) ->
+      deg.(a) <- deg.(a) + 1;
+      deg.(b) <- deg.(b) + 1)
+    h_list;
+  let h_off = Array.make (k + 1) 0 in
+  for i = 0 to k - 1 do
+    h_off.(i + 1) <- h_off.(i) + deg.(i)
+  done;
+  let total = h_off.(k) in
+  let h_dst = Array.make total 0 in
+  let h_px = Array.make total 0 in
+  let h_py = Array.make total 0 in
+  let hg = Wgraph.create (max k 1) in
+  let cursor = Array.copy h_off in
+  Array.iter
+    (fun ((a, b) as key) ->
+      let cost, px, py = Hashtbl.find h_edges key in
+      let ia = cursor.(a) in
+      cursor.(a) <- ia + 1;
+      h_dst.(ia) <- b;
+      h_px.(ia) <- px;
+      h_py.(ia) <- py;
+      let ib = cursor.(b) in
+      cursor.(b) <- ib + 1;
+      h_dst.(ib) <- a;
+      h_px.(ib) <- py;
+      h_py.(ib) <- px;
+      Wgraph.add_edge hg a b cost)
+    h_list;
+  let h_csr = Csr.of_wgraph hg in
+  (* k single-source searches on H fill the distance matrix and, via a
+     settle-order sweep, the first-hop table: the first center hop
+     from [a] toward [v] is [v] itself when [v]'s tree parent is [a],
+     else the first hop toward the parent (the parent always sorts
+     strictly earlier — H weights are positive). Rows are
+     slot-disjoint, so pool size never shows in the result. *)
+  let dmat = Array.make (k * k) infinity in
+  let next_center = Array.make (k * k) (-1) in
+  Pool.parallel_for k (fun a ->
+      let ws = Dijkstra.domain_workspace () in
+      Dijkstra.settle_parents_csr_ws ws h_csr a ~bound:infinity;
+      let row = a * k in
+      let order = Array.init k (fun i -> i) in
+      Array.sort
+        (fun x y ->
+          let c =
+            compare (Dijkstra.ws_distance ws x) (Dijkstra.ws_distance ws y)
+          in
+          if c <> 0 then c else compare x y)
+        order;
+      Array.iter
+        (fun v ->
+          if Dijkstra.ws_reached ws v then begin
+            dmat.(row + v) <- Dijkstra.ws_distance ws v;
+            if v <> a then
+              let p = Dijkstra.ws_parent ws v in
+              next_center.(row + v) <-
+                (if p = a then v else next_center.(row + p))
+          end)
+        order);
+  let near_bound =
+    if k = 0 then 0.0 else 4.0 *. radius *. (1.0 +. (1.0 /. eps))
+  in
+  let build_seconds = Unix.gettimeofday () -. t0 in
+  Obs.Metrics.incr m_builds;
+  Obs.Metrics.set_gauge g_build_seconds build_seconds;
+  {
+    csr = j;
+    eps;
+    radius;
+    near_bound;
+    k;
+    centers;
+    center_ix;
+    dist_to_center;
+    up;
+    dmat;
+    next_center;
+    h_off;
+    h_dst;
+    h_px;
+    h_py;
+    build_seconds;
+  }
+
+let build ?eps ?max_clusters j =
+  if not (Obs.Control.enabled ()) then build ?eps ?max_clusters j
+  else begin
+    let info = ref [] in
+    Obs.Trace.span ~cat:"oracle" ~args:(fun () -> !info) "oracle.build"
+      (fun () ->
+        let t = build ?eps ?max_clusters j in
+        info :=
+          [
+            ("n", float_of_int (Csr.n_vertices j));
+            ("clusters", float_of_int t.k);
+            ("radius", t.radius);
+            ("build_s", t.build_seconds);
+          ];
+        t)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Query workspaces                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type query_ws = {
+  dws : Dijkstra.workspace;
+  mutable route : int array; (* cached route, route.(0 .. route_len-1) *)
+  mutable route_len : int;
+  mutable route_pos : int; (* index of the current holder in route *)
+  mutable route_dst : int; (* -1 = no cached route *)
+  mutable stack : int array; (* descent-reversal scratch *)
+}
+
+let create_query_ws () =
+  {
+    dws = Dijkstra.create_workspace ();
+    route = [||];
+    route_len = 0;
+    route_pos = 0;
+    route_dst = -1;
+    stack = [||];
+  }
+
+let qws_key = Domain.DLS.new_key create_query_ws
+let domain_query_ws () = Domain.DLS.get qws_key
+
+(* ------------------------------------------------------------------ *)
+(* Distance queries                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Far estimates never underestimate (they are genuine walk lengths),
+   so a bounded exact search with the estimate as bound always settles
+   the target on the near path; the epsilon absorbs rounding in the
+   three-term sum. *)
+let bound_slack = 1e-9
+
+let distance_estimate t qws u v =
+  Obs.Metrics.incr m_queries;
+  if u = v then 0.0
+  else begin
+    let cu = t.center_ix.(u) and cv = t.center_ix.(v) in
+    if cu < 0 || cv < 0 then infinity
+    else begin
+      let l =
+        t.dist_to_center.(u) +. t.dmat.((cu * t.k) + cv)
+        +. t.dist_to_center.(v)
+      in
+      if l <= t.near_bound then
+        Dijkstra.distance_upto_csr_ws qws.dws t.csr u v ~bound:(l +. bound_slack)
+      else l
+    end
+  end
+
+let distance_batch_into ?domains (t : t) ~u ~v ~out =
+  let n = Array.length u in
+  if Array.length v <> n || Array.length out <> n then
+    invalid_arg "Oracle.distance_batch_into: array lengths disagree";
+  let t0 = Unix.gettimeofday () in
+  Pool.iter_chunks ?domains n (fun lo hi ->
+      let dws = (domain_query_ws ()).dws in
+      let near_bound = t.near_bound in
+      let k = t.k in
+      for i = lo to hi - 1 do
+        let uu = u.(i) and vv = v.(i) in
+        if uu = vv then out.(i) <- 0.0
+        else begin
+          let cu = t.center_ix.(uu) and cv = t.center_ix.(vv) in
+          if cu < 0 || cv < 0 then out.(i) <- infinity
+          else begin
+            (* The far path is pure float arithmetic into a float
+               array slot: no boxing, no allocation, no search. *)
+            let l =
+              t.dist_to_center.(uu) +. t.dmat.((cu * k) + cv)
+              +. t.dist_to_center.(vv)
+            in
+            if l <= near_bound then
+              out.(i) <-
+                Dijkstra.distance_upto_csr_ws dws t.csr uu vv
+                  ~bound:(l +. bound_slack)
+            else out.(i) <- l
+          end
+        end
+      done);
+  let dt = Unix.gettimeofday () -. t0 in
+  Obs.Metrics.incr m_batches;
+  Obs.Metrics.add m_queries n;
+  if n > 0 then begin
+    Obs.Metrics.observe m_query_latency (dt /. float_of_int n);
+    if dt > 0.0 then Obs.Metrics.set_gauge g_batch_qps (float_of_int n /. dt)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Routes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let push qws x =
+  (* Squash consecutive duplicates (portal = center, zero-length
+     ascents) so the route is a clean vertex walk. *)
+  if qws.route_len > 0 && qws.route.(qws.route_len - 1) = x then ()
+  else begin
+    if qws.route_len = Array.length qws.route then begin
+      let cap = max 16 (2 * qws.route_len) in
+      let r = Array.make cap 0 in
+      Array.blit qws.route 0 r 0 qws.route_len;
+      qws.route <- r
+    end;
+    qws.route.(qws.route_len) <- x;
+    qws.route_len <- qws.route_len + 1
+  end
+
+let spush qws x n =
+  if n = Array.length qws.stack then begin
+    let cap = max 16 (2 * n) in
+    let s = Array.make cap 0 in
+    Array.blit qws.stack 0 s 0 n;
+    qws.stack <- s
+  end;
+  qws.stack.(n) <- x;
+  n + 1
+
+(* Emit the path center-of-cluster -> x (the reverse of x's up-chain);
+   the center itself must already be on the route. *)
+let emit_descent t qws x =
+  let sl = ref 0 in
+  let v = ref x in
+  while t.up.(!v) >= 0 do
+    sl := spush qws !v !sl;
+    v := t.up.(!v)
+  done;
+  for i = !sl - 1 downto 0 do
+    push qws qws.stack.(i)
+  done
+
+(* Rebuild the cached route from [src]. Near pairs route on the exact
+   shortest path (parents search from [dst], so each vertex's parent
+   IS its next hop toward [dst]); far pairs ascend to the source's
+   center, thread the center chain through the portals, and descend.
+   Returns false when unreachable. *)
+let compute_route t qws src dst =
+  qws.route_len <- 0;
+  qws.route_pos <- 0;
+  qws.route_dst <- -1;
+  let cu = t.center_ix.(src) and cv = t.center_ix.(dst) in
+  if cu < 0 || cv < 0 then false
+  else begin
+    let l =
+      t.dist_to_center.(src) +. t.dmat.((cu * t.k) + cv)
+      +. t.dist_to_center.(dst)
+    in
+    if l = infinity then false
+    else begin
+      if l <= t.near_bound then begin
+        Dijkstra.settle_parents_csr_ws qws.dws t.csr dst
+          ~bound:(l +. bound_slack);
+        (* The true distance is at most [l], so [src] and every vertex
+           on its shortest path to [dst] settled within the bound; the
+           parent chain cannot dead-end. *)
+        let v = ref src in
+        push qws src;
+        while !v <> dst do
+          let p = Dijkstra.ws_parent qws.dws !v in
+          assert (p >= 0);
+          v := p;
+          push qws !v
+        done
+      end
+      else begin
+        (* Ascend src -> its center. *)
+        push qws src;
+        let v = ref src in
+        while t.up.(!v) >= 0 do
+          v := t.up.(!v);
+          push qws !v
+        done;
+        (* Center chain, expanding each H edge through its portal. *)
+        let a = ref cu in
+        while !a <> cv do
+          let b = t.next_center.((!a * t.k) + cv) in
+          let e = ref t.h_off.(!a) in
+          while t.h_dst.(!e) <> b do
+            incr e
+          done;
+          emit_descent t qws t.h_px.(!e);
+          push qws t.h_py.(!e);
+          let w = ref t.h_py.(!e) in
+          while t.up.(!w) >= 0 do
+            w := t.up.(!w);
+            push qws !w
+          done;
+          a := b
+        done;
+        emit_descent t qws dst
+      end;
+      qws.route_dst <- dst;
+      true
+    end
+  end
+
+let spanner_path t qws ~src ~dst =
+  if src = dst then Some [| src |]
+  else if compute_route t qws src dst then
+    Some (Array.sub qws.route 0 qws.route_len)
+  else None
+
+let next_hop t qws u ~dst =
+  if u = dst then -1
+  else if
+    qws.route_dst = dst
+    && qws.route_pos + 1 < qws.route_len
+    && qws.route.(qws.route_pos) = u
+  then begin
+    (* Forwarding along the cached route: one array read per hop. *)
+    qws.route_pos <- qws.route_pos + 1;
+    qws.route.(qws.route_pos)
+  end
+  else if compute_route t qws u dst then begin
+    qws.route_pos <- 1;
+    qws.route.(1)
+  end
+  else -2

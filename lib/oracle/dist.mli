@@ -1,0 +1,133 @@
+(** Approximate distance / routing oracle over a frozen spanner
+    snapshot.
+
+    The oracle is the read side of the system: it is built once per
+    epoch from an immutable {!Graph.Csr.t} (typically a
+    [Dynamic.Engine] spanner snapshot) and then answers point-to-point
+    queries without touching the builder again. Its landmark structure
+    is the paper's own cluster machinery (Section 2.2.1): a
+    Das–Narasimhan cluster cover of radius [rho] picks [k = O(sqrt n)]
+    centers, and the oracle stores
+
+    - per vertex: its cluster index, its exact distance to its own
+      center, and the first edge of its shortest path toward that
+      center (the [up] pointer — the cluster's shortest-path tree,
+      inverted);
+    - per center pair: the exact center-graph distance through
+      {e portal} edges (for two adjacent clusters, the crossing spanner
+      edge minimizing [d(a,x) + w(x,y) + d(y,b)]) in a flat [k x k]
+      row-major matrix, plus the first center hop of that path.
+
+    Every stored center-graph distance is the length of a genuine walk
+    in the snapshot, so the landmark estimate
+    [L = d(u,c_u) + dmat(c_u,c_v) + d(c_v,v)] never underestimates.
+    Queries split on [L]:
+
+    - {b near} ([L <= near_bound], with
+      [near_bound = 4 rho (1 + 1/eps)]): the true distance is at most
+      [L], so a bounded workspace Dijkstra with bound [L] returns the
+      {e exact} distance at the cost of a small ball scan;
+    - {b far}: [L] itself is returned in O(1) — two cluster lookups
+      and one matrix read, no allocation, no search. Whenever the
+      center-graph detour costs at most [4 rho] over the true distance
+      (the regime geometric instances live in; the E-qps bench and the
+      oracle tests verify it on sampled pairs), far answers are within
+      [1 + eps] of the snapshot distance, hence within [(1+eps) t] of
+      the base-graph distance when the snapshot is a certified
+      [t]-spanner.
+
+    Routing follows the same split: near routes are exact shortest
+    paths read off the bounded search's parent tree; far routes ascend
+    [u] to its center, walk the center chain through the portals, and
+    descend to [v] — a genuine spanner walk of length exactly [L].
+
+    The oracle is immutable after {!build}; any number of domains may
+    query one concurrently, each through its own {!query_ws}. *)
+
+type t
+
+(** {1 Building} *)
+
+(** [build ?eps ?max_clusters csr] precomputes an oracle over [csr].
+
+    [eps > 0] (default [0.5]) is the oracle's advertised slack — it
+    only moves the near/far threshold, trading preprocessing-free far
+    answers against exact-search near answers. [max_clusters] (default
+    [4 sqrt n], at least 16) caps the landmark count: the cover radius
+    starts at four times the mean edge weight and doubles until the
+    greedy cover fits, so the [k x k] tables stay compact whatever the
+    weight scale. Isolated vertices (dead capacity slots in engine
+    snapshots) join no cluster and answer [infinity] / no-route.
+
+    Cluster shortest-path trees and the [k] center-graph searches run
+    on the {!Parallel.Pool}; every array written is slot-disjoint, so
+    the result is bit-identical for every pool size. Raises
+    [Invalid_argument] on [eps <= 0]. *)
+val build : ?eps:float -> ?max_clusters:int -> Graph.Csr.t -> t
+
+(** The snapshot the oracle was built over. *)
+val csr : t -> Graph.Csr.t
+
+(** {1 Introspection} *)
+
+type stats = {
+  n : int;  (** snapshot vertices *)
+  n_edges : int;
+  n_clusters : int;  (** landmark count [k] *)
+  radius : float;  (** cover radius [rho] after doubling *)
+  eps : float;
+  near_bound : float;  (** [4 rho (1 + 1/eps)] *)
+  build_seconds : float;
+  table_words : int;  (** words held by the flat oracle arrays *)
+}
+
+val stats : t -> stats
+
+(** {1 Query workspaces}
+
+    A workspace owns every buffer a query needs — the bounded-search
+    Dijkstra workspace, the parent-overlay scratch and the cached
+    route — so the query hot path allocates nothing in steady state
+    (buffers grow to the largest instance seen, then are reused). One
+    workspace serves one query at a time and must not be shared
+    between domains. *)
+
+type query_ws
+
+val create_query_ws : unit -> query_ws
+
+(** The calling domain's private workspace (via [Domain.DLS]). *)
+val domain_query_ws : unit -> query_ws
+
+(** {1 Queries} *)
+
+(** [distance_estimate t ws u v] is [0] when [u = v], [infinity] when
+    the vertices are in different components (or either is isolated),
+    the exact snapshot distance on the near path and the landmark
+    walk length [L] on the far path — never less than the true
+    snapshot distance. *)
+val distance_estimate : t -> query_ws -> int -> int -> float
+
+(** [distance_batch_into t ~u ~v ~out] answers [out.(i) <-
+    distance_estimate u.(i) v.(i)] for every [i], spread over the pool
+    in contiguous chunks ({!Parallel.Pool.iter_chunks}); each chunk
+    fetches its domain's workspace once. Results are bit-identical to
+    the sequential loop for every pool size. Raises
+    [Invalid_argument] when the arrays disagree in length. *)
+val distance_batch_into :
+  ?domains:int -> t -> u:int array -> v:int array -> out:float array -> unit
+
+(** [spanner_path t ws ~src ~dst] materializes the route the oracle
+    would forward along: the exact shortest path on the near path, the
+    ascend/portal-chain/descend walk (of length exactly the far
+    estimate) otherwise. [None] when unreachable. Allocates the
+    result array; use {!next_hop} on hot paths. *)
+val spanner_path : t -> query_ws -> src:int -> dst:int -> int array option
+
+(** [next_hop t ws u ~dst] is the next vertex on the oracle's route
+    from [u] to [dst], [-1] when [u = dst], [-2] when unreachable.
+    The workspace caches the current route: repeated calls along it
+    ([u] advancing hop by hop toward the same [dst], the forwarding
+    pattern) are O(1) array reads; any deviation recomputes from the
+    new holder. *)
+val next_hop : t -> query_ws -> int -> dst:int -> int

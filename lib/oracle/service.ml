@@ -1,0 +1,49 @@
+type entry = { epoch : int; csr : Graph.Csr.t; oracle : Dist.t }
+
+(* The whole serving plane: one atomic cell per service. [Atomic.set]
+   is a release store and [Atomic.get] an acquire load in the OCaml
+   memory model, so the oracle a reader obtains is fully built; no
+   locks anywhere on the read side. Build parameters are frozen at
+   creation so every epoch is built the same way. *)
+type t = {
+  cell : entry Atomic.t;
+  eps : float option;
+  max_clusters : int option;
+}
+
+let g_epoch = Obs.Metrics.gauge "oracle.published_epoch"
+
+let current s = Atomic.get s.cell
+
+let make_entry s ~epoch csr =
+  { epoch; csr; oracle = Dist.build ?eps:s.eps ?max_clusters:s.max_clusters csr }
+
+let publish s ~epoch csr =
+  Atomic.set s.cell (make_entry s ~epoch csr);
+  Obs.Metrics.set_gauge g_epoch (float_of_int epoch)
+
+let create ?eps ?max_clusters ~epoch csr =
+  let s =
+    {
+      cell =
+        Atomic.make
+          { epoch; csr; oracle = Dist.build ?eps ?max_clusters csr };
+      eps;
+      max_clusters;
+    }
+  in
+  Obs.Metrics.set_gauge g_epoch (float_of_int epoch);
+  s
+
+let of_csr ?eps ?max_clusters csr = create ?eps ?max_clusters ~epoch:0 csr
+
+let attach ?eps ?max_clusters engine =
+  let snap = Dynamic.Engine.latest engine in
+  let s =
+    create ?eps ?max_clusters ~epoch:snap.Dynamic.Engine.snap_epoch
+      snap.Dynamic.Engine.snap_spanner
+  in
+  Dynamic.Engine.on_epoch engine (fun snap ->
+      publish s ~epoch:snap.Dynamic.Engine.snap_epoch
+        snap.Dynamic.Engine.snap_spanner);
+  s

@@ -1,0 +1,44 @@
+(** RCU-style epoch publication of oracles.
+
+    The serving plane is one atomic cell holding the current epoch's
+    triple [{epoch; csr; oracle}]. Readers — any number of domains,
+    concurrently — grab the triple with a single [Atomic.get] and
+    answer queries against it lock-free; the triple is immutable, so a
+    reader keeps a consistent view for as long as it holds the value,
+    even across publications. The writer (the domain driving
+    {!Dynamic.Engine.apply_batch}) builds the next epoch's oracle off
+    to the side and installs it with one [Atomic.set]; OCaml's memory
+    model makes the atomic store a release point, so a reader that
+    observes the new entry observes the fully built oracle. Old
+    entries are unlinked, not reclaimed — the GC collects them once
+    the last reader drops its reference, which is what makes the
+    grace period free. *)
+
+type entry = {
+  epoch : int;
+  csr : Graph.Csr.t;  (** the spanner snapshot the oracle covers *)
+  oracle : Dist.t;
+}
+
+type t
+
+(** [current s] is the latest published entry — one atomic load. *)
+val current : t -> entry
+
+(** [of_csr ?eps ?max_clusters csr] publishes a static epoch-0 entry;
+    the serving cell for workloads without a dynamic engine. *)
+val of_csr : ?eps:float -> ?max_clusters:int -> Graph.Csr.t -> t
+
+(** [attach ?eps ?max_clusters engine] builds and publishes an oracle
+    for the engine's current snapshot, then registers a
+    {!Dynamic.Engine.on_epoch} hook that rebuilds and republishes
+    after every batch. The build runs on the engine's domain inside
+    [apply_batch] (serving reads are never blocked — they keep the
+    previous entry until the set); [eps] / [max_clusters] are passed
+    to every {!Dist.build}. *)
+val attach :
+  ?eps:float -> ?max_clusters:int -> Dynamic.Engine.t -> t
+
+(** [publish s ~epoch csr] builds and installs an entry by hand (tests
+    and static pipelines). *)
+val publish : t -> epoch:int -> Graph.Csr.t -> unit

@@ -331,6 +331,35 @@ let parallel_for ?domains ?grain n f =
         done
       else for_range pool ?grain 0 n f
 
+(* Chunk-level variant of [parallel_for]: the body sees each claimed
+   contiguous range [[lo, hi)] once, so per-chunk setup (fetching the
+   domain's Dijkstra workspace, say) is paid per chunk instead of per
+   item. Chunk boundaries are the same deterministic index arithmetic
+   as [for_range]; which domain claims which chunk is scheduling-
+   dependent, so bodies must only write to item-indexed slots. *)
+let iter_chunks ?domains ?grain n f =
+  if n > 0 then
+    if sequential ?domains () then f 0 n
+    else
+      let pool = get_pool ?domains () in
+      if pool.n_domains = 1 then f 0 n
+      else begin
+        let n_chunks = chunks_for pool ?grain n in
+        let run c = f (c * n / n_chunks) ((c + 1) * n / n_chunks) in
+        Obs.Metrics.observe m_chunk_items
+          (float_of_int n /. float_of_int n_chunks);
+        submit pool
+          {
+            run;
+            n_chunks;
+            next = Atomic.make 0;
+            pending = Atomic.make n_chunks;
+            failed = Atomic.make None;
+            published =
+              (if Obs.Control.enabled () then Obs.Control.now () else 0.0);
+          }
+      end
+
 let mapi ?domains ?grain f a =
   let n = Array.length a in
   if n = 0 then [||]

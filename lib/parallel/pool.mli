@@ -77,6 +77,19 @@ val run_in_worker : unit -> bool
     not run). *)
 val parallel_for : ?domains:int -> ?grain:int -> int -> (int -> unit) -> unit
 
+(** [iter_chunks n f] partitions [[0, n)] into the same contiguous
+    chunks [parallel_for] would use and calls [f lo hi] once per chunk
+    (sequential path: a single [f 0 n]). Use it when per-chunk setup —
+    fetching {!Graph.Dijkstra.domain_workspace}, say — would dominate a
+    per-item body: the batch query plane answers a whole chunk from one
+    workspace fetch. [f] must only write state owned by item indices in
+    [[lo, hi)]; chunk boundaries are deterministic index arithmetic but
+    chunk-to-domain assignment is not, so per-chunk side effects other
+    than slot writes would be schedule-dependent. Exceptions behave as
+    in {!parallel_for}. *)
+val iter_chunks :
+  ?domains:int -> ?grain:int -> int -> (int -> int -> unit) -> unit
+
 (** [map f a] is [Array.map f a] with the calls to [f] spread over the
     pool; slot order is preserved. *)
 val map : ?domains:int -> ?grain:int -> ('a -> 'b) -> 'a array -> 'b array

@@ -1,0 +1,337 @@
+module Csr = Graph.Csr
+module Dijkstra = Graph.Dijkstra
+module Pool = Parallel.Pool
+module Churn = Ubg.Churn
+module Engine = Dynamic.Engine
+module Dist = Oracle.Dist
+module Service = Oracle.Service
+open Test_helpers
+
+let oracle_eps = 0.5
+
+let model_csr ~seed ~n =
+  let model = connected_model ~seed ~n ~dim:2 ~alpha:0.8 in
+  Csr.of_wgraph model.Ubg.Model.graph
+
+(* Sample pairs deterministically across the id range. *)
+let sample_pairs ~seed ~n ~count =
+  let st = Random.State.make [| seed; 0x0ac1e |] in
+  Array.init count (fun _ ->
+      (Random.State.int st n, Random.State.int st n))
+
+(* ------------------------------------------------------------------ *)
+(* Estimate quality                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The oracle's contract: never below the exact snapshot distance,
+   never above (1 + eps) times it. The lower bound is structural
+   (estimates are walk lengths); the upper bound is the advertised
+   guarantee the E-qps bench also enforces at n = 10^4. *)
+let prop_estimate_within_eps =
+  qtest ~count:12 "oracle: d <= estimate <= (1+eps) d on sampled pairs"
+    seed_arb (fun seed ->
+      let n = 180 in
+      let csr = model_csr ~seed ~n in
+      let oracle = Dist.build ~eps:oracle_eps csr in
+      let qws = Dist.create_query_ws () in
+      let pairs = sample_pairs ~seed ~n ~count:60 in
+      Array.for_all
+        (fun (u, v) ->
+          let exact = Dijkstra.distance_csr csr u v in
+          let est = Dist.distance_estimate oracle qws u v in
+          if exact = infinity then est = infinity
+          else
+            est >= exact -. 1e-9
+            && est <= ((1.0 +. oracle_eps) *. exact) +. 1e-9)
+        pairs)
+
+(* Combined with a certified t-spanner this is the end-to-end claim:
+   estimates over the spanner stay within (1+eps) t of the base
+   graph. *)
+let prop_estimate_within_eps_t_of_base =
+  qtest ~count:6 "oracle over spanner: estimate <= (1+eps) t d_base"
+    seed_arb (fun seed ->
+      let n = 120 in
+      let model = connected_model ~seed ~n ~dim:2 ~alpha:0.8 in
+      let params =
+        Topo.Params.of_epsilon ~eps:0.5 ~alpha:model.Ubg.Model.alpha
+          ~dim:(Ubg.Model.dim model)
+      in
+      let t = params.Topo.Params.t in
+      let spanner =
+        (Topo.Relaxed_greedy.build ~params model).Topo.Relaxed_greedy.spanner
+      in
+      let base = Csr.of_wgraph model.Ubg.Model.graph in
+      let sp_csr = Csr.of_wgraph spanner in
+      let oracle = Dist.build ~eps:oracle_eps sp_csr in
+      let qws = Dist.create_query_ws () in
+      let pairs = sample_pairs ~seed ~n ~count:40 in
+      Array.for_all
+        (fun (u, v) ->
+          let d_base = Dijkstra.distance_csr base u v in
+          let est = Dist.distance_estimate oracle qws u v in
+          if d_base = infinity then est = infinity
+          else
+            est >= d_base -. 1e-9
+            && est <= ((1.0 +. oracle_eps) *. t *. d_base) +. 1e-9)
+        pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across pool sizes                                       *)
+(* ------------------------------------------------------------------ *)
+
+let estimates_fingerprint ~domains csr ~pairs =
+  Pool.set_domains domains;
+  Fun.protect ~finally:Pool.clear_domains (fun () ->
+      let oracle = Dist.build ~eps:oracle_eps csr in
+      let s = Dist.stats oracle in
+      let n = Array.length pairs in
+      let u = Array.map fst pairs and v = Array.map snd pairs in
+      let out = Array.make n 0.0 in
+      Dist.distance_batch_into oracle ~u ~v ~out;
+      (s.Dist.n_clusters, s.Dist.radius, Array.to_list out))
+
+let prop_deterministic_across_domains =
+  qtest ~count:8 "oracle: bit-identical across TOPO_DOMAINS in {1, 4, 8}"
+    seed_arb (fun seed ->
+      let n = 150 in
+      let csr = model_csr ~seed ~n in
+      let pairs = sample_pairs ~seed ~n ~count:80 in
+      let f1 = estimates_fingerprint ~domains:1 csr ~pairs in
+      let f4 = estimates_fingerprint ~domains:4 csr ~pairs in
+      let f8 = estimates_fingerprint ~domains:8 csr ~pairs in
+      f1 = f4 && f4 = f8)
+
+let prop_batch_matches_scalar =
+  qtest ~count:10 "oracle: batch answers equal scalar answers" seed_arb
+    (fun seed ->
+      let n = 140 in
+      let csr = model_csr ~seed ~n in
+      let oracle = Dist.build ~eps:oracle_eps csr in
+      let qws = Dist.create_query_ws () in
+      let pairs = sample_pairs ~seed ~n ~count:70 in
+      let u = Array.map fst pairs and v = Array.map snd pairs in
+      let out = Array.make (Array.length pairs) nan in
+      Dist.distance_batch_into oracle ~u ~v ~out;
+      Array.for_all
+        (fun i -> out.(i) = Dist.distance_estimate oracle qws u.(i) v.(i))
+        (Array.init (Array.length pairs) (fun i -> i)))
+
+(* ------------------------------------------------------------------ *)
+(* Routes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let edge_weight csr u v =
+  let w = ref infinity in
+  Csr.iter_neighbors csr u (fun x wx -> if x = v then w := wx);
+  !w
+
+(* A returned path must be a genuine walk in the snapshot whose length
+   is exactly the distance estimate (near routes are shortest paths,
+   far routes expand the estimate's walk). *)
+let prop_spanner_path_is_walk_of_estimate_length =
+  qtest ~count:10 "oracle: spanner_path is a walk of length = estimate"
+    seed_arb (fun seed ->
+      let n = 160 in
+      let csr = model_csr ~seed ~n in
+      let oracle = Dist.build ~eps:oracle_eps csr in
+      let qws = Dist.create_query_ws () in
+      let pairs = sample_pairs ~seed ~n ~count:40 in
+      Array.for_all
+        (fun (u, v) ->
+          let est = Dist.distance_estimate oracle qws u v in
+          match Dist.spanner_path oracle qws ~src:u ~dst:v with
+          | None -> est = infinity
+          | Some path ->
+              let m = Array.length path in
+              let len = ref 0.0 in
+              let ok = ref (path.(0) = u && path.(m - 1) = v) in
+              for i = 0 to m - 2 do
+                let w = edge_weight csr path.(i) path.(i + 1) in
+                if w = infinity then ok := false else len := !len +. w
+              done;
+              !ok && abs_float (!len -. est) <= 1e-6)
+        pairs)
+
+let prop_next_hop_delivers =
+  qtest ~count:10 "oracle: next_hop forwarding delivers at estimate cost"
+    seed_arb (fun seed ->
+      let n = 160 in
+      let csr = model_csr ~seed ~n in
+      let oracle = Dist.build ~eps:oracle_eps csr in
+      let qws = Dist.create_query_ws () in
+      let pairs = sample_pairs ~seed ~n ~count:30 in
+      Array.for_all
+        (fun (src, dst) ->
+          let est = Dist.distance_estimate oracle qws src dst in
+          let len = ref 0.0 in
+          let cur = ref src in
+          let hops = ref 0 in
+          let ok = ref true in
+          while !ok && !cur <> dst && !hops <= 4 * n do
+            (match Dist.next_hop oracle qws !cur ~dst with
+            | -1 | -2 -> ok := false
+            | nxt ->
+                let w = edge_weight csr !cur nxt in
+                if w = infinity then ok := false
+                else begin
+                  len := !len +. w;
+                  cur := nxt
+                end);
+            incr hops
+          done;
+          if est = infinity then not !ok
+          else !ok && !cur = dst && abs_float (!len -. est) <= 1e-6)
+        pairs)
+
+let test_next_hop_cache_deviation () =
+  (* Forward two packets to the same destination with interleaved
+     holders: every deviation from the cached route must recompute and
+     still deliver. *)
+  let csr = model_csr ~seed:42 ~n:150 in
+  let oracle = Dist.build ~eps:oracle_eps csr in
+  let qws = Dist.create_query_ws () in
+  let dst = 7 in
+  let deliver src =
+    let cur = ref src and hops = ref 0 in
+    while !cur <> dst && !hops < 1000 do
+      (match Dist.next_hop oracle qws !cur ~dst with
+      | -1 | -2 -> hops := 1000
+      | nxt -> cur := nxt);
+      incr hops
+    done;
+    !cur = dst
+  in
+  (* Interleave by re-querying from a fresh source mid-stream. *)
+  Alcotest.(check bool) "first delivers" true (deliver 141);
+  Alcotest.(check bool) "second delivers (cache invalidated)" true
+    (deliver 3);
+  Alcotest.(check bool) "same route again (cache hit path)" true
+    (deliver 141)
+
+let test_trivial_and_unreachable () =
+  let g = Graph.Wgraph.create 4 in
+  Graph.Wgraph.add_edge g 0 1 1.0;
+  (* vertices 2 and 3 isolated *)
+  let csr = Csr.of_wgraph g in
+  let oracle = Dist.build ~eps:oracle_eps csr in
+  let qws = Dist.create_query_ws () in
+  check_float "self distance" 0.0 (Dist.distance_estimate oracle qws 2 2);
+  Alcotest.(check bool) "isolated pair unreachable" true
+    (Dist.distance_estimate oracle qws 2 3 = infinity);
+  Alcotest.(check bool) "connected pair exact" true
+    (close (Dist.distance_estimate oracle qws 0 1) 1.0);
+  Alcotest.(check int) "next_hop at destination" (-1)
+    (Dist.next_hop oracle qws 1 ~dst:1);
+  Alcotest.(check int) "next_hop unreachable" (-2)
+    (Dist.next_hop oracle qws 2 ~dst:3);
+  Alcotest.(check bool) "no path to isolated" true
+    (Dist.spanner_path oracle qws ~src:0 ~dst:3 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Service: RCU publication                                            *)
+(* ------------------------------------------------------------------ *)
+
+let trace_setup ~seed ~n ~epochs ~batch_max =
+  let alpha = 0.8 in
+  let model = connected_model ~seed ~n ~dim:2 ~alpha in
+  let side =
+    Ubg.Generator.side_for_expected_degree ~dim:2 ~n ~alpha ~degree:9.0
+  in
+  let trace =
+    Churn.generate ~seed:(seed + 17) ~epochs ~batch_max
+      (Churn.default_dynamics ~side)
+      model
+  in
+  (model, trace)
+
+let params_for model =
+  Topo.Params.of_epsilon ~eps:0.5 ~alpha:model.Ubg.Model.alpha
+    ~dim:(Ubg.Model.dim model)
+
+let test_service_publishes_epochs () =
+  let model, trace = trace_setup ~seed:9 ~n:60 ~epochs:4 ~batch_max:4 in
+  let e = Engine.create ~params:(params_for model) model in
+  let s = Service.attach ~eps:oracle_eps e in
+  Alcotest.(check int) "epoch 0 published" 0 (Service.current s).Service.epoch;
+  Engine.replay e trace ~f:(fun r ->
+      let entry = Service.current s in
+      Alcotest.(check int) "entry tracks engine epoch" r.Engine.epoch
+        entry.Service.epoch;
+      (* The published oracle serves the published snapshot: estimates
+         must dominate exact distances on that csr. *)
+      let qws = Dist.create_query_ws () in
+      let n = Csr.n_vertices entry.Service.csr in
+      let pairs = sample_pairs ~seed:r.Engine.epoch ~n ~count:10 in
+      Array.iter
+        (fun (u, v) ->
+          let exact = Dijkstra.distance_csr entry.Service.csr u v in
+          let est = Dist.distance_estimate entry.Service.oracle qws u v in
+          Alcotest.(check bool) "estimate dominates exact" true
+            (est >= exact -. 1e-9))
+        pairs)
+
+(* Queries race an epoch advance: a reader domain hammers the current
+   entry while the engine replays a churn trace and republishes. The
+   reader must always see a coherent (csr, oracle) pair — estimates
+   finite or infinite, never an exception — and must observe at least
+   one epoch beyond 0. *)
+let test_concurrent_query_during_epoch_advance () =
+  let model, trace = trace_setup ~seed:3 ~n:70 ~epochs:5 ~batch_max:5 in
+  let e = Engine.create ~params:(params_for model) model in
+  let s = Service.attach ~eps:oracle_eps e in
+  let stop = Atomic.make false in
+  let seen_epochs = Atomic.make 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        let qws = Dist.create_query_ws () in
+        let st = Random.State.make [| 0xbeef |] in
+        let max_epoch = ref 0 in
+        let queries = ref 0 in
+        while not (Atomic.get stop) do
+          let entry = Service.current s in
+          if entry.Service.epoch > !max_epoch then
+            max_epoch := entry.Service.epoch;
+          let n = Csr.n_vertices entry.Service.csr in
+          let u = Random.State.int st n and v = Random.State.int st n in
+          let est = Dist.distance_estimate entry.Service.oracle qws u v in
+          if not (est >= 0.0) then failwith "negative estimate";
+          incr queries
+        done;
+        Atomic.set seen_epochs !max_epoch;
+        !queries)
+  in
+  Engine.replay e trace ~f:(fun _ -> ());
+  Atomic.set stop true;
+  let queries = Domain.join reader in
+  Alcotest.(check bool) "reader made progress" true (queries > 0);
+  Alcotest.(check bool) "reader observed a published epoch advance" true
+    (Atomic.get seen_epochs > 0 || (Service.current s).Service.epoch > 0)
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "estimates",
+        [
+          prop_estimate_within_eps;
+          prop_estimate_within_eps_t_of_base;
+          prop_batch_matches_scalar;
+        ] );
+      ("determinism", [ prop_deterministic_across_domains ]);
+      ( "routes",
+        [
+          prop_spanner_path_is_walk_of_estimate_length;
+          prop_next_hop_delivers;
+          Alcotest.test_case "next_hop cache deviation" `Quick
+            test_next_hop_cache_deviation;
+          Alcotest.test_case "trivial and unreachable queries" `Quick
+            test_trivial_and_unreachable;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "publish per epoch" `Quick
+            test_service_publishes_epochs;
+          Alcotest.test_case "concurrent query during epoch advance" `Quick
+            test_concurrent_query_during_epoch_advance;
+        ] );
+    ]
