@@ -1,0 +1,54 @@
+module Csr = Graph.Csr
+module Wgraph = Graph.Wgraph
+module Dist = Oracle.Dist
+
+let () =
+  (* Main structure: 9 vertices, then a tiny-weight filler path to pull
+     the mean edge weight to 0.5 so the cover radius lands at 2.0. *)
+  let n_main = 9 in
+  let n_fill = 22 in
+  let n = n_main + n_fill in
+  let g = Wgraph.create n in
+  Wgraph.add_edge g 0 1 2.0;
+  Wgraph.add_edge g 1 2 1.9;
+  Wgraph.add_edge g 1 3 0.1;
+  Wgraph.add_edge g 2 4 2.0;
+  Wgraph.add_edge g 4 5 2.0;
+  Wgraph.add_edge g 5 6 2.0;
+  Wgraph.add_edge g 6 7 2.0;
+  Wgraph.add_edge g 7 8 2.0;
+  let sum_main = 2.0 +. 1.9 +. 0.1 +. 2.0 +. 2.0 +. 2.0 +. 2.0 +. 2.0 in
+  let m = 8 + (n_fill - 1) in
+  let rho_target = 2.05 in
+  let wf = ((rho_target /. 4.0 *. float_of_int m) -. sum_main) /. float_of_int (n_fill - 1) in
+  Printf.printf "filler weight %.6f\n" wf;
+  for i = 0 to n_fill - 2 do
+    Wgraph.add_edge g (n_main + i) (n_main + i + 1) wf
+  done;
+  let csr = Csr.of_wgraph g in
+  let oracle = Dist.build ~eps:100.0 csr in
+  let s = Dist.stats oracle in
+  Printf.printf "k=%d radius=%.3f near_bound=%.3f\n" s.Dist.n_clusters
+    s.Dist.radius s.Dist.near_bound;
+  let qws = Dist.create_query_ws () in
+  let est = Dist.distance_estimate oracle qws 3 8 in
+  Printf.printf "estimate(3,8) = %.3f\n" est;
+  (match Dist.spanner_path oracle qws ~src:3 ~dst:8 with
+  | None -> Printf.printf "no path\n"
+  | Some p ->
+      Printf.printf "path: %s\n"
+        (String.concat " " (Array.to_list (Array.map string_of_int p)));
+      let ok = ref true in
+      let len = ref 0.0 in
+      for i = 0 to Array.length p - 2 do
+        match Wgraph.weight g p.(i) p.(i + 1) with
+        | Some w -> len := !len +. w
+        | None ->
+            ok := false;
+            Printf.printf "NOT AN EDGE: %d -> %d\n" p.(i) p.(i + 1)
+      done;
+      Printf.printf "walk valid: %b  length: %.3f (estimate %.3f)\n" !ok !len est);
+  let hop = Dist.next_hop oracle qws 3 ~dst:8 in
+  Printf.printf "next_hop(3 -> 8) = %d (neighbors of 3: %s)\n" hop
+    (String.concat " "
+       (List.map (fun (v, _) -> string_of_int v) (Wgraph.neighbors g 3)))
