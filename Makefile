@@ -1,6 +1,6 @@
 .PHONY: all check test fmt bench bench-smoke bench-churn-smoke \
 	bench-scale-smoke bench-compare-smoke bench-oracle-smoke \
-	trace-smoke clean
+	bench-daemon-smoke trace-smoke serve-smoke clean
 
 all:
 	dune build @all
@@ -50,6 +50,25 @@ bench-compare-smoke:
 bench-oracle-smoke:
 	TOPO_QPS_GATE=1 dune exec bench/main.exe -- E-qps quick
 
+# Daemon gate: E-daemon at reduced size, emits BENCH_daemon.json.
+# An unpaced daemon replays a recorded tail (sustained ev/s), a paced
+# one serves two query domains concurrently (epoch-stamped answers
+# must be consistent per epoch), and a restart from a mid-history
+# checkpoint must finish byte-identical to the uninterrupted run.
+# TOPO_DAEMON_GATE makes a consistency or resume failure exit
+# non-zero.
+bench-daemon-smoke:
+	TOPO_DAEMON_GATE=1 dune exec bench/main.exe -- E-daemon quick
+
+# Daemon lifecycle smoke through the CLI: record a trace, serve it,
+# answer live ping/query traffic, SIGTERM mid-history, restart from
+# the checkpoint. The kill must be invisible: the resumed run replays
+# only the remaining epochs and ends with a final checkpoint
+# byte-identical to an uninterrupted run's, answering an identical
+# query batch identically. Artifacts in ./serve-smoke-out.
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
 # Observability smoke: run a traced scaling bench (spans from the
 # builder, pool, and stage timers), then validate the emitted Chrome
 # trace — well-formed JSON, strictly nested spans per (pid, tid) lane.
@@ -60,3 +79,4 @@ trace-smoke:
 
 clean:
 	dune clean
+	rm -rf serve-smoke-out

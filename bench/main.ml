@@ -1615,6 +1615,237 @@ let e_qps () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E-daemon: the serve daemon — ingest rate, concurrent qps, resume.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Records a churn trace to disk, then exercises the `topoctl serve`
+   runtime in-process three ways:
+
+   - ingest: an unpaced daemon replays the whole tail (quit_at_tail)
+     with checkpointing on; sustained events/s — churn apply + certify
+     + oracle republish + checkpoints included — is the headline.
+   - serve: a paced daemon ingests while two client domains hammer
+     DIST over a fixed pair set. Every answer is epoch-stamped, and
+     two answers for the same pair at the same epoch must be equal —
+     the RCU-snapshot consistency the daemon advertises.
+   - resume: a daemon restarted from a mid-history checkpoint must
+     finish with a final checkpoint byte-identical to the
+     uninterrupted run's (the kill/restart acceptance criterion).
+
+   Emits BENCH_daemon.json; TOPO_DAEMON_GATE=1 turns a consistency or
+   resume failure into exit 2 (CI). *)
+let e_daemon () =
+  let n = if !quick then 300 else 1000 in
+  let epochs = if !quick then 30 else 120 in
+  let batch_max = if !quick then 6 else 10 in
+  let eps = 0.5 in
+  let seed = 19 + n in
+  let model = model_of ~seed ~n ~dim:2 ~alpha:0.8 in
+  let side =
+    Ubg.Generator.side_for_expected_degree ~dim:2 ~n ~alpha:0.8 ~degree:10.0
+  in
+  let trace =
+    Ubg.Churn.generate ~seed ~epochs ~batch_max
+      (Ubg.Churn.default_dynamics ~side)
+      model
+  in
+  let events = Ubg.Churn.n_events trace in
+  let dir = Filename.get_temp_dir_name () in
+  let tmp name =
+    Filename.concat dir (Printf.sprintf "topo_bench_%d_%s" (Unix.getpid ()) name)
+  in
+  let tracef = tmp "daemon.trace" in
+  let cka = tmp "a.ck" and ckb = tmp "b.ck" in
+  let sock = tmp "d.sock" in
+  let cleanup () =
+    List.iter
+      (fun f -> if Sys.file_exists f then Sys.remove f)
+      [ tracef; cka; ckb; cka ^ ".tmp"; ckb ^ ".tmp"; sock ]
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  cleanup ();
+  Fun.protect ~finally:cleanup @@ fun () ->
+  Ubg.Io.save_trace tracef trace;
+  let base_cfg =
+    Daemon.Runtime.default ~socket:sock ~source:(Daemon.Runtime.Tail tracef)
+  in
+  (* -- ingest throughput: unpaced, checkpointing on ------------------ *)
+  let t0 = Unix.gettimeofday () in
+  let sa =
+    Daemon.Runtime.run
+      { base_cfg with Daemon.Runtime.checkpoint = Some cka; quit_at_tail = true }
+  in
+  let ingest_wall = Unix.gettimeofday () -. t0 in
+  let ev_per_s = float_of_int events /. ingest_wall in
+  (* -- concurrent serving: paced ingest + two query domains ---------- *)
+  let connect_retry () =
+    let limit = Unix.gettimeofday () +. 30.0 in
+    let rec go () =
+      try Daemon.Client.connect sock
+      with Unix.Unix_error _ when Unix.gettimeofday () < limit ->
+        Unix.sleepf 0.01;
+        go ()
+    in
+    go ()
+  in
+  let h =
+    Daemon.Runtime.start
+      { base_cfg with Daemon.Runtime.period = 0.01; quit_at_tail = true }
+  in
+  let stop_workers = Atomic.make false in
+  let worker () =
+    let pairs =
+      [| (0, 1); (0, 5); (2, 7); (3, 4); (1, 6); (5, 7); (2, 3); (4, 6) |]
+    in
+    try
+      let c = connect_retry () in
+      let acc = ref [] and count = ref 0 in
+      (try
+         while not (Atomic.get stop_workers) do
+           Array.iter
+             (fun (u, v) ->
+               let ep, d = Daemon.Client.dist c u v in
+               acc := (u, v, ep, d) :: !acc;
+               incr count)
+             pairs
+         done
+       with _ -> ());
+      (try Daemon.Client.close c with _ -> ());
+      (!count, !acc)
+    with _ -> (0, [])
+  in
+  let t1 = Unix.gettimeofday () in
+  let workers = Array.init 2 (fun _ -> Domain.spawn worker) in
+  let sserve = Daemon.Runtime.join h in
+  Atomic.set stop_workers true;
+  let results = Array.map Domain.join workers in
+  let serve_wall = Unix.gettimeofday () -. t1 in
+  let queries = Array.fold_left (fun a (c, _) -> a + c) 0 results in
+  let qps = float_of_int queries /. serve_wall in
+  (* Same pair + same epoch stamp => same distance, across workers. *)
+  let answers : (int * int * int, float) Hashtbl.t = Hashtbl.create 4096 in
+  let consistent = ref true in
+  let epochs_seen = Hashtbl.create 64 in
+  Array.iter
+    (fun (_, acc) ->
+      List.iter
+        (fun (u, v, ep, d) ->
+          Hashtbl.replace epochs_seen ep ();
+          match Hashtbl.find_opt answers (u, v, ep) with
+          | None -> Hashtbl.add answers (u, v, ep) d
+          | Some d' -> if compare d d' <> 0 then consistent := false)
+        acc)
+    results;
+  let epochs_observed = Hashtbl.length epochs_seen in
+  (* -- resume fingerprint: restart from a mid-history checkpoint ----- *)
+  let half = epochs / 2 in
+  let params =
+    Topo.Params.of_epsilon ~eps ~alpha:model.Model.alpha ~dim:2
+  in
+  let b = Dynamic.Engine.create ~params model in
+  let events_half = ref 0 in
+  Array.iteri
+    (fun i batch ->
+      if i < half then begin
+        ignore (Dynamic.Engine.apply_batch b batch);
+        events_half := !events_half + Array.length batch
+      end)
+    trace.Ubg.Churn.batches;
+  Daemon.Checkpoint.save ~path:ckb ~events:!events_half b;
+  let sb =
+    Daemon.Runtime.run
+      { base_cfg with Daemon.Runtime.checkpoint = Some ckb; quit_at_tail = true }
+  in
+  let identical = read_file cka = read_file ckb in
+  (* -- report --------------------------------------------------------- *)
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "E-daemon: serve daemon (n = %d, %d epochs, %d events, eps = %.2f)"
+           n epochs events eps)
+      ~columns:[ "phase"; "work"; "wall s"; "rate"; "note" ]
+  in
+  Report.add_row t
+    [
+      "ingest (unpaced)";
+      Printf.sprintf "%d ev" events;
+      Printf.sprintf "%.3f" ingest_wall;
+      Printf.sprintf "%.3g ev/s" ev_per_s;
+      Printf.sprintf "%d checkpoints" sa.Daemon.Runtime.checkpoints_written;
+    ];
+  Report.add_row t
+    [
+      "serve (2 clients)";
+      Printf.sprintf "%d req" queries;
+      Printf.sprintf "%.3f" serve_wall;
+      Printf.sprintf "%.3g qps" qps;
+      Printf.sprintf "%d epochs seen, %s" epochs_observed
+        (if !consistent then "consistent" else "INCONSISTENT");
+    ];
+  Report.add_row t
+    [
+      "resume @ epoch " ^ string_of_int half;
+      Printf.sprintf "%d ev replayed"
+        (sb.Daemon.Runtime.events_applied);
+      "-";
+      "-";
+      (if identical then "checkpoint identical" else "DIFFERS");
+    ];
+  Report.print t;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E-daemon\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"config\": { \"n\": %d, \"epochs\": %d, \"events\": %d, \"eps\": \
+        %.2f, \"quick\": %b },\n"
+       n epochs events eps !quick);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"ingest\": { \"wall_s\": %.6f, \"ev_per_s\": %.1f, \"epochs\": %d, \
+        \"checkpoints\": %d },\n"
+       ingest_wall ev_per_s sa.Daemon.Runtime.final_epoch
+       sa.Daemon.Runtime.checkpoints_written);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"serve\": { \"window_s\": %.6f, \"queries\": %d, \"qps\": %.1f, \
+        \"workers\": 2, \"requests_served\": %d, \"epochs_observed\": %d, \
+        \"consistent_per_epoch\": %b },\n"
+       serve_wall queries qps sserve.Daemon.Runtime.requests_served
+       epochs_observed !consistent);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"resume\": { \"from_epoch\": %d, \"epochs_replayed\": %d, \
+        \"identical\": %b }\n"
+       half sb.Daemon.Runtime.epochs_applied identical);
+  Buffer.add_string buf "}\n";
+  (match Obs.Json.parse (Buffer.contents buf) with
+  | Ok _ -> ()
+  | Error e -> failwith ("E-daemon: emitted JSON does not parse: " ^ e));
+  let oc = open_out "BENCH_daemon.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "   [wrote BENCH_daemon.json]\n";
+  if Sys.getenv_opt "TOPO_DAEMON_GATE" <> None then begin
+    if not !consistent then begin
+      prerr_endline
+        "E-daemon: CONSISTENCY VIOLATION (same pair, same epoch, different \
+         answers)";
+      exit 2
+    end;
+    if not identical then begin
+      prerr_endline
+        "E-daemon: resume fingerprint differs from the uninterrupted run";
+      exit 2
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment's kernel.        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1765,6 +1996,7 @@ let experiments =
     ("E-obs", e_obs);
     ("E-compare", e_compare);
     ("E-qps", e_qps);
+    ("E-daemon", e_daemon);
     ("micro", micro_benchmarks);
   ]
 

@@ -8,6 +8,9 @@
      compare     head-to-head of every registered backend on one instance
      rounds      measure the distributed algorithm's round count
      query       answer distance/route queries from a precomputed oracle
+                 (or a running daemon via --connect)
+     serve       run the topology daemon: ingest, certify, serve, checkpoint
+     ping        round-trip a running daemon
      serve-bench serve oracle queries concurrently with a churn replay
      trace-check validate a recorded Chrome trace file *)
 
@@ -754,8 +757,61 @@ let load_pairs file =
   close_in ic;
   Array.of_list (List.rev !pairs)
 
-let query_cmd =
-  let run () instance algo eps oeps src dst batch show_path =
+(* In --connect mode the positional arguments shift: there is no
+   INSTANCE, so SRC and DST are positions 0 and 1 and every answer
+   comes from the daemon's published oracle over the wire. *)
+let connect_query ~sock ~pos0 ~pos1 ~batch ~show_path =
+  let c = Daemon.Client.connect sock in
+  Fun.protect
+    ~finally:(fun () -> Daemon.Client.close c)
+    (fun () ->
+      match batch with
+      | Some file ->
+          let pairs = load_pairs file in
+          let t0 = Unix.gettimeofday () in
+          let last_epoch = ref (-1) in
+          Array.iter
+            (fun (u, v) ->
+              let ep, d = Daemon.Client.dist c u v in
+              if ep <> !last_epoch then begin
+                last_epoch := ep;
+                Format.printf "# epoch %d@." ep
+              end;
+              Format.printf "%d %d %g@." u v d)
+            pairs;
+          let dt = Unix.gettimeofday () -. t0 in
+          let m = Array.length pairs in
+          Format.printf "# %d queries in %.3f ms (%.3g queries/s)@." m
+            (1e3 *. dt)
+            (float_of_int m /. Float.max 1e-9 dt)
+      | None ->
+          let need what = function
+            | Some x -> x
+            | None ->
+                failwith
+                  ("query --connect: need SRC DST positions or --batch FILE \
+                    (missing " ^ what ^ ")")
+          in
+          let src =
+            match int_of_string_opt (need "SRC" pos0) with
+            | Some s -> s
+            | None -> failwith "query --connect: SRC must be a vertex id"
+          in
+          let dst : int = need "DST" pos1 in
+          let ep, d = Daemon.Client.dist c src dst in
+          Format.printf "estimate %d -> %d: %g (epoch %d)@." src dst d ep;
+          if show_path then begin
+            match Daemon.Client.path c src dst with
+            | _, None -> Format.printf "route: unreachable@."
+            | ep, Some path ->
+                Format.printf "route (%d hops, epoch %d):"
+                  (Array.length path - 1)
+                  ep;
+                Array.iter (fun v -> Format.printf " %d" v) path;
+                Format.printf "@."
+          end)
+
+let local_query ~instance ~algo ~eps ~oeps ~src ~dst ~batch ~show_path =
     let model = Ubg.Io.load_instance instance in
     let topology = build_topology ~algo ~eps ~k:1 ~cones:8 model in
     let csr = Graph.Csr.of_wgraph topology in
@@ -812,16 +868,52 @@ let query_cmd =
               Array.iter (fun v -> Format.printf " %d" v) path;
               Format.printf "@."
         end
+
+let query_cmd =
+  let run () connect pos0 pos1 pos2 algo eps oeps batch show_path =
+    match connect with
+    | Some sock ->
+        (* positions shift down: SRC DST instead of INSTANCE SRC DST *)
+        connect_query ~sock ~pos0 ~pos1 ~batch ~show_path
+    | None ->
+        let instance =
+          match pos0 with
+          | Some f when Sys.file_exists f -> f
+          | Some f -> failwith (Printf.sprintf "query: no such instance %s" f)
+          | None -> failwith "query: need an INSTANCE file (or --connect)"
+        in
+        local_query ~instance ~algo ~eps ~oeps ~src:pos1 ~dst:pos2 ~batch
+          ~show_path
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SOCKET"
+          ~doc:
+            "Ask a running daemon ($(b,topoctl serve)) over its Unix \
+             socket instead of building an oracle locally. Positional \
+             arguments become $(i,SRC) $(i,DST).")
+  in
+  let pos0 =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"INSTANCE"
+          ~doc:
+            "Instance file (local mode); source vertex (--connect mode).")
   in
   let src =
     Arg.(
       value & pos 1 (some int) None
-      & info [] ~docv:"SRC" ~doc:"Source vertex (single-query mode).")
+      & info [] ~docv:"SRC"
+          ~doc:
+            "Source vertex (local mode); destination vertex (--connect \
+             mode).")
   in
   let dst =
     Arg.(
       value & pos 2 (some int) None
-      & info [] ~docv:"DST" ~doc:"Destination vertex (single-query mode).")
+      & info [] ~docv:"DST" ~doc:"Destination vertex (local mode).")
   in
   let batch =
     Arg.(
@@ -845,10 +937,12 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query"
-       ~doc:"Answer point-to-point distance/route queries from an oracle")
+       ~doc:
+         "Answer point-to-point distance/route queries from an oracle \
+          (local or over a daemon socket)")
     Term.(
-      const run $ logs_term $ instance_arg $ algo $ eps_arg $ oracle_eps_arg
-      $ src $ dst $ batch $ show_path)
+      const run $ logs_term $ connect $ pos0 $ src $ dst $ algo $ eps_arg
+      $ oracle_eps_arg $ batch $ show_path)
 
 (* ------------------------------------------------------------------ *)
 (* serve-bench                                                         *)
@@ -937,6 +1031,156 @@ let serve_bench_cmd =
       $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run () trace instance socket checkpoint eps oeps period ck_epochs
+      ck_seconds backend_name quit_at_tail =
+    let source =
+      match (trace, instance) with
+      | Some t, None -> Daemon.Runtime.Tail t
+      | None, Some i -> Daemon.Runtime.Socket_ingest i
+      | Some _, Some _ ->
+          failwith "serve: TRACE and --instance are mutually exclusive"
+      | None, None ->
+          failwith "serve: need a TRACE to tail or --instance FILE"
+    in
+    let backend = Option.map resolve_backend backend_name in
+    let config =
+      {
+        Daemon.Runtime.socket;
+        source;
+        checkpoint;
+        eps;
+        oracle_eps = oeps;
+        period;
+        checkpoint_every_epochs = ck_epochs;
+        checkpoint_every_seconds = ck_seconds;
+        backend;
+        quit_at_tail;
+        handle_signals = true;
+        tick = 0.05;
+      }
+    in
+    let s = Daemon.Runtime.run config in
+    Format.printf
+      "daemon stopped at epoch %d: %d epochs, %d events, %d checkpoints, \
+       %d requests served@."
+      s.Daemon.Runtime.final_epoch s.Daemon.Runtime.epochs_applied
+      s.Daemon.Runtime.events_applied s.Daemon.Runtime.checkpoints_written
+      s.Daemon.Runtime.requests_served
+  in
+  let trace =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:"Churn trace to tail (ubg-churn format; may still be growing).")
+  in
+  let instance =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "instance" ] ~docv:"FILE"
+          ~doc:
+            "Socket-ingest mode: start from this instance and batch EV \
+             frames per clock tick instead of tailing a trace.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint engine state to $(docv) (atomically, via rename) \
+             on the cadence below and at shutdown; an existing file is \
+             resumed from.")
+  in
+  let period =
+    Arg.(
+      value & opt float 0.05
+      & info [ "period" ] ~docv:"SECONDS"
+          ~doc:"Epoch clock period; 0 applies batches as they arrive.")
+  in
+  let ck_epochs =
+    Arg.(
+      value & opt int 25
+      & info [ "checkpoint-every-epochs" ] ~docv:"N"
+          ~doc:"Checkpoint every $(docv) epochs (0 disables).")
+  in
+  let ck_seconds =
+    Arg.(
+      value & opt float 30.0
+      & info [ "checkpoint-every-seconds" ] ~docv:"S"
+          ~doc:"Checkpoint every $(docv) seconds (0 disables).")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "backend" ] ~docv:"NAME"
+          ~doc:"Spanner backend for the engine (see $(b,topoctl backends)).")
+  in
+  let quit_at_tail =
+    Arg.(
+      value & flag
+      & info [ "quit-at-tail" ]
+          ~doc:
+            "Stop once every advertised batch of the trace is applied \
+             (benches and smoke tests).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the topology daemon: ingest churn, advance certified epochs, \
+          serve oracle queries, checkpoint state")
+    Term.(
+      const run $ logs_term $ trace $ instance $ socket_arg $ checkpoint
+      $ eps_arg $ oracle_eps_arg $ period $ ck_epochs $ ck_seconds $ backend
+      $ quit_at_tail)
+
+(* ------------------------------------------------------------------ *)
+(* ping                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ping_cmd =
+  let run () socket show_stats =
+    let c = Daemon.Client.connect socket in
+    Fun.protect
+      ~finally:(fun () -> Daemon.Client.close c)
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let epoch = Daemon.Client.ping c in
+        let dt = Unix.gettimeofday () -. t0 in
+        Format.printf "PONG epoch %d (%.2f ms)@." epoch (1e3 *. dt);
+        if show_stats then begin
+          let _, rows = Daemon.Client.stats c in
+          List.iter (fun (k, v) -> Format.printf "%s=%s@." k v) rows
+        end)
+  in
+  let socket =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOCKET" ~doc:"The daemon's Unix-domain socket.")
+  in
+  let show_stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Also print the daemon's STATS rows.")
+  in
+  Cmd.v
+    (Cmd.info "ping"
+       ~doc:"Round-trip a running daemon and print its published epoch")
+    Term.(const run $ logs_term $ socket $ show_stats)
+
+(* ------------------------------------------------------------------ *)
 (* trace-check                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -971,5 +1215,5 @@ let () =
           [
             generate_cmd; build_cmd; analyze_cmd; backends_cmd; compare_cmd;
             rounds_cmd; route_cmd; simulate_cmd; churn_cmd; query_cmd;
-            serve_bench_cmd; trace_check_cmd;
+            serve_cmd; ping_cmd; serve_bench_cmd; trace_check_cmd;
           ]))

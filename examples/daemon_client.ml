@@ -1,0 +1,58 @@
+(* Minimal daemon client: connect to a running `topoctl serve` socket,
+   round-trip a ping, dump the daemon's stats, then answer a handful of
+   distance and routing queries — noting the epoch stamp on every
+   response, which is how a client detects the engine advancing
+   underneath it.
+
+     topoctl churn /tmp/demo.trace --record -n 200 --epochs 40
+     topoctl serve /tmp/demo.trace --socket /tmp/demo.sock &
+     dune exec examples/daemon_client.exe -- /tmp/demo.sock 0 7 42 *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let sock, vertices =
+    match args with
+    | _ :: sock :: rest ->
+        ( sock,
+          match List.filter_map int_of_string_opt rest with
+          | [] -> [ 0; 1; 2 ]
+          | vs -> vs )
+    | _ ->
+        prerr_endline "usage: daemon_client SOCKET [VERTEX ...]";
+        exit 2
+  in
+  let c = Daemon.Client.connect sock in
+  Fun.protect
+    ~finally:(fun () -> Daemon.Client.close c)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let epoch = Daemon.Client.ping c in
+      Printf.printf "ping: epoch %d in %.2f ms\n" epoch
+        (1e3 *. (Unix.gettimeofday () -. t0));
+      let _, rows = Daemon.Client.stats c in
+      List.iter (fun (k, v) -> Printf.printf "  %s = %s\n" k v) rows;
+      (* All-pairs over the sample vertices: distances first, then one
+         route, re-reading the epoch stamp as we go. *)
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v ->
+              if u < v then begin
+                let ep, d = Daemon.Client.dist c u v in
+                Printf.printf "dist %d -> %d = %g  (epoch %d)\n" u v d ep
+              end)
+            vertices)
+        vertices;
+      match vertices with
+      | u :: v :: _ when u <> v -> (
+          match Daemon.Client.path c u v with
+          | _, None -> Printf.printf "route %d -> %d: unreachable\n" u v
+          | ep, Some route ->
+              Printf.printf "route %d -> %d (%d hops, epoch %d):" u v
+                (Array.length route - 1)
+                ep;
+              Array.iter (Printf.printf " %d") route;
+              print_newline ();
+              let _, h = Daemon.Client.hop c u ~dst:v in
+              Printf.printf "first hop %d -> %d: %d\n" u v h)
+      | _ -> ())

@@ -1,0 +1,85 @@
+type t = { fd : Unix.file_descr }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t payload =
+  Wire.write_frame t.fd payload;
+  match Wire.read_frame t.fd with
+  | Some reply -> reply
+  | None -> failwith "Client.request: connection closed by daemon"
+
+let fields s = String.split_on_char ' ' s |> List.filter (fun f -> f <> "")
+
+let bad reply = failwith ("Client: unexpected reply " ^ reply)
+
+let checked t payload =
+  let reply = request t payload in
+  match fields reply with
+  | "ERR" :: rest -> failwith ("daemon: " ^ String.concat " " rest)
+  | f -> (reply, f)
+
+let int_field reply s =
+  match int_of_string_opt s with Some i -> i | None -> bad reply
+
+let ping t =
+  let reply, f = checked t (Wire.render_request Wire.Ping) in
+  match f with [ "PONG"; e ] -> int_field reply e | _ -> bad reply
+
+let epoch t =
+  let reply, f = checked t (Wire.render_request Wire.Epoch) in
+  match f with [ "EPOCH"; e ] -> int_field reply e | _ -> bad reply
+
+let shutdown t =
+  let reply, f = checked t (Wire.render_request Wire.Shutdown) in
+  match f with [ "BYE"; e ] -> int_field reply e | _ -> bad reply
+
+let dist t u v =
+  let reply, f = checked t (Wire.render_request (Wire.Dist (u, v))) in
+  match f with
+  | [ "DIST"; e; u'; v'; d ] when u' = string_of_int u && v' = string_of_int v
+    -> (
+      match float_of_string_opt d with
+      | Some d -> (int_field reply e, d)
+      | None -> bad reply)
+  | _ -> bad reply
+
+let path t u v =
+  let reply, f = checked t (Wire.render_request (Wire.Path (u, v))) in
+  match f with
+  | [ "PATH"; e; "-1" ] -> (int_field reply e, None)
+  | "PATH" :: e :: k :: verts ->
+      let hops = int_field reply k in
+      if List.length verts <> hops + 1 then bad reply;
+      (int_field reply e, Some (Array.of_list (List.map (int_field reply) verts)))
+  | _ -> bad reply
+
+let hop t u ~dst =
+  let reply, f = checked t (Wire.render_request (Wire.Hop (u, dst))) in
+  match f with
+  | [ "HOP"; e; h ] -> (int_field reply e, int_field reply h)
+  | _ -> bad reply
+
+let stats t =
+  let reply, f = checked t (Wire.render_request Wire.Stats) in
+  match f with
+  | "STATS" :: e :: rows ->
+      let kv s =
+        match String.index_opt s '=' with
+        | Some i ->
+            (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+        | None -> bad reply
+      in
+      (int_field reply e, List.map kv rows)
+  | _ -> bad reply
+
+let event t line =
+  let reply, f = checked t (Wire.render_request (Wire.Event line)) in
+  match f with "OK" :: _ -> () | _ -> bad reply

@@ -1,0 +1,42 @@
+(** Blocking client for the daemon's wire protocol.
+
+    One connection, one request in flight — the protocol is strict
+    request/response, so pipelining is the caller's business (open more
+    connections). All helpers raise [Failure] on an [ERR] response or a
+    malformed reply, and [Unix.Unix_error] on transport errors.
+
+    Responses are epoch-stamped; the typed helpers return the stamp so
+    callers can detect epoch boundaries across a batch of requests. *)
+
+type t
+
+val connect : string -> t
+val close : t -> unit
+
+(** [request t payload] sends one frame and reads one reply frame —
+    the raw escape hatch under the typed helpers. *)
+val request : t -> string -> string
+
+(** [ping t] is the round-trip: the published epoch. *)
+val ping : t -> int
+
+val epoch : t -> int
+
+(** [dist t u v] is [(epoch, distance)]; [infinity] when unreachable. *)
+val dist : t -> int -> int -> int * float
+
+(** [path t u v] is [(epoch, route)]; [None] when unreachable. *)
+val path : t -> int -> int -> int * int array option
+
+(** [hop t u ~dst] is [(epoch, next)] with [next] as in
+    {!Oracle.Dist.next_hop}: [-1] arrived, [-2] unreachable. *)
+val hop : t -> int -> dst:int -> int * int
+
+(** [stats t] is [(epoch, rows)]. *)
+val stats : t -> int * (string * string) list
+
+(** [event t line] pushes one churn event line (socket-ingest mode). *)
+val event : t -> string -> unit
+
+(** [shutdown t] asks the daemon to stop; returns its final epoch. *)
+val shutdown : t -> int

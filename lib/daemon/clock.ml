@@ -1,0 +1,15 @@
+type t = { period : float; now : unit -> float; mutable next : float }
+
+let create ?(now = Unix.gettimeofday) ~period () =
+  if period < 0.0 then invalid_arg "Clock.create: negative period";
+  { period; now; next = now () }
+
+let period t = t.period
+let due t = t.period = 0.0 || t.now () >= t.next
+let seconds_until t = if t.period = 0.0 then 0.0 else Float.max 0.0 (t.next -. t.now ())
+
+(* Late ticks re-anchor at now: a 50 ms clock that just spent 300 ms in
+   a rebuild should not fire six catch-up epochs back to back. *)
+let advance t =
+  let n = t.now () in
+  t.next <- (if t.next +. t.period > n then t.next +. t.period else n +. t.period)

@@ -1,0 +1,29 @@
+(** The daemon's epoch pacing clock.
+
+    One tick = one engine epoch. The clock fires every [period]
+    seconds; when a tick is late (the epoch took longer than the
+    period) the next deadline is re-anchored at the current time rather
+    than accumulating a backlog of instantly-due ticks. A [period] of
+    [0] is always due — "as fast as the ingest delivers". *)
+
+type t
+
+(** [create ?now ~period ()] starts the clock with the first tick due
+    immediately. [now] (default [Unix.gettimeofday]) injects a fake
+    time source for tests. Raises [Invalid_argument] on a negative
+    period. *)
+val create : ?now:(unit -> float) -> period:float -> unit -> t
+
+val period : t -> float
+
+(** Has the next tick's deadline passed? *)
+val due : t -> bool
+
+(** Seconds until the next deadline, [0] when already due — the select
+    timeout bound. *)
+val seconds_until : t -> float
+
+(** [advance t] consumes the current tick and schedules the next one at
+    [deadline + period], or at [now + period] when the tick fired
+    late. *)
+val advance : t -> unit

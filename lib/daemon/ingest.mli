@@ -1,0 +1,67 @@
+(** Churn event sources for the daemon.
+
+    Two ingest modes share one event grammar — the event lines of the
+    [ubg-churn] trace format ({!Ubg.Io}):
+
+    {v
+    join <x_1> ... <x_dim>
+    leave <slot>
+    move <slot> <x_1> ... <x_dim>
+    v}
+
+    {b Tail mode} follows a growing trace file: the instance prefix is
+    parsed once at open, then complete batches are polled off the tail
+    as the producer appends them. One recorded batch is one engine
+    epoch — the same batching an offline replay uses, which is what
+    makes a kill/restart resume bit-identical to an uninterrupted run.
+    Only complete batches are ever returned: a batch header whose event
+    lines have not all been flushed yet (or a line not yet
+    ['\n']-terminated) stays pending until the producer catches up.
+    The batch-count line [<B>] of the prefix is advisory in this mode —
+    it is the {e tail length} the daemon reports sync progress against,
+    but polling past it simply returns [None] until more data arrives.
+
+    {b Socket mode} has no source object here: clients push single
+    event lines through the wire protocol's [EV] frames and the daemon
+    batches whatever arrived when the epoch clock fires, using
+    {!parse_event} for the grammar. *)
+
+(** [parse_event ~dim line] parses one event line. *)
+val parse_event : dim:int -> string -> (Ubg.Churn.event, string) result
+
+module Tail : sig
+  type t
+
+  (** [open_ ?wait_prefix path] opens a trace and parses its header and
+      instance body. The prefix must be complete on disk; with
+      [wait_prefix] (seconds, default [0]) an incomplete prefix is
+      re-polled until the deadline. Raises [Failure] on malformed or
+      (past the deadline) incomplete input. *)
+  val open_ : ?wait_prefix:float -> string -> t
+
+  val initial : t -> Ubg.Model.t
+  val dim : t -> int
+
+  (** The prefix's advisory batch count — the tail length for sync
+      progress reports. *)
+  val advertised_batches : t -> int
+
+  (** Batches consumed so far (by {!poll} or {!skip}). *)
+  val batches_read : t -> int
+
+  (** Events consumed so far. *)
+  val events_read : t -> int
+
+  (** [poll t] returns the next complete batch, or [None] when the tail
+      has no complete batch yet. Raises [Failure] on a malformed
+      line. *)
+  val poll : t -> Ubg.Churn.batch option
+
+  (** [skip t n] consumes [n] batches without returning them — the
+      resume fast-forward after a checkpoint restore. Re-polls for up
+      to [wait] seconds (default [10]) before failing on a tail shorter
+      than [n]. *)
+  val skip : ?wait:float -> t -> int -> unit
+
+  val close : t -> unit
+end

@@ -1,0 +1,41 @@
+(** The daemon's query-serving loop.
+
+    One [Unix.select] loop on one domain owns the Unix-domain listen
+    socket and every client connection; requests are answered from
+    {!Oracle.Service.current} — a single atomic load of the published
+    [{epoch; csr; oracle}] triple — so serving never blocks on, or
+    locks against, the engine domain advancing epochs. Every response
+    is stamped with the epoch that answered it.
+
+    The loop wakes at least every [tick] seconds to notice the shared
+    stop flag; a [SHUTDOWN] request sets that same flag, so either the
+    wire or a signal handler can stop the daemon. Instrumented under
+    [daemon.*] metrics: connections, requests, errors and per-request
+    service time. *)
+
+type t
+
+(** [create ~socket ~service ~stop ()] binds and listens on the
+    Unix-domain socket at path [socket] (an existing socket file is
+    replaced). [on_event] handles [EV] lines (socket-ingest mode);
+    omitted, [EV] answers [ERR]. [stats] contributes key/value rows to
+    [STATS] responses beyond the built-in oracle rows. [tick] (default
+    [0.05]) bounds the select timeout. Raises [Unix.Unix_error] when
+    the socket cannot be bound. *)
+val create :
+  socket:string ->
+  service:Oracle.Service.t ->
+  stop:bool Atomic.t ->
+  ?on_event:(string -> (unit, string) result) ->
+  ?stats:(unit -> (string * string) list) ->
+  ?tick:float ->
+  unit ->
+  t
+
+(** [run t] serves until the stop flag is set, then closes every
+    connection and removes the socket file. Runs on the calling
+    domain. *)
+val run : t -> unit
+
+(** Requests answered so far (all verbs, including errors). *)
+val n_requests : t -> int

@@ -1,0 +1,148 @@
+(* Length-prefixed framing: 4-byte big-endian payload length, then the
+   payload. The cap is generous for a line protocol (the largest real
+   response is a PATH over a few thousand hops) while still rejecting a
+   client that opens the socket and writes garbage whose first four
+   bytes decode to gigabytes. *)
+
+let max_frame = 1 lsl 20
+
+(* ------------------------------------------------------------------ *)
+(* Blocking codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let k = Unix.write fd buf off len in
+    write_all fd buf (off + k) (len - k)
+  end
+
+let write_frame fd s =
+  let n = String.length s in
+  if n > max_frame then
+    invalid_arg (Printf.sprintf "Wire.write_frame: %d bytes > max %d" n max_frame);
+  let buf = Bytes.create (4 + n) in
+  Bytes.set_int32_be buf 0 (Int32.of_int n);
+  Bytes.blit_string s 0 buf 4 n;
+  write_all fd buf 0 (4 + n)
+
+(* Reads exactly [len] bytes; [`Eof_at_start] when the peer closed
+   before the first byte (a clean end of stream at a frame boundary). *)
+let read_exact fd buf len =
+  let rec go off =
+    if off >= len then `Ok
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> if off = 0 then `Eof_at_start else `Eof_mid
+      | k -> go (off + k)
+  in
+  go 0
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match read_exact fd hdr 4 with
+  | `Eof_at_start -> None
+  | `Eof_mid -> failwith "Wire.read_frame: EOF inside frame header"
+  | `Ok ->
+      let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if n < 0 || n > max_frame then
+        failwith (Printf.sprintf "Wire.read_frame: bad frame length %d" n);
+      let buf = Bytes.create n in
+      (match read_exact fd buf n with
+      | `Ok -> Some (Bytes.unsafe_to_string buf)
+      | `Eof_at_start when n = 0 -> Some ""
+      | `Eof_at_start | `Eof_mid ->
+          failwith "Wire.read_frame: EOF inside frame payload")
+
+(* ------------------------------------------------------------------ *)
+(* Incremental decoder                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* [buf.[0 .. fill)] holds undecoded bytes; complete frames are popped
+   from the front and the remainder shifted down. Frames are small and
+   connections few, so the O(frame) shift is irrelevant. *)
+type decoder = { mutable buf : bytes; mutable fill : int }
+
+let decoder () = { buf = Bytes.create 256; fill = 0 }
+
+let feed d src off len =
+  if len > 0 then begin
+    if d.fill + len > Bytes.length d.buf then begin
+      let cap = ref (Bytes.length d.buf) in
+      while d.fill + len > !cap do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit d.buf 0 nb 0 d.fill;
+      d.buf <- nb
+    end;
+    Bytes.blit src off d.buf d.fill len;
+    d.fill <- d.fill + len;
+    (* Validate the pending header eagerly so a hostile length is
+       reported at feed time, before the buffer is asked to grow to
+       meet it. *)
+    if d.fill >= 4 then begin
+      let n = Int32.to_int (Bytes.get_int32_be d.buf 0) in
+      if n < 0 || n > max_frame then
+        failwith (Printf.sprintf "Wire.feed: bad frame length %d" n)
+    end
+  end
+
+let next d =
+  if d.fill < 4 then None
+  else
+    let n = Int32.to_int (Bytes.get_int32_be d.buf 0) in
+    if d.fill < 4 + n then None
+    else begin
+      let payload = Bytes.sub_string d.buf 4 n in
+      let rest = d.fill - (4 + n) in
+      Bytes.blit d.buf (4 + n) d.buf 0 rest;
+      d.fill <- rest;
+      Some payload
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Ping
+  | Epoch
+  | Dist of int * int
+  | Path of int * int
+  | Hop of int * int
+  | Stats
+  | Event of string
+  | Shutdown
+
+let parse_request s =
+  let fields =
+    String.split_on_char ' ' s |> List.filter (fun f -> f <> "")
+  in
+  let pair name k = function
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some u, Some v -> Ok (k u v)
+        | _ -> Error (Printf.sprintf "%s: expected two vertex ids" name))
+    | _ -> Error (Printf.sprintf "%s: expected two vertex ids" name)
+  in
+  match fields with
+  | [ "PING" ] -> Ok Ping
+  | [ "EPOCH" ] -> Ok Epoch
+  | [ "STATS" ] -> Ok Stats
+  | [ "SHUTDOWN" ] -> Ok Shutdown
+  | "DIST" :: rest -> pair "DIST" (fun u v -> Dist (u, v)) rest
+  | "PATH" :: rest -> pair "PATH" (fun u v -> Path (u, v)) rest
+  | "HOP" :: rest -> pair "HOP" (fun u v -> Hop (u, v)) rest
+  | "EV" :: rest -> Ok (Event (String.concat " " rest))
+  | verb :: _ -> Error (Printf.sprintf "unknown request %S" verb)
+  | [] -> Error "empty request"
+
+let render_request = function
+  | Ping -> "PING"
+  | Epoch -> "EPOCH"
+  | Stats -> "STATS"
+  | Shutdown -> "SHUTDOWN"
+  | Dist (u, v) -> Printf.sprintf "DIST %d %d" u v
+  | Path (u, v) -> Printf.sprintf "PATH %d %d" u v
+  | Hop (u, v) -> Printf.sprintf "HOP %d %d" u v
+  | Event line -> "EV " ^ line

@@ -1,0 +1,75 @@
+(** Length-prefixed framing and the request grammar of the serve
+    protocol.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    bytes of UTF-8 text; requests and responses are each one frame. The
+    text level is a single space-separated line:
+
+    {v
+    request                      response
+    -------                      --------
+    PING                         PONG <epoch>
+    EPOCH                        EPOCH <epoch>
+    DIST <u> <v>                 DIST <epoch> <u> <v> <distance>
+    PATH <u> <v>                 PATH <epoch> <k> <v_0> ... <v_k>
+                                 PATH <epoch> -1           (unreachable)
+    HOP <u> <dst>                HOP <epoch> <next>
+                                 ([-1] arrived, [-2] unreachable)
+    STATS                        STATS <epoch> <key>=<value> ...
+    EV <event line>              OK <epoch>        (socket-ingest mode)
+    SHUTDOWN                     BYE <epoch>
+    anything else                ERR <message>
+    v}
+
+    Every response is stamped with the epoch of the published oracle
+    entry that answered it, so a client batching requests can detect an
+    epoch boundary mid-batch. Distances are printed with [%.17g]
+    (doubles round-trip exactly; [inf] for unreachable). *)
+
+(** Frames larger than this are a protocol error on both ends. *)
+val max_frame : int
+
+(** {1 Blocking codec (client side)} *)
+
+(** [write_frame fd s] writes one frame, handling short writes. Raises
+    [Invalid_argument] when [s] exceeds {!max_frame}. *)
+val write_frame : Unix.file_descr -> string -> unit
+
+(** [read_frame fd] reads one frame; [None] on a clean EOF at a frame
+    boundary; raises [Failure] on EOF mid-frame or an oversized
+    length. *)
+val read_frame : Unix.file_descr -> string option
+
+(** {1 Incremental decoder (server side)}
+
+    Feed whatever bytes [read] produced; pop complete frames. The
+    decoder buffers at most one partial frame. *)
+
+type decoder
+
+val decoder : unit -> decoder
+
+(** [feed d buf off len] appends bytes. Raises [Failure] when the
+    declared frame length exceeds {!max_frame} (the connection should
+    be dropped). *)
+val feed : decoder -> bytes -> int -> int -> unit
+
+(** [next d] pops the next complete frame payload, if any. *)
+val next : decoder -> string option
+
+(** {1 Requests} *)
+
+type request =
+  | Ping
+  | Epoch
+  | Dist of int * int
+  | Path of int * int
+  | Hop of int * int  (** vertex, destination *)
+  | Stats
+  | Event of string  (** raw churn event line, socket-ingest mode *)
+  | Shutdown
+
+val parse_request : string -> (request, string) result
+
+(** [render_request r] is the exact payload {!parse_request} inverts. *)
+val render_request : request -> string

@@ -528,3 +528,69 @@ let create ?backend ?(gray = Ubg.Gray_zone.Keep_all)
          stretch t.params.Params.t);
   push_snapshot t ~base ~sp ~stretch;
   t
+
+(* ------------------------------------------------------------------ *)
+(* State export / restore                                              *)
+(* ------------------------------------------------------------------ *)
+
+let export_state = latest
+
+let restore ?backend ?(gray = Ubg.Gray_zone.Keep_all)
+    ?(rebuild_threshold = 0.3) ?(pipeline_min_edges = 16) ?(history = 4)
+    ?(clock = Sys.time) ~params snap =
+  if rebuild_threshold <= 0.0 || rebuild_threshold > 1.0 then
+    invalid_arg "Engine.restore: rebuild_threshold must be in (0, 1]";
+  if pipeline_min_edges < 1 then
+    invalid_arg "Engine.restore: pipeline_min_edges must be >= 1";
+  if history < 2 then invalid_arg "Engine.restore: history must be >= 2";
+  let cap = Array.length snap.snap_points in
+  if
+    Array.length snap.snap_alive <> cap
+    || Csr.n_vertices snap.snap_ubg <> cap
+    || Csr.n_vertices snap.snap_spanner <> cap
+  then failwith "Engine.restore: snapshot arrays disagree on capacity";
+  if not (Array.exists Fun.id snap.snap_alive) then
+    failwith "Engine.restore: snapshot has no alive slot";
+  let backend_incremental =
+    match backend with
+    | None -> true
+    | Some b -> (Spanner.Backend.capabilities b).Spanner.Backend.incremental
+  in
+  let pop = Population.of_points snap.snap_points in
+  Population.restore pop ~points:snap.snap_points ~alive:snap.snap_alive;
+  let t =
+    {
+      params;
+      backend;
+      backend_incremental;
+      gray;
+      rebuild_threshold;
+      pipeline_min_edges;
+      history;
+      clock;
+      pop;
+      ubg = Csr.to_wgraph snap.snap_ubg;
+      spanner = Csr.to_wgraph snap.snap_spanner;
+      epoch = snap.snap_epoch;
+      snaps = [];
+      last_rebuild = 0.0;
+      n_incremental = 0;
+      n_rebuilds = 0;
+      n_cert_failures = 0;
+      epoch_hooks = [];
+    }
+  in
+  (* Re-certify rather than trust the recorded stretch: a corrupt or
+     hand-edited checkpoint must not become a serving engine. *)
+  let base, sp, stretch = certify t in
+  if not (certifies t stretch) then
+    failwith
+      (Printf.sprintf
+         "Engine.restore: checkpoint at epoch %d has stretch %g > t = %g"
+         snap.snap_epoch stretch t.params.Params.t);
+  if abs_float (stretch -. snap.snap_stretch) > 1e-6 then
+    Log.warn (fun m ->
+        m "restore: recomputed stretch %g differs from recorded %g" stretch
+          snap.snap_stretch);
+  push_snapshot t ~base ~sp ~stretch;
+  t

@@ -175,3 +175,36 @@ val diff : before:snapshot -> after:snapshot -> Graph.Wgraph.edge array * Graph.
     (population, α-UBG, spanner, epoch) to the one before it. Raises
     [Failure] when no older snapshot remains. *)
 val rollback : t -> unit
+
+(** {2 State export / restore}
+
+    The persistence surface behind [Ubg.Io]'s [ubg-checkpoint] format
+    and the daemon's checkpointer. A {!snapshot} already is the full
+    engine state at an epoch boundary (apply_batch only reads the
+    population, the two graphs and the parameters), so export is
+    {!latest} and restore rebuilds a live engine around a snapshot. *)
+
+(** [export_state t] is {!latest}[ t] — the certified state to persist. *)
+val export_state : t -> snapshot
+
+(** [restore ?backend ?gray ?rebuild_threshold ?pipeline_min_edges
+    ?history ?clock ~params snap] reconstructs an engine positioned at
+    [snap]'s epoch without rebuilding the spanner: the population,
+    α-UBG and spanner are thawed from the snapshot, re-certified (a
+    corrupt or mismatched checkpoint raises [Failure]), and pushed as
+    the engine's only snapshot. Subsequent {!apply_batch} calls produce
+    bit-identical epochs to an uninterrupted engine that reached
+    [snap]'s epoch the long way — the resume guarantee the daemon's
+    kill/restart test pins. Optional arguments mean what they mean in
+    {!create}; they are configuration, not state, and must be re-given
+    on restore. *)
+val restore :
+  ?backend:Spanner.Backend.t ->
+  ?gray:Ubg.Gray_zone.t ->
+  ?rebuild_threshold:float ->
+  ?pipeline_min_edges:int ->
+  ?history:int ->
+  ?clock:(unit -> float) ->
+  params:Topo.Params.t ->
+  snapshot ->
+  t

@@ -92,6 +92,11 @@ let time m f =
   c.Shard.count <- c.Shard.count + 1;
   v
 
+let add_seconds m dt =
+  let c = cell m in
+  c.Shard.sum <- c.Shard.sum +. dt;
+  c.Shard.count <- c.Shard.count + 1
+
 (* Histograms: [edges] are upper bucket bounds (value v lands in the
    first bucket with v <= edge); an implicit +inf overflow bucket is
    appended. Fixed buckets, linear scan — edges arrays are short. *)

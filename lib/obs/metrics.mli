@@ -38,6 +38,12 @@ val timer : string -> t
     [Topo.Profile.time] behaviour). *)
 val time : t -> (unit -> 'a) -> 'a
 
+(** [add_seconds t dt] accumulates an externally measured duration into
+    [t] and counts one call — for code that cannot wrap the timed region
+    in a closure (e.g. a select loop measuring per-request service
+    time across callbacks). *)
+val add_seconds : t -> float -> unit
+
 (** [timer_value t] is the merged ([total_seconds], [calls]). *)
 val timer_value : t -> float * int
 

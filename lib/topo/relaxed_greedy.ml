@@ -288,7 +288,19 @@ let build ?(metric = Geometry.Metric.Euclidean) ?(mode = `Auto)
   let phi = Geometry.Metric.of_distance metric in
   let n = Model.n model in
   let bins = Bins.make ~params ~n in
-  let binned = Bins.partition bins (Wgraph.edges model.Model.graph) in
+  (* Canonical (w, u, v) edge order before binning: Wgraph iteration
+     order reflects the builder's hashtable insertion history, and the
+     per-bin scan tie-breaks (Query_select's inequality-(1) minimizer)
+     on scan order. Sorting makes [build] a function of the edge SET —
+     what lets a checkpoint-restored engine (whose graphs were re-thawed
+     in CSR order) rebuild bit-identically to an uninterrupted one. *)
+  let canonical_edges =
+    List.sort
+      (fun (a : Wgraph.edge) (b : Wgraph.edge) ->
+        compare (a.w, a.u, a.v) (b.w, b.u, b.v))
+      (Wgraph.edges model.Model.graph)
+  in
+  let binned = Bins.partition bins canonical_edges in
   let spanner = Wgraph.create n in
   let tree =
     if local then Some (Geometry.Kdtree.build model.Model.points) else None

@@ -7,6 +7,7 @@ module Wgraph = Graph.Wgraph
 let instance_version = 2
 let topology_version = 1
 let trace_version = 1
+let checkpoint_version = 1
 
 let write_instance_body oc model =
   let n = Model.n model and dim = Model.dim model in
@@ -236,3 +237,123 @@ let load_trace path =
                 | _ -> parse_err r "event"))
       in
       { Churn.initial; batches })
+
+(* ------------------------------------------------------------------ *)
+(* Engine checkpoints                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type checkpoint = {
+  ck_epoch : int;
+  ck_events : int;
+  ck_alpha : float;
+  ck_points : Point.t array;
+  ck_alive : bool array;
+  ck_ubg : Wgraph.t;
+  ck_spanner : Wgraph.t;
+  ck_stretch : float;
+}
+
+let save_checkpoint path ck =
+  let cap = Array.length ck.ck_points in
+  if Array.length ck.ck_alive <> cap then
+    invalid_arg "save_checkpoint: points/alive length mismatch";
+  let dim = if cap = 0 then 0 else Point.dim ck.ck_points.(0) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "ubg-checkpoint v%d\n" checkpoint_version;
+      Printf.fprintf oc "%d %d %d %d %.17g %.17g\n" ck.ck_epoch ck.ck_events
+        cap dim ck.ck_alpha ck.ck_stretch;
+      Array.iteri
+        (fun i p ->
+          output_string oc (if ck.ck_alive.(i) then "1" else "0");
+          write_point_fields oc p;
+          output_char oc '\n')
+        ck.ck_points;
+      let write_edges g =
+        Printf.fprintf oc "%d\n" (Wgraph.n_edges g);
+        Wgraph.iter_edges g (fun u v _ -> Printf.fprintf oc "%d %d\n" u v)
+      in
+      write_edges ck.ck_ubg;
+      write_edges ck.ck_spanner;
+      output_string oc "end\n")
+
+let load_checkpoint path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let r = { ic; line = 0 } in
+      let _version =
+        expect_header r ~family:"ubg-checkpoint" ~upto:checkpoint_version
+      in
+      let epoch, events, cap, dim, alpha, stretch =
+        match fields (next_line r) with
+        | [ a; b; c; d; e; f ] -> (
+            try
+              ( int_of_string a, int_of_string b, int_of_string c,
+                int_of_string d, float_of_string e, float_of_string f )
+            with Failure _ -> parse_err r "epoch events cap dim alpha stretch")
+        | _ -> parse_err r "epoch events cap dim alpha stretch"
+      in
+      if cap <= 0 || dim <= 0 then parse_err r "positive cap and dim";
+      let alive = Array.make cap false in
+      let points =
+        Array.init cap (fun i ->
+            match fields (next_line r) with
+            | flag :: coords when List.length coords = dim -> (
+                (match flag with
+                | "1" -> alive.(i) <- true
+                | "0" -> alive.(i) <- false
+                | _ -> parse_err r "alive flag");
+                try Point.of_list (List.map float_of_string coords)
+                with Failure _ -> parse_err r "slot coordinates")
+            | _ -> parse_err r "slot line")
+      in
+      let read_edges what =
+        let m =
+          match fields (next_line r) with
+          | [ a ] -> (
+              try int_of_string a
+              with Failure _ -> parse_err r (what ^ " edge count"))
+          | _ -> parse_err r (what ^ " edge count")
+        in
+        let g = Wgraph.create cap in
+        for _ = 1 to m do
+          match fields (next_line r) with
+          | [ a; b ] -> (
+              try
+                let u = int_of_string a and v = int_of_string b in
+                if u < 0 || u >= cap || v < 0 || v >= cap then
+                  failwith "ids out of range";
+                if not (alive.(u) && alive.(v)) then
+                  failwith "edge on a dead slot";
+                Wgraph.add_edge g u v (Point.distance points.(u) points.(v))
+              with Failure _ | Invalid_argument _ ->
+                parse_err r (what ^ " edge"))
+          | _ -> parse_err r (what ^ " edge")
+        done;
+        g
+      in
+      let ubg = read_edges "ubg" in
+      let spanner = read_edges "spanner" in
+      Wgraph.iter_edges spanner (fun u v _ ->
+          if not (Wgraph.mem_edge ubg u v) then
+            failwith
+              (Printf.sprintf
+                 "load_checkpoint: spanner edge {%d,%d} missing from the α-UBG"
+                 u v));
+      (match next_line r with
+      | "end" -> ()
+      | _ -> parse_err r "end sentinel (file truncated?)");
+      {
+        ck_epoch = epoch;
+        ck_events = events;
+        ck_alpha = alpha;
+        ck_points = points;
+        ck_alive = alive;
+        ck_ubg = ubg;
+        ck_spanner = spanner;
+        ck_stretch = stretch;
+      })

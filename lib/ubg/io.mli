@@ -58,3 +58,46 @@ val save_trace : string -> Churn.trace -> unit
     line-numbered message on malformed input. Slot ids are validated
     only on replay, not on load. *)
 val load_trace : string -> Churn.trace
+
+(** {2 Engine checkpoints}
+
+    Full dynamic-engine state at an epoch boundary, as primitive data
+    (this library cannot see [Dynamic.Engine]; the engine provides
+    export/restore on its side). Slots are capacity-indexed — dead
+    slots keep their last position, because the engine's kd-tree passes
+    index every stored coordinate. Format:
+    {v
+    ubg-checkpoint v1
+    <epoch> <events> <cap> <dim> <alpha> <stretch>
+    <alive 0|1> <x_1> ... <x_dim>      (cap slot lines)
+    <m_ubg>
+    <u> <v>                            (weights recomputed on load)
+    <m_spanner>
+    <u> <v>
+    end
+    v}
+    Coordinates are printed with [%.17g] so doubles round-trip exactly;
+    edge weights are re-derived from them, which is exact because every
+    engine edge weight {e is} the Euclidean distance of its endpoints.
+    The trailing [end] sentinel makes truncation detectable. *)
+type checkpoint = {
+  ck_epoch : int;  (** engine epoch the state was certified at *)
+  ck_events : int;  (** ingest cursor: events consumed so far *)
+  ck_alpha : float;
+  ck_points : Geometry.Point.t array;  (** capacity-indexed *)
+  ck_alive : bool array;
+  ck_ubg : Graph.Wgraph.t;  (** capacity-indexed; dead slots isolated *)
+  ck_spanner : Graph.Wgraph.t;
+  ck_stretch : float;  (** certified stretch recorded at save time *)
+}
+
+(** [save_checkpoint path ck] writes [ck] to [path] (not atomic —
+    callers that overwrite a live checkpoint should write to a
+    temporary and rename, as [Daemon.Checkpoint] does). *)
+val save_checkpoint : string -> checkpoint -> unit
+
+(** [load_checkpoint path] reads a checkpoint; raises [Failure] with a
+    line-numbered message on malformed, truncated or wrong-version
+    input, and validates edge ids (in range, endpoints alive, no
+    spanner edge missing from the α-UBG). *)
+val load_checkpoint : string -> checkpoint

@@ -355,6 +355,229 @@ let test_engine_forced_rebuild_threshold () =
   let _, rebuilds, _ = Engine.counters e in
   Alcotest.(check int) "rebuild counted" 1 rebuilds
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial: forced certification failures and the rebuild/rollback *)
+(* fallbacks                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A benign one-event batch: nudge slot [i] by a hair, so the dirty
+   region stays tiny and the repair path stays incremental. *)
+let nudge model i =
+  let c = Point.coords model.Ubg.Model.points.(i) in
+  c.(0) <- c.(0) +. 1e-3;
+  [| Churn.Move (i, Point.create c) |]
+
+let test_engine_cert_failure_fallback () =
+  let model = connected_model ~seed:31 ~n:60 ~dim:2 ~alpha:0.8 in
+  let params = params_for model in
+  let e = Engine.create ~params model in
+  (* Adversarially corrupt the live spanner: drop every edge not
+     incident to slot 0. The batch below only touches slot 0, so the
+     incremental repair never revisits the distant damage and the epoch
+     cannot certify incrementally. *)
+  let sp = Engine.spanner e in
+  List.iter
+    (fun (ed : Wgraph.edge) ->
+      if ed.u <> 0 && ed.v <> 0 then ignore (Wgraph.remove_edge sp ed.u ed.v))
+    (Wgraph.edges sp);
+  let r = Engine.apply_batch e (nudge model 0) in
+  Alcotest.(check bool) "fell back to a cert-failure rebuild" true
+    (r.Engine.kind = Engine.Rebuild_cert_failure);
+  let _, _, failures = Engine.counters e in
+  Alcotest.(check int) "certification failure counted" 1 failures;
+  Alcotest.(check bool) "recovered epoch certifies" true
+    (r.Engine.stretch <= params.Topo.Params.t +. 1e-9);
+  (* And the engine keeps going normally afterwards. *)
+  let r2 = Engine.apply_batch e (nudge model 1) in
+  Alcotest.(check bool) "next epoch incremental again" true
+    (r2.Engine.kind = Engine.Incremental)
+
+(* A backend that builds honestly until armed, then emits an edgeless
+   "spanner" every rebuild. Non-incremental, so every epoch routes
+   through it — the engine's last line of defense (certify, roll back,
+   raise) is what's under test. *)
+let sabotage_armed = ref false
+
+module Sabotage_backend = struct
+  let name = "test-sabotage"
+  let description = "adversarial test backend: edgeless spanner when armed"
+
+  let capabilities =
+    {
+      Spanner.Backend.incremental = false;
+      localized = false;
+      metric_aware = false;
+      subgraph = true;
+    }
+
+  let build ?metric:_ ?mode:_ ~params model =
+    let spanner =
+      if !sabotage_armed then Wgraph.create (Ubg.Model.n model)
+      else (Topo.Relaxed_greedy.build ~params model).Topo.Relaxed_greedy.spanner
+    in
+    {
+      Spanner.Backend.backend = name;
+      spanner;
+      advertised_stretch = Some params.Topo.Params.t;
+      phases = [];
+      rounds = 0;
+      messages = 0;
+      build_seconds = 0.0;
+    }
+end
+
+let test_engine_rebuild_failure_rolls_back () =
+  let model = connected_model ~seed:37 ~n:50 ~dim:2 ~alpha:0.8 in
+  let params = params_for model in
+  sabotage_armed := false;
+  let e =
+    Engine.create ~backend:(module Sabotage_backend : Spanner.Backend.S)
+      ~params model
+  in
+  (* One honest epoch so there is a certified snapshot to fall back to. *)
+  let r1 = Engine.apply_batch e (nudge model 0) in
+  Alcotest.(check bool) "backend epochs report Rebuild_backend" true
+    (r1.Engine.kind = Engine.Rebuild_backend);
+  let snap_before = Engine.latest e in
+  let spanner_before = canonical (Engine.spanner e) in
+  sabotage_armed := true;
+  Fun.protect
+    ~finally:(fun () -> sabotage_armed := false)
+    (fun () ->
+      (match Engine.apply_batch e (nudge model 1) with
+      | _ -> Alcotest.fail "sabotaged rebuild must not certify"
+      | exception Failure _ -> ());
+      (* Rolled back: same epoch, same certified snapshot, population
+         restored, and the live spanner matches the snapshot again. *)
+      Alcotest.(check int) "epoch unchanged" snap_before.Engine.snap_epoch
+        (Engine.epoch e);
+      Alcotest.(check bool) "snapshot is still the certified one" true
+        ((Engine.latest e).Engine.snap_epoch = snap_before.Engine.snap_epoch);
+      Alcotest.(check bool) "live spanner restored" true
+        (canonical (Engine.spanner e) = spanner_before);
+      let _, _, failures = Engine.counters e in
+      Alcotest.(check int) "failure counted" 1 failures);
+  (* Disarmed, the engine serves and advances again. *)
+  let r3 = Engine.apply_batch e (nudge model 2) in
+  Alcotest.(check bool) "recovers once the backend behaves" true
+    (r3.Engine.stretch <= params.Topo.Params.t +. 1e-9)
+
+(* Partition / heal burst: a third of the nodes jump far outside unit
+   range (mass edge loss -> threshold rebuild), then jump back. Every
+   epoch must certify, and the whole storm must replay bit-identically
+   across pool sizes. *)
+let partition_heal_batches model =
+  let n = Ubg.Model.n model in
+  let block = max 2 (n / 3) in
+  let far =
+    Array.init block (fun i ->
+        let c = Point.coords model.Ubg.Model.points.(i) in
+        c.(0) <- c.(0) +. 1e3;
+        Churn.Move (i, Point.create c))
+  in
+  let heal =
+    Array.init block (fun i -> Churn.Move (i, model.Ubg.Model.points.(i)))
+  in
+  [ far; heal ]
+
+let run_burst ~domains model batches =
+  Pool.set_domains domains;
+  Fun.protect ~finally:Pool.clear_domains (fun () ->
+      let e = Engine.create ~params:(params_for model) model in
+      let log =
+        List.map
+          (fun b ->
+            let r = Engine.apply_batch e b in
+            (r.Engine.kind, canonical (Engine.spanner e)))
+          batches
+      in
+      (e, log))
+
+let test_engine_partition_heal_burst () =
+  let model = connected_model ~seed:43 ~n:60 ~dim:2 ~alpha:0.8 in
+  let params = params_for model in
+  let batches = partition_heal_batches model in
+  let e, log = run_burst ~domains:1 model batches in
+  Alcotest.(check int) "both epochs applied" 2 (Engine.epoch e);
+  Alcotest.(check bool) "partition epoch fell back to a rebuild" true
+    (match log with (k, _) :: _ -> k <> Engine.Incremental | [] -> false);
+  Alcotest.(check bool) "every epoch certified" true
+    ((Engine.latest e).Engine.snap_stretch <= params.Topo.Params.t +. 1e-9);
+  (* The storm is deterministic across domain pools. *)
+  let _, log4 = run_burst ~domains:4 model batches in
+  Alcotest.(check bool) "bit-identical across domains {1,4}" true (log = log4)
+
+(* ------------------------------------------------------------------ *)
+(* export_state / restore: the daemon's resume guarantee               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_engine_restore_resumes_bit_identical =
+  qtest ~count:4 "engine: restore resumes bit-identically mid-history"
+    seed_arb (fun seed ->
+      let model, trace = trace_setup ~seed ~n:60 ~epochs:6 ~batch_max:4 in
+      let params = params_for model in
+      let a = Engine.create ~params model in
+      Engine.replay a trace ~f:(fun _ -> ());
+      (* Interrupt at epoch 3: export, thaw a fresh engine, resume. *)
+      let b = Engine.create ~params model in
+      for i = 0 to 2 do
+        ignore (Engine.apply_batch b trace.Churn.batches.(i))
+      done;
+      let c = Engine.restore ~params (Engine.export_state b) in
+      Engine.epoch c = 3
+      && (for i = 3 to 5 do
+            ignore (Engine.apply_batch c trace.Churn.batches.(i))
+          done;
+          canonical (Engine.spanner c) = canonical (Engine.spanner a))
+      && canonical (Engine.ubg c) = canonical (Engine.ubg a)
+      && close ~eps:0.0
+           (Engine.latest c).Engine.snap_stretch
+           (Engine.latest a).Engine.snap_stretch)
+
+let prop_engine_restore_bit_identical_across_domains =
+  qtest ~count:3 "engine: restore + resume identical across domains {1,4}"
+    seed_arb (fun seed ->
+      let model, trace = trace_setup ~seed ~n:60 ~epochs:5 ~batch_max:4 in
+      let params = params_for model in
+      let resume ~domains =
+        Pool.set_domains domains;
+        Fun.protect ~finally:Pool.clear_domains (fun () ->
+            let b = Engine.create ~params model in
+            for i = 0 to 1 do
+              ignore (Engine.apply_batch b trace.Churn.batches.(i))
+            done;
+            let c = Engine.restore ~params (Engine.export_state b) in
+            for i = 2 to 4 do
+              ignore (Engine.apply_batch c trace.Churn.batches.(i))
+            done;
+            canonical (Engine.spanner c))
+      in
+      resume ~domains:1 = resume ~domains:4)
+
+let test_engine_restore_rejects_corrupt_snapshot () =
+  let model = connected_model ~seed:47 ~n:40 ~dim:2 ~alpha:0.8 in
+  let params = params_for model in
+  let e = Engine.create ~params model in
+  let snap = Engine.export_state e in
+  (* Corrupt: drop all spanner edges. Re-certification must refuse. *)
+  let corrupt =
+    {
+      snap with
+      Engine.snap_spanner =
+        Csr.of_wgraph (Wgraph.create (Array.length snap.Engine.snap_points));
+    }
+  in
+  (match Engine.restore ~params corrupt with
+  | _ -> Alcotest.fail "corrupt snapshot must not restore"
+  | exception Failure _ -> ());
+  (* And mismatched capacities are rejected up front. *)
+  let mismatched =
+    { snap with Engine.snap_alive = Array.make 1 true }
+  in
+  match Engine.restore ~params mismatched with
+  | _ -> Alcotest.fail "mismatched snapshot must not restore"
+  | exception Failure _ -> ()
+
 let () =
   Alcotest.run "dynamic"
     [
@@ -385,5 +608,21 @@ let () =
           Alcotest.test_case "snapshot diff" `Quick test_engine_snapshot_diff;
           Alcotest.test_case "threshold rebuild path" `Quick
             test_engine_forced_rebuild_threshold;
+        ] );
+      ( "engine-adversarial",
+        [
+          Alcotest.test_case "cert failure falls back to rebuild" `Quick
+            test_engine_cert_failure_fallback;
+          Alcotest.test_case "failed rebuild rolls back and raises" `Quick
+            test_engine_rebuild_failure_rolls_back;
+          Alcotest.test_case "partition/heal burst certifies" `Quick
+            test_engine_partition_heal_burst;
+        ] );
+      ( "engine-restore",
+        [
+          prop_engine_restore_resumes_bit_identical;
+          prop_engine_restore_bit_identical_across_domains;
+          Alcotest.test_case "corrupt snapshots rejected" `Quick
+            test_engine_restore_rejects_corrupt_snapshot;
         ] );
     ]

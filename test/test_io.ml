@@ -193,6 +193,134 @@ let test_topology_must_be_subgraph () =
                false
              with Failure _ -> true))
 
+(* ---- engine checkpoints ("ubg-checkpoint v1") ------------------------
+
+   The daemon's resume guarantee rests on this format round-tripping the
+   engine's certified state exactly: coordinates are written with %.17g
+   (lossless for doubles) and edge weights are recomputed from them on
+   load, so a reloaded checkpoint must compare equal field by field. *)
+
+let canonical g =
+  List.sort compare
+    (List.map
+       (fun (e : Wgraph.edge) -> (min e.u e.v, max e.u e.v, e.w))
+       (Wgraph.edges g))
+
+let engine_checkpoint ~seed ~epochs =
+  let model = connected_model ~seed ~n:24 ~dim:2 ~alpha:0.9 in
+  let trace =
+    Ubg.Churn.generate ~seed ~epochs ~batch_max:4
+      (Ubg.Churn.default_dynamics ~side:4.0)
+      model
+  in
+  let params = Topo.Params.of_epsilon ~eps:0.5 ~alpha:0.9 ~dim:2 in
+  let engine = Dynamic.Engine.create ~params model in
+  Array.iter
+    (fun batch -> ignore (Dynamic.Engine.apply_batch engine batch))
+    trace.Ubg.Churn.batches;
+  let snap = Dynamic.Engine.export_state engine in
+  {
+    Io.ck_epoch = snap.Dynamic.Engine.snap_epoch;
+    ck_events = Ubg.Churn.n_events trace;
+    ck_alpha = 0.9;
+    ck_points = snap.Dynamic.Engine.snap_points;
+    ck_alive = snap.Dynamic.Engine.snap_alive;
+    ck_ubg = Graph.Csr.to_wgraph snap.Dynamic.Engine.snap_ubg;
+    ck_spanner = Graph.Csr.to_wgraph snap.Dynamic.Engine.snap_spanner;
+    ck_stretch = snap.Dynamic.Engine.snap_stretch;
+  }
+
+let checkpoint_eq (a : Io.checkpoint) (b : Io.checkpoint) =
+  a.Io.ck_epoch = b.Io.ck_epoch
+  && a.Io.ck_events = b.Io.ck_events
+  && a.Io.ck_alpha = b.Io.ck_alpha
+  && a.Io.ck_stretch = b.Io.ck_stretch
+  && a.Io.ck_alive = b.Io.ck_alive
+  && Array.length a.Io.ck_points = Array.length b.Io.ck_points
+  && Array.for_all2
+       (fun p q -> Geometry.Point.compare p q = 0)
+       a.Io.ck_points b.Io.ck_points
+  && canonical a.Io.ck_ubg = canonical b.Io.ck_ubg
+  && canonical a.Io.ck_spanner = canonical b.Io.ck_spanner
+
+let prop_checkpoint_roundtrip =
+  qtest ~count:8 "io: checkpoint save/load round-trips exactly" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let ck = engine_checkpoint ~seed ~epochs:(2 + Random.State.int st 5) in
+      let path = temp_file ".ck" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Io.save_checkpoint path ck;
+          checkpoint_eq ck (Io.load_checkpoint path)))
+
+(* Corrupted checkpoints must be rejected loudly rather than resumed
+   from: a daemon restarting on garbage state would silently serve
+   wrong answers forever. *)
+let test_checkpoint_rejects_malformed () =
+  let ck = engine_checkpoint ~seed:7 ~epochs:3 in
+  let path = temp_file ".ck" in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Io.save_checkpoint path ck;
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let acc = ref [] in
+            (try
+               while true do
+                 acc := input_line ic :: !acc
+               done
+             with End_of_file -> ());
+            List.rev !acc))
+  in
+  let reject what ls =
+    let bad = write_file (String.concat "\n" ls ^ "\n") in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove bad)
+      (fun () ->
+        Alcotest.(check bool) what true
+          (try
+             ignore (Io.load_checkpoint bad);
+             false
+           with Failure _ -> true))
+  in
+  let n = List.length lines in
+  reject "missing end sentinel"
+    (List.filteri (fun i _ -> i < n - 1) lines);
+  reject "truncated mid-body" (List.filteri (fun i _ -> i < n / 2) lines);
+  reject "future version rejected" ("ubg-checkpoint v9" :: List.tl lines);
+  reject "wrong family rejected" ("ubg-instance v2" :: List.tl lines);
+  (* And the happy path still holds after all that slicing around. *)
+  let good = write_file (String.concat "\n" lines ^ "\n") in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove good)
+    (fun () ->
+      Alcotest.(check bool) "untampered copy loads" true
+        (checkpoint_eq ck (Io.load_checkpoint good)))
+
+(* The checkpoint format must not disturb legacy readers: an instance
+   file saved by today's writer (v2 header) keeps loading, and a
+   checkpoint header is not mistaken for an instance. *)
+let test_checkpoint_coexists_with_instance_format () =
+  let model = random_model ~seed:11 ~n:10 ~dim:2 ~alpha:0.8 in
+  let path = temp_file ".ubg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.save_instance path model;
+      let loaded = Io.load_instance path in
+      Alcotest.(check int) "legacy instance n" (Model.n model) (Model.n loaded);
+      Alcotest.(check bool) "checkpoint loader rejects instance files" true
+        (try
+           ignore (Io.load_checkpoint path);
+           false
+         with Failure _ -> true))
+
 let () =
   Alcotest.run "io"
     [
@@ -217,5 +345,13 @@ let () =
           prop_trace_roundtrip;
           Alcotest.test_case "malformed traces rejected" `Quick
             test_malformed_trace;
+        ] );
+      ( "checkpoint",
+        [
+          prop_checkpoint_roundtrip;
+          Alcotest.test_case "malformed checkpoints rejected" `Quick
+            test_checkpoint_rejects_malformed;
+          Alcotest.test_case "coexists with instance format" `Quick
+            test_checkpoint_coexists_with_instance_format;
         ] );
     ]
