@@ -254,8 +254,12 @@ let run ?stop config =
                progress ();
                if checkpoint_due () then write_checkpoint ()
            | `Idle ->
-               (* socket mode, nothing pending: skip the epoch *)
-               Clock.advance clock
+               (* socket mode, nothing pending: skip the epoch, and
+                  sleep — with period = 0 the clock is always due, so
+                  an unslept idle loop would peg a core and contend
+                  pending_lock against the server's EV handler *)
+               Clock.advance clock;
+               Unix.sleepf (Float.min config.tick 0.02)
            | `Wait -> Unix.sleepf (Float.min config.tick 0.02)
            | `Done -> Atomic.set stop true)
          else Unix.sleepf (Float.min (Clock.seconds_until clock) 0.05)

@@ -14,6 +14,8 @@ type conn = {
   mutable out : Bytes.t;
   mutable out_off : int;
   mutable out_len : int;
+  mutable broken : bool;
+      (* write side failed (EPIPE/ECONNRESET): drop at next opportunity *)
 }
 
 type t = {
@@ -34,12 +36,47 @@ type t = {
   m_service : Obs.Metrics.t;
 }
 
+(* A stale socket file (daemon died without unlinking) refuses
+   connections; a live daemon accepts.  Probe before unlinking so a
+   second daemon fails loudly instead of silently stealing the socket
+   out from under a running one. *)
+let claim_socket_path socket =
+  match Unix.lstat socket with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let verdict =
+        match Unix.connect probe (Unix.ADDR_UNIX socket) with
+        | () -> `Live
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Gone
+        | exception Unix.Unix_error (e, _, _) -> `Error e
+      in
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      match verdict with
+      | `Live ->
+          failwith
+            (Printf.sprintf
+               "Server.create: a daemon is already listening on %s" socket)
+      | `Stale ->
+          (try Unix.unlink socket
+           with Unix.Unix_error (Unix.ENOENT, _, _) -> ())
+      | `Gone -> ()
+      | `Error e ->
+          failwith
+            (Printf.sprintf "Server.create: cannot probe %s: %s" socket
+               (Unix.error_message e)))
+  | _ ->
+      failwith
+        (Printf.sprintf "Server.create: %s exists and is not a socket" socket)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
 let create ~socket ~service ~stop ?on_event ?stats ?(tick = 0.05) () =
   if tick <= 0.0 then invalid_arg "Server.create: tick must be positive";
-  (match Unix.lstat socket with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket
-  | _ -> failwith (Printf.sprintf "Server.create: %s exists and is not a socket" socket)
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  (* A client that closes mid-response must not kill the daemon: turn
+     SIGPIPE into EPIPE from Unix.write, handled in flush_out. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  claim_socket_path socket;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket);
   Unix.listen listen_fd 64;
@@ -164,7 +201,7 @@ let enqueue conn s =
 
 let flush_out conn =
   let continue = ref true in
-  while !continue && conn.out_len > 0 do
+  while !continue && conn.out_len > 0 && not conn.broken do
     match Unix.write conn.fd conn.out conn.out_off conn.out_len with
     | 0 -> continue := false
     | k ->
@@ -172,6 +209,11 @@ let flush_out conn =
         conn.out_len <- conn.out_len - k;
         if conn.out_len = 0 then conn.out_off <- 0
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (_, _, _) ->
+        (* EPIPE/ECONNRESET: peer is gone, never a reason to crash the
+           serving loop — mark the connection for drop instead *)
+        conn.broken <- true;
         continue := false
   done
 
@@ -210,14 +252,17 @@ let handle_readable t conn =
      done
    with
   | Failure msg ->
-      (* protocol violation (oversized frame): answer and drop *)
+      (* protocol violation (oversized frame): tell the client why,
+         best-effort, then drop *)
       Log.warn (fun m -> m "dropping client: %s" msg);
+      Obs.Metrics.incr t.m_errors;
+      enqueue conn ("ERR protocol: " ^ msg);
       closed := true
   | Unix.Unix_error (e, _, _) ->
       Log.warn (fun m -> m "dropping client: %s" (Unix.error_message e));
       closed := true);
   flush_out conn;
-  if !closed then drop t conn
+  if !closed || conn.broken then drop t conn
 
 let accept_clients t =
   let continue = ref true in
@@ -233,6 +278,7 @@ let accept_clients t =
             out = Bytes.create 4096;
             out_off = 0;
             out_len = 0;
+            broken = false;
           }
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         continue := false
@@ -263,7 +309,9 @@ let run t =
         List.iter
           (fun fd ->
             match Hashtbl.find_opt t.conns fd with
-            | Some conn -> flush_out conn
+            | Some conn ->
+                flush_out conn;
+                if conn.broken then drop t conn
             | None -> ())
           writable
   done;

@@ -457,6 +457,77 @@ let test_daemon_socket_ingest () =
       let s = Runtime.join h in
       Alcotest.(check int) "both events applied" 2 s.Runtime.events_applied)
 
+(* Misbehaving clients must not take down the serving plane: a peer
+   that disconnects with responses queued used to SIGPIPE the whole
+   process, and a protocol violation is answered with an ERR frame
+   before the drop.  A second daemon must refuse to steal a live
+   socket, but a stale socket file is reclaimed. *)
+let test_daemon_survives_bad_clients () =
+  let model = connected_model ~seed:33 ~n:10 ~dim:2 ~alpha:0.9 in
+  let inst = temp_file ".ubg" in
+  let sock = sock_path "rude" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove inst;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      Io.save_instance inst model;
+      let cfg =
+        Runtime.default ~socket:sock ~source:(Runtime.Socket_ingest inst)
+      in
+      let h = Runtime.start cfg in
+      let c = connect_with_retry sock in
+      ignore (Client.ping c);
+      (* Send a request and slam the connection shut without reading the
+         reply: the server's write must surface EPIPE, not SIGPIPE. *)
+      for _ = 1 to 5 do
+        let rude = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect rude (Unix.ADDR_UNIX sock);
+        Wire.write_frame rude "STATS";
+        Unix.close rude
+      done;
+      (* Protocol violation: an oversized header is answered with ERR,
+         then the connection is dropped. *)
+      let viol = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect viol (Unix.ADDR_UNIX sock);
+      let bad = Bytes.create 4 in
+      Bytes.set_int32_be bad 0 (Int32.of_int (Wire.max_frame + 1));
+      ignore (Unix.write viol bad 0 4);
+      (match Wire.read_frame viol with
+      | Some s ->
+          Alcotest.(check bool) "violation answered with ERR" true
+            (String.length s >= 3 && String.sub s 0 3 = "ERR")
+      | None -> Alcotest.fail "dropped without an ERR frame");
+      Alcotest.(check bool) "connection dropped after violation" true
+        (Wire.read_frame viol = None);
+      Unix.close viol;
+      Alcotest.(check bool) "daemon survives rude clients" true
+        (Client.ping c >= 0);
+      (* A second daemon must fail loudly, not steal the live socket. *)
+      Alcotest.(check bool) "live socket not stolen" true
+        (try
+           ignore (Runtime.join (Runtime.start cfg));
+           false
+         with Failure _ -> true);
+      Alcotest.(check bool) "first daemon still reachable" true
+        (Client.ping c >= 0);
+      ignore (Client.shutdown c);
+      Client.close c;
+      ignore (Runtime.join h);
+      (* A stale socket file (daemon died without unlinking) refuses
+         connections and is reclaimed by the next daemon. *)
+      let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind stale (Unix.ADDR_UNIX sock);
+      Unix.close stale;
+      Alcotest.(check bool) "stale socket left behind" true
+        (Sys.file_exists sock);
+      let h2 = Runtime.start cfg in
+      let c2 = connect_with_retry sock in
+      Alcotest.(check bool) "stale socket reclaimed" true (Client.ping c2 >= 0);
+      ignore (Client.shutdown c2);
+      Client.close c2;
+      ignore (Runtime.join h2))
+
 let () =
   Alcotest.run "daemon"
     [
@@ -487,5 +558,7 @@ let () =
           Alcotest.test_case "restart resumes bit-identically" `Quick
             test_daemon_restart_is_bit_identical;
           Alcotest.test_case "socket ingest" `Quick test_daemon_socket_ingest;
+          Alcotest.test_case "survives bad clients" `Quick
+            test_daemon_survives_bad_clients;
         ] );
     ]
