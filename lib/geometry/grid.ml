@@ -1,14 +1,22 @@
+(* Flat bucket layout: points are counting-sorted into dense cell ids,
+   so a cell's members are one contiguous slice of [cell_pts] — no
+   per-cell list cells, no string keys. Cell coordinate vectors are
+   interned in one hashtable (structural hashing of small int arrays),
+   which keeps the index correct for any dimension and any coordinate
+   magnitude; every scan after that is integer arithmetic over flat
+   arrays. *)
 type t = {
   cell : float;
   dim : int;
   points : Point.t array;
-  table : (string, int list ref) Hashtbl.t;
+  pt_cell : int array; (* point -> dense cell id *)
+  cell_ids : (int array, int) Hashtbl.t; (* coord vector -> dense id *)
+  cell_coord : int array; (* n_cells * dim, coord vector of each cell *)
+  cell_start : int array; (* n_cells + 1, slice bounds into cell_pts *)
+  cell_pts : int array; (* point ids, bucketed by cell, ascending *)
 }
 
-let key c = String.concat "," (List.map string_of_int (Array.to_list c))
-
-let cell_coords ~cell p =
-  Array.map (fun x -> int_of_float (floor (x /. cell))) (Point.coords p)
+let coord_of ~cell p i = int_of_float (floor (Point.coord p i /. cell))
 
 let build ~cell points =
   if cell <= 0.0 then invalid_arg "Grid.build: cell <= 0";
@@ -18,32 +26,83 @@ let build ~cell points =
     (fun p ->
       if Point.dim p <> dim then invalid_arg "Grid.build: mixed dimensions")
     points;
-  let table = Hashtbl.create (Array.length points) in
+  let n = Array.length points in
+  let cell_ids = Hashtbl.create n in
+  let pt_cell = Array.make n 0 in
+  let coord_buf = ref (Array.make (max 1 (n * dim / 4)) 0) in
+  let n_cells = ref 0 in
+  let probe = Array.make dim 0 in
   Array.iteri
     (fun i p ->
-      let k = key (cell_coords ~cell p) in
-      match Hashtbl.find_opt table k with
-      | Some l -> l := i :: !l
-      | None -> Hashtbl.add table k (ref [ i ]))
+      for d = 0 to dim - 1 do
+        probe.(d) <- coord_of ~cell p d
+      done;
+      let id =
+        match Hashtbl.find_opt cell_ids probe with
+        | Some id -> id
+        | None ->
+            let id = !n_cells in
+            incr n_cells;
+            Hashtbl.add cell_ids (Array.copy probe) id;
+            if id * dim + dim > Array.length !coord_buf then begin
+              let grown =
+                Array.make
+                  (max (2 * Array.length !coord_buf) ((id * dim) + dim))
+                  0
+              in
+              Array.blit !coord_buf 0 grown 0 (id * dim);
+              coord_buf := grown
+            end;
+            Array.blit probe 0 !coord_buf (id * dim) dim;
+            id
+      in
+      pt_cell.(i) <- id)
     points;
-  { cell; dim; points; table }
+  let n_cells = !n_cells in
+  let cell_coord = Array.sub !coord_buf 0 (n_cells * dim) in
+  (* Counting sort: each cell's members end up as one ascending run. *)
+  let cell_start = Array.make (n_cells + 1) 0 in
+  Array.iter (fun c -> cell_start.(c + 1) <- cell_start.(c + 1) + 1) pt_cell;
+  for c = 0 to n_cells - 1 do
+    cell_start.(c + 1) <- cell_start.(c + 1) + cell_start.(c)
+  done;
+  let cursor = Array.sub cell_start 0 n_cells in
+  let cell_pts = Array.make n 0 in
+  Array.iteri
+    (fun i c ->
+      cell_pts.(cursor.(c)) <- i;
+      cursor.(c) <- cursor.(c) + 1)
+    pt_cell;
+  { cell; dim; points; pt_cell; cell_ids; cell_coord; cell_start; cell_pts }
 
 let cell_size t = t.cell
-let cell_of t p = cell_coords ~cell:t.cell p
+
+let cell_of t p =
+  Array.init t.dim (fun i -> coord_of ~cell:t.cell p i)
+
+let find_cell t c = Hashtbl.find_opt t.cell_ids c
 
 let points_in_cell t c =
-  match Hashtbl.find_opt t.table (key c) with Some l -> !l | None -> []
+  match find_cell t c with
+  | None -> []
+  | Some id ->
+      let acc = ref [] in
+      for k = t.cell_start.(id + 1) - 1 downto t.cell_start.(id) do
+        acc := t.cell_pts.(k) :: !acc
+      done;
+      !acc
 
-(* Visit every cell within Chebyshev distance 1 of [c]. *)
-let iter_neighborhood t c f =
+(* Visit every cell within Chebyshev distance 1 of the cell with dense
+   id [ci], reusing one probe vector — no allocation per neighbor. *)
+let iter_neighborhood_ids t ci f =
   let d = t.dim in
-  let offset = Array.make d (-1) in
+  let base = ci * d in
+  let probe = Array.make d 0 in
   let rec loop i =
-    if i = d then
-      f (Array.init d (fun j -> c.(j) + offset.(j)))
+    if i = d then (match find_cell t probe with Some id -> f id | None -> ())
     else
       for v = -1 to 1 do
-        offset.(i) <- v;
+        probe.(i) <- t.cell_coord.(base + i) + v;
         loop (i + 1)
       done
   in
@@ -52,30 +111,78 @@ let iter_neighborhood t c f =
 let neighbors t i ~radius =
   if radius > t.cell +. 1e-12 then invalid_arg "Grid.neighbors: radius > cell";
   let p = t.points.(i) in
-  let c = cell_of t p in
   let acc = ref [] in
-  iter_neighborhood t c (fun c' ->
-      List.iter
-        (fun j ->
-          if j <> i && Point.distance p t.points.(j) <= radius then
-            acc := j :: !acc)
-        (points_in_cell t c'));
+  iter_neighborhood_ids t t.pt_cell.(i) (fun id ->
+      for k = t.cell_start.(id) to t.cell_start.(id + 1) - 1 do
+        let j = t.cell_pts.(k) in
+        if j <> i && Point.distance p t.points.(j) <= radius then
+          acc := j :: !acc
+      done);
   !acc
+
+(* Lexicographically positive offsets of {-1,0,1}^d: first nonzero
+   component positive. Scanning only these (plus the home cell) visits
+   every unordered cell pair exactly once — a (3^d - 1) / 2 + 1 scan
+   per cell instead of 3^d per point. *)
+let half_offsets d =
+  let acc = ref [] in
+  let offset = Array.make d 0 in
+  let rec loop i =
+    if i = d then begin
+      let rec positive j =
+        if j = d then false
+        else if offset.(j) > 0 then true
+        else if offset.(j) < 0 then false
+        else positive (j + 1)
+      in
+      if positive 0 then acc := Array.copy offset :: !acc
+    end
+    else
+      for v = -1 to 1 do
+        offset.(i) <- v;
+        loop (i + 1)
+      done
+  in
+  loop 0;
+  Array.of_list (List.rev !acc)
 
 let iter_close_pairs t ~radius f =
   if radius > t.cell +. 1e-12 then
     invalid_arg "Grid.iter_close_pairs: radius > cell";
-  Array.iteri
-    (fun i p ->
-      let c = cell_of t p in
-      iter_neighborhood t c (fun c' ->
-          List.iter
-            (fun j ->
-              if i < j then begin
-                let d = Point.distance p t.points.(j) in
-                if d <= radius then f i j d
-              end)
-            (points_in_cell t c')))
-    t.points
+  let d = t.dim in
+  let n_cells = Array.length t.cell_start - 1 in
+  let offsets = half_offsets d in
+  let probe = Array.make d 0 in
+  let emit i j =
+    let a = min i j and b = max i j in
+    let dist = Point.distance t.points.(a) t.points.(b) in
+    if dist <= radius then f a b dist
+  in
+  for ci = 0 to n_cells - 1 do
+    let lo = t.cell_start.(ci) and hi = t.cell_start.(ci + 1) in
+    (* Within-cell pairs: the run is ascending, so i < j directly. *)
+    for a = lo to hi - 1 do
+      for b = a + 1 to hi - 1 do
+        emit t.cell_pts.(a) t.cell_pts.(b)
+      done
+    done;
+    (* Cross-cell pairs through the positive half-neighborhood. *)
+    let base = ci * d in
+    Array.iter
+      (fun off ->
+        for k = 0 to d - 1 do
+          probe.(k) <- t.cell_coord.(base + k) + off.(k)
+        done;
+        match find_cell t probe with
+        | None -> ()
+        | Some cj ->
+            let lo' = t.cell_start.(cj) and hi' = t.cell_start.(cj + 1) in
+            for a = lo to hi - 1 do
+              for b = lo' to hi' - 1 do
+                emit t.cell_pts.(a) t.cell_pts.(b)
+              done
+            done)
+      offsets
+  done
 
-let occupied_cells t = Hashtbl.length t.table
+let occupied_cells t = Hashtbl.length t.cell_ids

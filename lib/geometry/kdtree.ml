@@ -6,31 +6,104 @@ type t = { points : Point.t array; root : node }
 
 let leaf_capacity = 8
 
+(* Bulk load: one permutation array partitioned in place by a
+   deterministic median-of-medians select — no per-node key array, no
+   per-node sort, no per-node insert. O(n log n) worst case with O(n)
+   work per level, against the O(n log^2 n) sort-per-node build it
+   replaces. Keys are (coord, id) pairs, a total order, so the median
+   element — and with it the whole tree shape — is uniquely determined
+   by the input alone. *)
 let build points =
   if Array.length points = 0 then invalid_arg "Kdtree.build: empty";
   let dim = Point.dim points.(0) in
-  let rec make indices depth =
-    if Array.length indices <= leaf_capacity then Leaf indices
+  let n = Array.length points in
+  let idx = Array.init n (fun i -> i) in
+  let less axis a b =
+    let ca = Point.coord points.(a) axis
+    and cb = Point.coord points.(b) axis in
+    ca < cb || (ca = cb && a < b)
+  in
+  let swap i j =
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  in
+  let ins_sort axis lo hi =
+    for i = lo + 1 to hi - 1 do
+      let v = idx.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && less axis v idx.(!j) do
+        idx.(!j + 1) <- idx.(!j);
+        decr j
+      done;
+      idx.(!j + 1) <- v
+    done
+  in
+  (* Lomuto partition around the element at [pivot]; returns its final
+     position. All elements strictly less (in the total order) end up
+     before it, all others after. *)
+  let partition axis lo hi pivot =
+    swap pivot (hi - 1);
+    let p = idx.(hi - 1) in
+    let store = ref lo in
+    for i = lo to hi - 2 do
+      if less axis idx.(i) p then begin
+        swap i !store;
+        incr store
+      end
+    done;
+    swap !store (hi - 1);
+    !store
+  in
+  (* After [select axis lo hi k], position [k] holds the k-th order
+     statistic of [lo, hi) and the range is partitioned around it —
+     exactly the state a full sort would leave at [k]. Median-of-
+     medians pivoting makes it O(hi - lo) worst case. *)
+  let rec select axis lo hi k =
+    if hi - lo > 1 then begin
+      let len = hi - lo in
+      let pivot =
+        if len <= 5 then begin
+          ins_sort axis lo hi;
+          k
+        end
+        else begin
+          let ng = (len + 4) / 5 in
+          for g = 0 to ng - 1 do
+            let glo = lo + (5 * g) in
+            let ghi = min hi (glo + 5) in
+            ins_sort axis glo ghi;
+            swap (lo + g) (glo + ((ghi - glo) / 2))
+          done;
+          let mom = lo + ((ng - 1) / 2) in
+          select axis lo (lo + ng) mom;
+          mom
+        end
+      in
+      if len > 5 then begin
+        let p = partition axis lo hi pivot in
+        if k < p then select axis lo p k
+        else if k > p then select axis (p + 1) hi k
+      end
+    end
+  in
+  let rec make lo hi depth =
+    if hi - lo <= leaf_capacity then Leaf (Array.sub idx lo (hi - lo))
     else begin
       let axis = depth mod dim in
-      let keyed =
-        Array.map (fun i -> (Point.coord points.(i) axis, i)) indices
-      in
-      Array.sort compare keyed;
-      let mid = Array.length keyed / 2 in
-      let value = fst keyed.(mid) in
-      let left = Array.sub keyed 0 mid
-      and right = Array.sub keyed mid (Array.length keyed - mid) in
+      let mid = lo + ((hi - lo) / 2) in
+      select axis lo hi mid;
+      let value = Point.coord points.(idx.(mid)) axis in
       Split
         {
           axis;
           value;
-          left = make (Array.map snd left) (depth + 1);
-          right = make (Array.map snd right) (depth + 1);
+          left = make lo mid (depth + 1);
+          right = make mid hi (depth + 1);
         }
     end
   in
-  { points; root = make (Array.init (Array.length points) (fun i -> i)) 0 }
+  { points; root = make 0 n 0 }
 
 let size t = Array.length t.points
 

@@ -424,3 +424,56 @@ let within_parents_csr_into ws c src ~bound ~out_v ~out_d ~out_p =
 let hop_bounded_distance_csr_ws ws c src dst ~max_hops ~bound =
   gen_hop_bounded_distance_ws ws ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src
     dst ~max_hops ~bound
+
+(* ------------------------------------------------------------------ *)
+(* Csr.Packed instantiation                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Same generic searches over the int32 snapshot: the relaxation
+   sequence depends only on the (id, weight) stream, and packed slices
+   are sorted identically to boxed ones, so every packed result is
+   bit-identical to its [_csr] counterpart on the widened graph. *)
+
+let pk_iter c u f = Csr.Packed.iter_neighbors c u f
+
+let distances_packed c src =
+  fst
+    (gen_distances_and_parents
+       ~n:(Csr.Packed.n_vertices c)
+       ~iter:(pk_iter c) src)
+
+let distance_upto_packed c src dst ~bound =
+  if src = dst then 0.0
+  else
+    let dist =
+      gen_search_until
+        ~n:(Csr.Packed.n_vertices c)
+        ~iter:(pk_iter c) src
+        ~stop:(fun u -> u = dst)
+        ~bound
+    in
+    dist.(dst)
+
+let distance_packed c src dst = distance_upto_packed c src dst ~bound:infinity
+
+let within_packed c src ~bound =
+  gen_within ~n:(Csr.Packed.n_vertices c) ~iter:(pk_iter c) src ~bound
+
+let within_packed_into ws c src ~bound ~out_v ~out_d =
+  gen_settle_within_ws ws
+    ~n:(Csr.Packed.n_vertices c)
+    ~iter:(pk_iter c) src ~bound;
+  let k = ws.n_touched in
+  if Array.length out_v < k || Array.length out_d < k then
+    invalid_arg "Dijkstra.within_packed_into: result buffers too small";
+  for i = 0 to k - 1 do
+    let v = ws.touched.(i) in
+    out_v.(i) <- v;
+    out_d.(i) <- ws.dist.(v)
+  done;
+  k
+
+let hop_bounded_distance_packed_ws ws c src dst ~max_hops ~bound =
+  gen_hop_bounded_distance_ws ws
+    ~n:(Csr.Packed.n_vertices c)
+    ~iter:(pk_iter c) src dst ~max_hops ~bound

@@ -156,3 +156,37 @@ val within_parents_csr_into :
 
 val hop_bounded_distance_csr_ws :
   workspace -> Csr.t -> int -> int -> max_hops:int -> bound:float -> float
+
+(** {2 Packed (int32) snapshot variants}
+
+    The same generic searches instantiated over {!Csr.Packed.t}. The
+    relaxation sequence depends only on the (neighbor id, weight)
+    stream, and packed slices are sorted identically to boxed ones, so
+    every packed result is bit-identical to its [_csr] counterpart on
+    the widened snapshot. The cluster-graph query plane runs on these:
+    4-byte arc targets halve the memory traffic of every relaxation
+    scan. *)
+
+val distances_packed : Csr.Packed.t -> int -> float array
+val distance_packed : Csr.Packed.t -> int -> int -> float
+val distance_upto_packed : Csr.Packed.t -> int -> int -> bound:float -> float
+val within_packed : Csr.Packed.t -> int -> bound:float -> (int * float) list
+
+(** Allocation-free packed ball; contract of {!within_csr_into}. *)
+val within_packed_into :
+  workspace ->
+  Csr.Packed.t ->
+  int ->
+  bound:float ->
+  out_v:int array ->
+  out_d:float array ->
+  int
+
+val hop_bounded_distance_packed_ws :
+  workspace ->
+  Csr.Packed.t ->
+  int ->
+  int ->
+  max_hops:int ->
+  bound:float ->
+  float

@@ -3,36 +3,103 @@ module Csr = Graph.Csr
 module Dijkstra = Graph.Dijkstra
 
 type t = {
-  graph : Wgraph.t;
-  csr : Csr.t;
+  hcsr : Csr.Packed.t;
   w_prev : float;
   cover : Cluster_cover.t;
   inter_degree : int array;
 }
 
+(* The flat arena pipeline is the default; TOPO_CG_FLAT=0 (or
+   [set_flat false]) falls back to the legacy Wgraph-and-hashtable
+   build. Both paths freeze the same H — the flat one just never
+   materializes the mutable graph. *)
+let flat_default =
+  match Sys.getenv_opt "TOPO_CG_FLAT" with
+  | Some ("0" | "false" | "no") -> false
+  | _ -> true
+
+let flat_flag = ref flat_default
+let set_flat b = flat_flag := b
+let flat_enabled () = !flat_flag
+
 (* Per-domain scratch for [Dijkstra.within_csr_into]: each pool worker
    reuses one pair of ball buffers, so a per-center search allocates
-   only its trimmed (flat, unboxed) result — no assoc list, and
-   therefore no minor-GC pressure shared across domains. *)
+   nothing proportional to the graph — no assoc list, and therefore no
+   minor-GC pressure shared across domains. *)
 let ball_scratch : (int array ref * float array ref) Domain.DLS.key =
   Domain.DLS.new_key (fun () -> (ref [||], ref [||]))
 
-let ball_into spanner ~n ~reach a =
+let ball_buffers n =
   let vbuf, dbuf = Domain.DLS.get ball_scratch in
   if Array.length !vbuf < n then begin
     vbuf := Array.make n 0;
     dbuf := Array.make n 0.0
   end;
-  let k =
-    Dijkstra.within_csr_into
-      (Dijkstra.domain_workspace ())
-      spanner a ~bound:reach ~out_v:!vbuf ~out_d:!dbuf
-  in
-  (Array.sub !vbuf 0 k, Array.sub !dbuf 0 k)
+  (!vbuf, !dbuf)
 
-let build_csr ~spanner ~cover ~w_prev =
+let check_radius ~cover ~w_prev =
   if cover.Cluster_cover.radius > w_prev +. 1e-12 then
-    invalid_arg "Cluster_graph.build: cover radius exceeds W_{i-1}";
+    invalid_arg "Cluster_graph.build: cover radius exceeds W_{i-1}"
+
+(* Condition (i) needs sp <= W, condition (ii) is bounded by
+   (2 delta + 1) W = W + 2 * radius (Lemma 5): one bounded Dijkstra per
+   center reaches every qualifying partner. *)
+let reach_of ~cover ~w_prev =
+  w_prev +. (2.0 *. cover.Cluster_cover.radius) +. 1e-12
+
+(* ------------------------------------------------------------------ *)
+(* Crossing-pair set: sorted packed keys + binary search                *)
+(* ------------------------------------------------------------------ *)
+
+(* The set of center pairs {a, b} joined by a spanner edge crossing
+   between C_a and C_b (condition (ii) of Section 2.2.3), stored as a
+   sorted array of [a * n + b] keys with [a < b]. Membership is an
+   alloc-free binary search; building is two cache-linear passes over
+   the frozen spanner plus one sort — no hashtable buckets, no boxed
+   tuple keys. *)
+let crossing_keys spanner ~cover ~n =
+  let center_of = cover.Cluster_cover.center_of in
+  let count = ref 0 in
+  Csr.iter_edges spanner (fun u v _ ->
+      if center_of.(u) <> center_of.(v) then incr count);
+  let keys = Array.make !count 0 in
+  let i = ref 0 in
+  Csr.iter_edges spanner (fun u v _ ->
+      let a = center_of.(u) and b = center_of.(v) in
+      if a <> b then begin
+        keys.(!i) <- (min a b * n) + max a b;
+        incr i
+      end);
+  Array.sort compare keys;
+  (* Dedupe in place; [m] distinct keys survive. *)
+  let m = ref 0 in
+  Array.iteri
+    (fun j k ->
+      if j = 0 || keys.(j - 1) <> k then begin
+        keys.(!m) <- k;
+        incr m
+      end)
+    keys;
+  if !m = Array.length keys then keys else Array.sub keys 0 !m
+
+let mem_key keys key =
+  let lo = ref 0 and hi = ref (Array.length keys - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = keys.(mid) in
+    if x = key then found := true
+    else if x < key then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Legacy build (Wgraph + hashtable), kept behind the flag              *)
+(* ------------------------------------------------------------------ *)
+
+let build_csr_legacy ~spanner ~cover ~w_prev =
+  check_radius ~cover ~w_prev;
   let n = Csr.n_vertices spanner in
   let h = Wgraph.create n in
   let inter_degree = Array.make n 0 in
@@ -48,8 +115,14 @@ let build_csr ~spanner ~cover ~w_prev =
            (Hashtbl.find_opt cover.Cluster_cover.members a)))
     cover.Cluster_cover.centers;
   (* Cross-cluster spanner edges force inter-cluster edges (condition
-     (ii) of Section 2.2.3). *)
-  let crossing = Hashtbl.create 64 in
+     (ii) of Section 2.2.3). Sized from the candidate-arc count so the
+     table never rehash-thrashes at large n. *)
+  let candidates = ref 0 in
+  Csr.iter_edges spanner (fun u v _ ->
+      if
+        cover.Cluster_cover.center_of.(u) <> cover.Cluster_cover.center_of.(v)
+      then incr candidates);
+  let crossing = Hashtbl.create (max 64 !candidates) in
   Csr.iter_edges spanner (fun u v _ ->
       let a = cover.Cluster_cover.center_of.(u)
       and b = cover.Cluster_cover.center_of.(v) in
@@ -57,19 +130,21 @@ let build_csr ~spanner ~cover ~w_prev =
   (* Merge order of each center doubles as its pair stamp: non-centers
      keep [max_int]. *)
   let merge_order = Array.make n max_int in
-  Array.iteri
-    (fun i a -> merge_order.(a) <- i)
-    cover.Cluster_cover.centers;
-  (* One bounded Dijkstra per center reaches every qualifying partner:
-     condition (i) needs sp <= W, condition (ii) is bounded by
-     (2 delta + 1) W = W + 2 * radius (Lemma 5). The per-center
-     searches read only the frozen snapshot, so they fan out over the
-     pool; the edge merge below runs in center order so H is identical
-     to the sequential build. *)
-  let reach = w_prev +. (2.0 *. cover.Cluster_cover.radius) +. 1e-12 in
-  let balls =
-    Parallel.Pool.map (ball_into spanner ~n ~reach) cover.Cluster_cover.centers
+  Array.iteri (fun i a -> merge_order.(a) <- i) cover.Cluster_cover.centers;
+  (* The per-center searches read only the frozen snapshot, so they fan
+     out over the pool; the edge merge below runs in center order so H
+     is identical to the sequential build. *)
+  let reach = reach_of ~cover ~w_prev in
+  let ball_into a =
+    let vbuf, dbuf = ball_buffers n in
+    let k =
+      Dijkstra.within_csr_into
+        (Dijkstra.domain_workspace ())
+        spanner a ~bound:reach ~out_v:vbuf ~out_d:dbuf
+    in
+    (Array.sub vbuf 0 k, Array.sub dbuf 0 k)
   in
+  let balls = Parallel.Pool.map ball_into cover.Cluster_cover.centers in
   Array.iteri
     (fun i a ->
       let bs, ds = balls.(i) in
@@ -95,18 +170,198 @@ let build_csr ~spanner ~cover ~w_prev =
     cover.Cluster_cover.centers;
   (* Freeze H itself: step (iv) answers every query of the phase
      against this one snapshot. *)
-  { graph = h; csr = Csr.of_wgraph h; w_prev; cover; inter_degree }
+  { hcsr = Csr.Packed.of_wgraph h; w_prev; cover; inter_degree }
+
+(* ------------------------------------------------------------------ *)
+(* Flat build: arenas + direct CSR emit                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-chunk arena for qualifying inter-cluster partners. A chunk of
+   centers appends (partner, weight) pairs to one growable pair of flat
+   arrays; [cnt] records how many belong to each center of the chunk,
+   so the sequential merge can read each center's run back without
+   per-center allocations. *)
+type arena = {
+  base : int; (* first center index of the chunk *)
+  cnt : int array; (* per center of the chunk: #partners recorded *)
+  mutable pv : int array;
+  mutable pw : float array;
+  mutable len : int;
+}
+
+let arena_push ar b d =
+  if ar.len = Array.length ar.pv then begin
+    let cap = max 64 (2 * ar.len) in
+    let pv = Array.make cap 0 and pw = Array.make cap 0.0 in
+    Array.blit ar.pv 0 pv 0 ar.len;
+    Array.blit ar.pw 0 pw 0 ar.len;
+    ar.pv <- pv;
+    ar.pw <- pw
+  end;
+  ar.pv.(ar.len) <- b;
+  ar.pw.(ar.len) <- d;
+  ar.len <- ar.len + 1
+
+(* The flat pipeline builds the identical H as [build_csr_legacy] —
+   same edge set, bit-identical weights — without ever materializing
+   the mutable Wgraph or its hashtables:
+
+     1. crossing pairs: sorted key array (binary-search membership);
+     2. per-center balls + qualification fan out over the pool in
+        contiguous chunks, each appending to a private arena — the
+        qualifying set is a pure function of the frozen inputs, so
+        chunking does not change it;
+     3. a sequential merge in center order drains the arenas;
+     4. degrees -> prefix sum -> direct arc fill into int32 CSR
+        buffers, adopted by [Csr.Packed.of_buffers] (which sorts the
+        few center slices whose inter arcs arrived out of id order).
+
+   Identity with the legacy path holds because CSR layout is a function
+   of the edge set alone (slices are sorted by unique neighbor id), the
+   intra weights are read from the same cover, and the inter weights
+   come from the same bounded search run from the same (earlier-merged)
+   endpoint. *)
+let build_csr_flat ~spanner ~cover ~w_prev =
+  check_radius ~cover ~w_prev;
+  let n = Csr.n_vertices spanner in
+  let centers = cover.Cluster_cover.centers in
+  let center_of = cover.Cluster_cover.center_of in
+  let dist_to_center = cover.Cluster_cover.dist_to_center in
+  let k_centers = Array.length centers in
+  let inter_degree = Array.make n 0 in
+  let crossing = crossing_keys spanner ~cover ~n in
+  let merge_order = Array.make n max_int in
+  Array.iteri (fun i a -> merge_order.(a) <- i) centers;
+  let reach = reach_of ~cover ~w_prev in
+  (* Chunked fan-out: each chunk fetches its domain's workspace and
+     ball buffers once, then scans its centers, recording qualifying
+     partners in its own arena. Chunk-start indices are unique, so
+     [slots.(lo)] is a race-free home for the chunk's arena. *)
+  let slots : arena option array = Array.make (max 1 k_centers) None in
+  Parallel.Pool.iter_chunks k_centers (fun lo hi ->
+      let ar =
+        {
+          base = lo;
+          cnt = Array.make (hi - lo) 0;
+          pv = [||];
+          pw = [||];
+          len = 0;
+        }
+      in
+      slots.(lo) <- Some ar;
+      let ws = Dijkstra.domain_workspace () in
+      let vbuf, dbuf = ball_buffers n in
+      for i = lo to hi - 1 do
+        let a = centers.(i) in
+        let nk =
+          Dijkstra.within_csr_into ws spanner a ~bound:reach ~out_v:vbuf
+            ~out_d:dbuf
+        in
+        for j = 0 to nk - 1 do
+          let b = vbuf.(j) and d = dbuf.(j) in
+          if merge_order.(b) > i && merge_order.(b) < max_int && d > 0.0
+          then
+            if
+              d <= w_prev +. 1e-12
+              || mem_key crossing ((min a b * n) + max a b)
+            then begin
+              arena_push ar b d;
+              ar.cnt.(i - lo) <- ar.cnt.(i - lo) + 1
+            end
+        done
+      done);
+  (* Degrees: one arc per (center, member) end plus one per recorded
+     inter pair end. *)
+  let deg = Array.make n 0 in
+  for x = 0 to n - 1 do
+    let a = center_of.(x) in
+    if a >= 0 && a <> x then begin
+      deg.(x) <- deg.(x) + 1;
+      deg.(a) <- deg.(a) + 1
+    end
+  done;
+  for lo = 0 to k_centers - 1 do
+    match slots.(lo) with
+    | None -> ()
+    | Some ar ->
+        for j = 0 to ar.len - 1 do
+          deg.(ar.pv.(j)) <- deg.(ar.pv.(j)) + 1
+        done;
+        Array.iteri
+          (fun ci c ->
+            deg.(centers.(ar.base + ci)) <- deg.(centers.(ar.base + ci)) + c)
+          ar.cnt
+  done;
+  let off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + deg.(u)
+  done;
+  let m2 = off.(n) in
+  Csr.Packed.check_capacity ~n_vertices:n ~n_arcs:m2;
+  let dst = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout m2 in
+  let wgt = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout m2 in
+  let cursor = Array.sub off 0 n in
+  let emit u v w =
+    let c = cursor.(u) in
+    Bigarray.Array1.unsafe_set dst c (Int32.of_int v);
+    Bigarray.Array1.unsafe_set wgt c w;
+    cursor.(u) <- c + 1
+  in
+  (* Intra arcs in ascending member order: member slices (degree 1 for
+     a plain member) and the intra prefix of center slices come out
+     already sorted. *)
+  for x = 0 to n - 1 do
+    let a = center_of.(x) in
+    if a >= 0 && a <> x then begin
+      let w = dist_to_center.(x) in
+      emit a x w;
+      emit x a w
+    end
+  done;
+  (* Sequential merge in center order: drain each chunk's arena,
+     reading center i's partner run. Deterministic — arena contents
+     are chunk-independent and the walk order is fixed. *)
+  let cur = ref None in
+  let cur_off = ref 0 in
+  for i = 0 to k_centers - 1 do
+    (match slots.(i) with
+    | Some ar ->
+        cur := Some ar;
+        cur_off := 0
+    | None -> ());
+    match !cur with
+    | None -> ()
+    | Some ar ->
+        let a = centers.(i) in
+        let run = ar.cnt.(i - ar.base) in
+        for j = !cur_off to !cur_off + run - 1 do
+          let b = ar.pv.(j) and d = ar.pw.(j) in
+          emit a b d;
+          emit b a d;
+          inter_degree.(a) <- inter_degree.(a) + 1;
+          inter_degree.(b) <- inter_degree.(b) + 1
+        done;
+        cur_off := !cur_off + run
+  done;
+  let hcsr = Csr.Packed.of_buffers ~off ~dst ~wgt in
+  { hcsr; w_prev; cover; inter_degree }
+
+let build_csr ~spanner ~cover ~w_prev =
+  if !flat_flag then build_csr_flat ~spanner ~cover ~w_prev
+  else build_csr_legacy ~spanner ~cover ~w_prev
 
 let build ~spanner ~cover ~w_prev =
   build_csr ~spanner:(Csr.of_wgraph spanner) ~cover ~w_prev
+
+let to_wgraph t = Csr.Packed.to_wgraph t.hcsr
 
 (* Queries fan out over the pool in step (iv); the calling domain's own
    workspace keeps each search allocation-free, and results are
    bit-identical to the plain hop-bounded search. *)
 let sp_upto t ~max_hops x y ~bound =
-  Dijkstra.hop_bounded_distance_csr_ws
+  Dijkstra.hop_bounded_distance_packed_ws
     (Dijkstra.domain_workspace ())
-    t.csr x y ~max_hops ~bound
+    t.hcsr x y ~max_hops ~bound
 
 let query t ~params ~x ~y ~len =
   let budget = params.Params.t *. len in

@@ -109,7 +109,7 @@ let prop_cluster_graph_weights_are_sp =
       let _, spanner, cover, w_prev = phase_context ~seed ~n:40 in
       let h = Cluster_graph.build ~spanner ~cover ~w_prev in
       let ok = ref true in
-      Wgraph.iter_edges h.Cluster_graph.graph (fun a b w ->
+      Wgraph.iter_edges (Cluster_graph.to_wgraph h) (fun a b w ->
           if not (close ~eps:1e-9 (Graph.Dijkstra.distance spanner a b) w) then
             ok := false);
       !ok)
@@ -122,7 +122,7 @@ let prop_cluster_graph_lemma5 =
       let delta = cover.Cluster_cover.radius /. w_prev in
       let bound = ((2.0 *. delta) +. 1.0) *. w_prev in
       let ok = ref true in
-      Wgraph.iter_edges h.Cluster_graph.graph (fun _ _ w ->
+      Wgraph.iter_edges (Cluster_graph.to_wgraph h) (fun _ _ w ->
           if w > bound +. 1e-9 then ok := false);
       !ok)
 
@@ -133,12 +133,12 @@ let prop_cluster_graph_dominates_sp =
       let st = rand_state seed in
       let _, spanner, cover, w_prev = phase_context ~seed ~n:40 in
       let h = Cluster_graph.build ~spanner ~cover ~w_prev in
+      let hg = Cluster_graph.to_wgraph h in
       let n = Wgraph.n_vertices spanner in
       let ok = ref true in
       for _ = 1 to 20 do
         let x = Random.State.int st n and y = Random.State.int st n in
-        let dh =
-          Graph.Dijkstra.distance h.Cluster_graph.graph x y
+        let dh = Graph.Dijkstra.distance hg x y
         and dg = Graph.Dijkstra.distance spanner x y in
         if dh < dg -. 1e-9 then ok := false
       done;
@@ -152,6 +152,7 @@ let prop_cluster_graph_lemma7_upper =
     (fun seed ->
       let _, spanner, cover, w_prev = phase_context ~seed ~n:40 in
       let h = Cluster_graph.build ~spanner ~cover ~w_prev in
+      let hg = Cluster_graph.to_wgraph h in
       let delta = cover.Cluster_cover.radius /. w_prev in
       let factor = (1.0 +. (6.0 *. delta)) /. (1.0 -. (2.0 *. delta)) in
       let ok = ref true in
@@ -162,7 +163,7 @@ let prop_cluster_graph_lemma7_upper =
              and legitimately exceed the factor, so restrict to the
              lemma's regime. *)
           if dg > w_prev then begin
-            let dh = Graph.Dijkstra.distance h.Cluster_graph.graph x y in
+            let dh = Graph.Dijkstra.distance hg x y in
             if dh > (factor *. dg) +. 1e-9 then ok := false
           end);
       !ok)
@@ -176,6 +177,7 @@ let prop_query_consistent_with_sp =
       let st = rand_state seed in
       let _, spanner, cover, w_prev = phase_context ~seed ~n:40 in
       let h = Cluster_graph.build ~spanner ~cover ~w_prev in
+      let hg = Cluster_graph.to_wgraph h in
       let params = Topo.Params.make ~t:1.5 ~alpha:0.8 ~dim:2 () in
       let n = Wgraph.n_vertices spanner in
       let ok = ref true in
@@ -183,7 +185,7 @@ let prop_query_consistent_with_sp =
         let x = Random.State.int st n and y = Random.State.int st n in
         if x <> y then begin
           let len = w_prev *. (1.0 +. Random.State.float st 0.3) in
-          let exact = Graph.Dijkstra.distance h.Cluster_graph.graph x y in
+          let exact = Graph.Dijkstra.distance hg x y in
           match Cluster_graph.query h ~params ~x ~y ~len with
           | `Short_path d ->
               if d > (params.Topo.Params.t *. len) +. 1e-9 then ok := false;
@@ -196,6 +198,37 @@ let prop_query_consistent_with_sp =
         end
       done;
       !ok)
+
+let prop_flat_matches_legacy =
+  (* The flat arena pipeline must freeze a bit-identical packed
+     snapshot (and the same inter-degree profile) as the legacy
+     Wgraph-and-hashtable build, on phase-shaped inputs and on
+     arbitrary random graphs with arbitrary covers. *)
+  qtest ~count:25 "cluster graph: flat build bit-identical to legacy" seed_arb
+    (fun seed ->
+      let st = rand_state seed in
+      let build ~spanner ~cover ~w_prev flag =
+        Cluster_graph.set_flat flag;
+        Fun.protect
+          ~finally:(fun () -> Cluster_graph.set_flat true)
+          (fun () -> Cluster_graph.build ~spanner ~cover ~w_prev)
+      in
+      let agree ~spanner ~cover ~w_prev =
+        let flat = build ~spanner ~cover ~w_prev true in
+        let legacy = build ~spanner ~cover ~w_prev false in
+        Graph.Csr.Packed.equal flat.Cluster_graph.hcsr
+          legacy.Cluster_graph.hcsr
+        && flat.Cluster_graph.inter_degree = legacy.Cluster_graph.inter_degree
+      in
+      let _, spanner, cover, w_prev = phase_context ~seed ~n:40 in
+      agree ~spanner ~cover ~w_prev
+      &&
+      let n = 2 + Random.State.int st 40 in
+      let g = random_graph ~st ~n ~extra_edges:(Random.State.int st 40) in
+      let w_prev = 0.2 +. Random.State.float st 2.0 in
+      let radius = Random.State.float st w_prev in
+      let cover = Cluster_cover.compute g ~radius in
+      agree ~spanner:g ~cover ~w_prev)
 
 let test_build_rejects_big_radius () =
   let g = Wgraph.of_edges ~n:2 [ (0, 1, 1.0) ] in
@@ -227,6 +260,7 @@ let () =
           prop_cluster_graph_dominates_sp;
           prop_cluster_graph_lemma7_upper;
           prop_query_consistent_with_sp;
+          prop_flat_matches_legacy;
           Alcotest.test_case "rejects oversized radius" `Quick
             test_build_rejects_big_radius;
         ] );

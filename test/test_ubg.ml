@@ -223,6 +223,60 @@ let test_retry_seed () =
     done
   done
 
+(* ------------------------------------------------------------------ *)
+(* Grid-bucketed generation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The grid-bucketed close-pair enumeration behind [Generator.instance]
+   must find exactly the pairs the naive O(n^2) scan does — same pairs,
+   same distances — on generation-shaped point sets up to n = 2000. *)
+let prop_generation_pairs_match_naive =
+  qtest ~count:8 "generator: grid close pairs = naive O(n^2) enumeration"
+    seed_arb (fun seed ->
+      let st = rand_state seed in
+      let n = 50 + Random.State.int st 1951 in
+      let dim = 2 + Random.State.int st 2 in
+      let side =
+        Generator.side_for_expected_degree ~dim ~n ~alpha:0.8 ~degree:8.0
+      in
+      let pts =
+        Generator.points ~seed ~dim ~n (Generator.Uniform { side })
+      in
+      let grid = Geometry.Grid.build ~cell:1.0 pts in
+      let got = ref [] in
+      Geometry.Grid.iter_close_pairs grid ~radius:1.0 (fun i j d ->
+          got := (i, j, d) :: !got);
+      let want = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let d = Point.distance pts.(i) pts.(j) in
+          if d <= 1.0 then want := (i, j, d) :: !want
+        done
+      done;
+      List.sort compare !got = List.sort compare !want)
+
+(* n = 10^5 generation end-to-end (points, grid enumeration, model
+   validation) under a wall budget: the O(n) expected pipeline has to
+   materialize big instances in seconds, not hours. The budget is loose
+   enough for a loaded 1-core CI box — the quadratic path it guards
+   against would take minutes. *)
+let test_generation_scale_smoke () =
+  let n = 100_000 in
+  let t0 = Unix.gettimeofday () in
+  let side =
+    Generator.side_for_expected_degree ~dim:2 ~n ~alpha:0.9 ~degree:8.0
+  in
+  let model =
+    Generator.generate ~seed:7 ~dim:2 ~n ~alpha:0.9
+      (Generator.Uniform { side })
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "n" n (Model.n model);
+  Alcotest.(check bool) "has edges" true (Wgraph.n_edges model.Model.graph > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "generated n=1e5 in %.1fs (budget 60s)" elapsed)
+    true (elapsed < 60.0)
+
 let () =
   Alcotest.run "ubg"
     [
@@ -256,5 +310,11 @@ let () =
           Alcotest.test_case "retry seeds" `Quick test_retry_seed;
           Alcotest.test_case "side monotone" `Quick test_side_for_degree_monotone;
           Alcotest.test_case "errors" `Quick test_generator_errors;
+        ] );
+      ( "scale",
+        [
+          prop_generation_pairs_match_naive;
+          Alcotest.test_case "n=1e5 generation under budget" `Slow
+            test_generation_scale_smoke;
         ] );
     ]
