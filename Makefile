@@ -1,6 +1,7 @@
 .PHONY: all check test fmt bench bench-smoke bench-churn-smoke \
 	bench-scale-smoke bench-scale-large bench-compare-smoke \
-	bench-oracle-smoke bench-daemon-smoke trace-smoke serve-smoke clean
+	bench-oracle-smoke bench-repair-smoke bench-daemon-smoke \
+	trace-smoke serve-smoke clean
 
 all:
 	dune build @all
@@ -59,6 +60,17 @@ bench-compare-smoke:
 # at >= 2x the 1-domain qps (1 core: ratio recorded but waived).
 bench-oracle-smoke:
 	TOPO_QPS_GATE=1 dune exec bench/main.exe -- E-qps quick
+
+# Incremental-repair gate: E-repair at reduced size, splices a
+# "repair" member into BENCH_oracle.json. Chains Dist.repair across a
+# mild churn trace against per-epoch scratch builds; repaired answers
+# must sit in [exact, (1+eps) exact] every epoch. TOPO_REPAIR_GATE
+# makes a validity failure exit non-zero, and an aggregate repair
+# speedup below 1x vs scratch too (waived on 1 core, like E-qps).
+# Repair gate: E-repair at reduced size (TOPO_REPAIR_N overrides n),
+# validates repaired answers and gates aggregate speedup vs scratch.
+bench-repair-smoke:
+	TOPO_REPAIR_GATE=1 dune exec bench/main.exe -- E-repair quick
 
 # Daemon gate: E-daemon at reduced size, emits BENCH_daemon.json.
 # An unpaced daemon replays a recorded tail (sustained ev/s), a paced

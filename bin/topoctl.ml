@@ -815,7 +815,7 @@ let local_query ~instance ~algo ~eps ~oeps ~src ~dst ~batch ~show_path =
     let model = Ubg.Io.load_instance instance in
     let topology = build_topology ~algo ~eps ~k:1 ~cones:8 model in
     let csr = Graph.Csr.of_wgraph topology in
-    let service = Oracle.Service.of_csr ~eps:oeps csr in
+    let service = Oracle.Service.of_csr ~eps:oeps ~label:"query" csr in
     let entry = Oracle.Service.current service in
     let oracle = entry.Oracle.Service.oracle in
     let st = Oracle.Dist.stats oracle in
@@ -959,10 +959,13 @@ let serve_bench_cmd =
     let engine =
       Dynamic.Engine.create ~clock:Unix.gettimeofday ~params model
     in
-    let service = Oracle.Service.attach ~eps:oeps engine in
-    (* The replay domain owns the pool (repairs, certification, oracle
-       builds all run there); the main domain serves scalar queries
-       lock-free off the RCU cell the whole time. *)
+    let service =
+      Oracle.Service.attach ~eps:oeps ~label:"serve-bench" engine
+    in
+    (* The replay domain owns the pool (spanner repairs, certification
+       and oracle construction — incremental repair per epoch, scratch
+       only on fallback — all run there); the main domain serves scalar
+       queries lock-free off the RCU cell the whole time. *)
     let done_flag = Atomic.make false in
     let replayer =
       Domain.spawn (fun () ->
@@ -1001,13 +1004,17 @@ let serve_bench_cmd =
     done;
     let dt = Unix.gettimeofday () -. t0 in
     let replayed = Domain.join replayer in
+    let ost = Oracle.Service.stats service in
     Format.printf
       "served %d queries in %.3f s (%.3g queries/s, checksum %.6g) while \
        replaying %d epochs@.observed %d distinct published epochs; oracle \
-       builds totalled %.1f ms@."
+       construction totalled %.1f ms (%d repairs, %d scratch builds, %d \
+       fallbacks)@."
       !queries dt
       (float_of_int !queries /. Float.max 1e-9 dt)
       !checksum replayed !epochs_seen (1e3 *. !builds_s)
+      ost.Oracle.Service.repairs ost.Oracle.Service.scratch_builds
+      ost.Oracle.Service.repair_fallbacks
   in
   let trace_arg =
     Arg.(

@@ -34,6 +34,10 @@ let restore ?backend ?gray ?rebuild_threshold ?pipeline_min_edges ?history
       snap_ubg = Csr.of_wgraph ck.Io.ck_ubg;
       snap_spanner = Csr.of_wgraph ck.Io.ck_spanner;
       snap_stretch = ck.Io.ck_stretch;
+      (* The checkpoint format carries no inter-epoch diff; a resumed
+         engine's first snapshot has no predecessor to be dirty
+         against, and re-attached consumers scratch-build anyway. *)
+      snap_dirty = [||];
     }
   in
   Engine.restore ?backend ?gray ?rebuild_threshold ?pipeline_min_edges

@@ -110,7 +110,17 @@ let run ?stop config =
             ~params initial_model,
           0 )
   in
-  let service = Oracle.Service.attach ~eps:config.oracle_eps engine in
+  (* Oracle serving plane. Attach runs on both paths deliberately: a
+     restored engine carries NO epoch hooks (Engine.restore drops them
+     by contract — hooks are configuration, not state), so the resume
+     path must re-attach explicitly or the daemon would serve the
+     resume epoch forever. Async: the hook only enqueues snapshots and
+     a dedicated builder domain repairs/publishes, so ingest never
+     waits on oracle construction. *)
+  let service =
+    Oracle.Service.attach ~eps:config.oracle_eps ~label:"daemon" ~async:true
+      engine
+  in
   (* --- socket-ingest queue ------------------------------------------ *)
   let pending = Queue.create () in
   let pending_lock = Mutex.create () in
@@ -138,6 +148,17 @@ let run ?stop config =
       ("ingest.batches", string_of_int (int_of_float (g g_batches)));
       ("ingest.tail", string_of_int (int_of_float (g g_tail)));
       ("checkpoints", string_of_int (int_of_float (g g_checkpoints)));
+    ]
+    @
+    let ost = Oracle.Service.stats service in
+    [
+      ("oracle.epoch", string_of_int ost.Oracle.Service.published_epoch);
+      ("oracle.repairs", string_of_int ost.Oracle.Service.repairs);
+      ( "oracle.scratch_builds",
+        string_of_int ost.Oracle.Service.scratch_builds );
+      ( "oracle.repair_fallbacks",
+        string_of_int ost.Oracle.Service.repair_fallbacks );
+      ("oracle.pending", string_of_int ost.Oracle.Service.pending);
     ]
   in
   let server =
@@ -285,6 +306,11 @@ let run ?stop config =
   let epochs_applied, events_applied, checkpoints_written =
     Domain.join engine_domain
   in
+  (* Drain and join the oracle builder; its failures should not mask a
+     clean engine shutdown, but they must not pass silently either. *)
+  (try Oracle.Service.shutdown service
+   with e ->
+     Log.err (fun m -> m "oracle builder failed: %s" (Printexc.to_string e)));
   (match tail with Some t -> Ingest.Tail.close t | None -> ());
   {
     final_epoch = Engine.epoch engine;

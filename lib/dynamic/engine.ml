@@ -29,6 +29,7 @@ type snapshot = {
   snap_ubg : Csr.t;
   snap_spanner : Csr.t;
   snap_stretch : float;
+  snap_dirty : int array;
 }
 
 type repair_kind =
@@ -248,7 +249,40 @@ let rec take k = function
   | _ when k <= 0 -> []
   | x :: rest -> x :: take (k - 1) rest
 
+(* Endpoints of every spanner edge that changed between [prev] and
+   [sp], sorted and deduplicated. This is the dirty-region payload the
+   oracle layer repairs from: any vertex whose incident spanner edges
+   are untouched keeps its shortest-path neighborhood byte-identical,
+   so consumers only need to re-examine structures reachable from
+   these endpoints. *)
+let dirty_of_diff ~prev ~sp =
+  let added, removed = Csr.diff ~before:prev ~after:sp in
+  if Array.length added = 0 && Array.length removed = 0 then [||]
+  else begin
+    let tbl = Hashtbl.create 64 in
+    let mark { Wgraph.u; v; _ } =
+      Hashtbl.replace tbl u ();
+      Hashtbl.replace tbl v ()
+    in
+    Array.iter mark added;
+    Array.iter mark removed;
+    let out = Array.make (Hashtbl.length tbl) 0 in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun v () ->
+        out.(!i) <- v;
+        incr i)
+      tbl;
+    Array.sort compare out;
+    out
+  end
+
 let push_snapshot t ~base ~sp ~stretch =
+  let snap_dirty =
+    match t.snaps with
+    | [] -> [||]
+    | prev :: _ -> dirty_of_diff ~prev:prev.snap_spanner ~sp
+  in
   let snap =
     {
       snap_epoch = t.epoch;
@@ -257,6 +291,7 @@ let push_snapshot t ~base ~sp ~stretch =
       snap_ubg = base;
       snap_spanner = sp;
       snap_stretch = stretch;
+      snap_dirty;
     }
   in
   t.snaps <- snap :: take (t.history - 1) t.snaps

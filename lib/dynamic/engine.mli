@@ -42,6 +42,15 @@ type snapshot = {
   snap_ubg : Graph.Csr.t;  (** the α-UBG, capacity-indexed *)
   snap_spanner : Graph.Csr.t;
   snap_stretch : float;  (** certified stretch at that epoch *)
+  snap_dirty : int array;
+      (** sorted, deduplicated endpoints of every spanner edge that
+          changed since the previous snapshot ({!Graph.Csr.diff} on
+          consecutive spanners) — the dirty region consumers such as
+          {!Oracle.Service} repair from. Empty on the epoch-0 snapshot
+          and on the snapshot pushed by {!restore}, where no previous
+          spanner exists to diff against. A vertex absent from
+          [snap_dirty] has byte-identical incident spanner edges in
+          both epochs. *)
 }
 
 (** Why an epoch's spanner was produced the way it was. *)
@@ -197,7 +206,18 @@ val export_state : t -> snapshot
     [snap]'s epoch the long way — the resume guarantee the daemon's
     kill/restart test pins. Optional arguments mean what they mean in
     {!create}; they are configuration, not state, and must be re-given
-    on restore. *)
+    on restore.
+
+    {!on_epoch} hooks are configuration too, not state: a restored
+    engine starts with {e no} registered hooks, exactly like a fresh
+    {!create}. Every consumer that outlives a checkpoint cycle (the
+    daemon's oracle service, trace sinks, …) must re-attach after
+    [restore] — see [Daemon.Runtime], which re-runs
+    [Oracle.Service.attach] on the restored engine explicitly. The
+    restored snapshot's [snap_dirty] is empty for the same reason:
+    there is no previous epoch in the new engine's history to diff
+    against, so re-attached consumers must treat the resume epoch as
+    a from-scratch publication. *)
 val restore :
   ?backend:Spanner.Backend.t ->
   ?gray:Ubg.Gray_zone.t ->

@@ -421,6 +421,44 @@ let within_parents_csr_into ws c src ~bound ~out_v ~out_d ~out_p =
   done;
   k
 
+(* Multi-source bounded settle: the same relaxation loop as
+   [gen_settle_within_ws] but seeded with every source at distance 0,
+   so one search covers the union ball — the repair path's marking
+   scan, where per-source balls overlap heavily. *)
+let within_multi_csr_into ws c ~srcs ~bound ~out_v =
+  let n = Csr.n_vertices c in
+  if Array.length out_v < n then
+    invalid_arg "Dijkstra.within_multi_csr_into: result buffer too small";
+  ws_prepare ws n;
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= n then
+        invalid_arg "Dijkstra.within_multi_csr_into: source out of range";
+      if ws_get ws s > 0.0 then begin
+        ws_set ws s 0.0;
+        Heap.insert_or_decrease ws.heap s 0.0
+      end)
+    srcs;
+  let iter = csr_iter c in
+  let finished = ref false in
+  while (not !finished) && not (Heap.is_empty ws.heap) do
+    let u, du = Heap.pop_min ws.heap in
+    if du > bound then finished := true
+    else begin
+      ws.touched.(ws.n_touched) <- u;
+      ws.n_touched <- ws.n_touched + 1;
+      iter u (fun v w ->
+          let dv = du +. w in
+          if dv < ws_get ws v then begin
+            ws_set ws v dv;
+            Heap.insert_or_decrease ws.heap v dv
+          end)
+    end
+  done;
+  let cnt = ws.n_touched in
+  Array.blit ws.touched 0 out_v 0 cnt;
+  cnt
+
 let hop_bounded_distance_csr_ws ws c src dst ~max_hops ~bound =
   gen_hop_bounded_distance_ws ws ~n:(Csr.n_vertices c) ~iter:(csr_iter c) src
     dst ~max_hops ~bound

@@ -154,6 +154,20 @@ val within_parents_csr_into :
   out_p:int array ->
   int
 
+(** [within_multi_csr_into ws c ~srcs ~bound ~out_v] settles the union
+    ball of every source at once — one search seeded with all of
+    [srcs] at distance [0] instead of one bounded search per source —
+    and writes the settled vertices (every vertex within [bound] of
+    {e some} source, in nondecreasing distance-to-nearest-source
+    order) into [out_v], returning their count. Duplicate sources are
+    fine; an empty [srcs] settles nothing. This is the oracle repair's
+    dirty-region marking primitive: overlapping balls are scanned
+    once, not once per source. Raises [Invalid_argument] on an
+    out-of-range source or when [out_v] is shorter than the settled
+    count could be ([Csr.n_vertices c]). *)
+val within_multi_csr_into :
+  workspace -> Csr.t -> srcs:int array -> bound:float -> out_v:int array -> int
+
 val hop_bounded_distance_csr_ws :
   workspace -> Csr.t -> int -> int -> max_hops:int -> bound:float -> float
 

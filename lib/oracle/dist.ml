@@ -1,6 +1,5 @@
 module Csr = Graph.Csr
 module Dijkstra = Graph.Dijkstra
-module Wgraph = Graph.Wgraph
 module Pool = Parallel.Pool
 
 (* Flat-array oracle over one frozen snapshot. Center indices (not
@@ -63,10 +62,15 @@ let stats t =
 (* ------------------------------------------------------------------ *)
 
 let m_builds = Obs.Metrics.counter "oracle.builds"
+let m_repairs = Obs.Metrics.counter "oracle.repairs"
+let m_repair_fallbacks = Obs.Metrics.counter "oracle.repair_fallbacks"
 let m_queries = Obs.Metrics.counter "oracle.queries"
 let m_batches = Obs.Metrics.counter "oracle.batches"
-let g_build_seconds = Obs.Metrics.gauge "oracle.build_seconds"
 let g_batch_qps = Obs.Metrics.gauge "oracle.last_batch_qps"
+
+(* Wall-time gauges live in [Service], labelled per service — a
+   process-global "last build anywhere" gauge just lets two services
+   clobber each other (counters above are additive, so they stay). *)
 
 (* Per-query latency is only meaningful averaged over a batch: a far
    answer is ~100ns and timing each one would cost more than the
@@ -107,6 +111,158 @@ let find_cover j ~max_clusters =
       Option.get
         (Topo.Cluster_cover.compute_csr_limited j ~radius:!rho
            ~skip_isolated:true ~max_clusters:max_int ())
+
+(* Center-graph stage, shared by [build] and [repair]: scan the
+   snapshot's edges (deterministic u < v lexicographic order) for
+   cluster-crossing ones — each adjacent cluster pair keeps the
+   crossing edge minimizing d(a,x) + w + d(y,b) as its portal, ties to
+   the first in scan order — then counting-sort both directions into
+   CSR form and run the k single-source searches that fill [dmat] and
+   [next_center]. Everything here is a pure function of
+   (j, center_ix, dist_to_center); rows are slot-disjoint on the pool,
+   so the tables are bit-identical for every pool size. *)
+let center_tables j ~k ~center_ix ~dist_to_center =
+  (* Keys are flattened center pairs ([a * k + b], [a < b]): int
+     hashing and equality, no tuple allocated per crossing edge. *)
+  let h_edges = Hashtbl.create (4 * k) in
+  let h_order = ref [] in
+  Csr.iter_edges j (fun x y w ->
+      let cx = center_ix.(x) and cy = center_ix.(y) in
+      if cx >= 0 && cy >= 0 && cx <> cy then begin
+        let key = if cx < cy then (cx * k) + cy else (cy * k) + cx in
+        let px, py = if cx < cy then (x, y) else (y, x) in
+        let cost = dist_to_center.(x) +. w +. dist_to_center.(y) in
+        match Hashtbl.find_opt h_edges key with
+        | None ->
+            Hashtbl.add h_edges key (cost, px, py);
+            h_order := key :: !h_order
+        | Some (best, _, _) ->
+            if cost < best then Hashtbl.replace h_edges key (cost, px, py)
+      end);
+  let h_list = Array.of_list (List.rev !h_order) in
+  let deg = Array.make (k + 1) 0 in
+  Array.iter
+    (fun key ->
+      deg.(key / k) <- deg.(key / k) + 1;
+      deg.(key mod k) <- deg.(key mod k) + 1)
+    h_list;
+  let h_off = Array.make (k + 1) 0 in
+  for i = 0 to k - 1 do
+    h_off.(i + 1) <- h_off.(i) + deg.(i)
+  done;
+  let total = h_off.(k) in
+  let h_dst = Array.make total 0 in
+  let h_wgt = Array.make total 0.0 in
+  let h_px = Array.make total 0 in
+  let h_py = Array.make total 0 in
+  let cursor = Array.copy h_off in
+  Array.iter
+    (fun key ->
+      let a = key / k and b = key mod k in
+      let cost, px, py = Hashtbl.find h_edges key in
+      let ia = cursor.(a) in
+      cursor.(a) <- ia + 1;
+      h_dst.(ia) <- b;
+      h_wgt.(ia) <- cost;
+      h_px.(ia) <- px;
+      h_py.(ia) <- py;
+      let ib = cursor.(b) in
+      cursor.(b) <- ib + 1;
+      h_dst.(ib) <- a;
+      h_wgt.(ib) <- cost;
+      h_px.(ib) <- py;
+      h_py.(ib) <- px)
+    h_list;
+  (* APSP over H fills the distance matrix and the first-hop table.
+     H is tiny (k a few hundred, a handful of edges per center), so
+     the generic workspace Dijkstra's per-source constant — closure
+     per edge, stamped reads, checked heap ops — dominates the k
+     searches; a specialized loop over the flat H arrays with an
+     inline lazy-deletion binary heap is ~5x cheaper and this stage
+     is the bulk of every repair. Each row doubles as its own dist
+     array. Distances are unique shortest-path sums, so [dmat] is
+     bit-identical to the generic version's; pops come off the heap
+     in nondecreasing key order and H costs are strictly positive, so
+     a parent always settles strictly before its children and the
+     first hop can be read off the parent chain at settle time. *)
+  let dmat = Array.make (k * k) infinity in
+  let next_center = Array.make (k * k) (-1) in
+  Pool.iter_chunks k (fun lo hi ->
+      (* One push per improvement and each directed edge improves its
+         head at most once, so [total + 1] slots bound the heap. *)
+      let cap = total + 1 in
+      let hp_v = Array.make cap 0 in
+      let hp_d = Array.make cap 0.0 in
+      let par = Array.make k (-1) in
+      let settled = Array.make k false in
+      (* Loop cursors hoisted out of the hot loops: a ref allocated
+         per pop/push is minor-GC churn the APSP can feel. *)
+      let hn = ref 0 and i = ref 0 and s = ref 0 and sifting = ref false in
+      for a = lo to hi - 1 do
+        let row = a * k in
+        Array.fill settled 0 k false;
+        dmat.(row + a) <- 0.0;
+        hp_v.(0) <- a;
+        hp_d.(0) <- 0.0;
+        hn := 1;
+        while !hn > 0 do
+          let u = hp_v.(0) and du = hp_d.(0) in
+          let last = !hn - 1 in
+          hp_v.(0) <- hp_v.(last);
+          hp_d.(0) <- hp_d.(last);
+          hn := last;
+          i := 0;
+          sifting := last > 1;
+          while !sifting do
+            let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+            s := !i;
+            if l < last && hp_d.(l) < hp_d.(!s) then s := l;
+            if r < last && hp_d.(r) < hp_d.(!s) then s := r;
+            if !s = !i then sifting := false
+            else begin
+              let tv = hp_v.(!i) and td = hp_d.(!i) in
+              hp_v.(!i) <- hp_v.(!s);
+              hp_d.(!i) <- hp_d.(!s);
+              hp_v.(!s) <- tv;
+              hp_d.(!s) <- td;
+              i := !s
+            end
+          done;
+          (* Stale entries (improved after push) pop after the fresh
+             one that superseded them; the settled flag skips them. *)
+          if not settled.(u) then begin
+            settled.(u) <- true;
+            (if u <> a then
+               let p = par.(u) in
+               next_center.(row + u) <-
+                 (if p = a then u else next_center.(row + p)));
+            for e = h_off.(u) to h_off.(u + 1) - 1 do
+              let v = h_dst.(e) in
+              let dv = du +. h_wgt.(e) in
+              if dv < dmat.(row + v) then begin
+                dmat.(row + v) <- dv;
+                par.(v) <- u;
+                i := !hn;
+                hn := !hn + 1;
+                while
+                  !i > 0
+                  &&
+                  let up = (!i - 1) / 2 in
+                  dv < hp_d.(up)
+                do
+                  let up = (!i - 1) / 2 in
+                  hp_v.(!i) <- hp_v.(up);
+                  hp_d.(!i) <- hp_d.(up);
+                  i := up
+                done;
+                hp_v.(!i) <- v;
+                hp_d.(!i) <- dv
+              end
+            done
+          end
+        done
+      done);
+  (h_off, h_dst, h_px, h_py, dmat, next_center)
 
 let build ?(eps = 0.5) ?max_clusters j =
   if not (eps > 0.0) then invalid_arg "Oracle.build: eps must be > 0";
@@ -151,100 +307,14 @@ let build ?(eps = 0.5) ?max_clusters j =
           if center_ix.(v) = ix && v <> c then up.(v) <- out_p.(i)
         done
       done);
-  (* Center graph H: scan the snapshot's edges (deterministic u < v
-     lexicographic order) for cluster-crossing ones; each adjacent
-     cluster pair keeps the crossing edge minimizing
-     d(a,x) + w + d(y,b) as its portal, ties to the first in scan
-     order. *)
-  let h_edges = Hashtbl.create (4 * k) in
-  let h_order = ref [] in
-  let n_h = ref 0 in
-  Csr.iter_edges j (fun x y w ->
-      let cx = center_ix.(x) and cy = center_ix.(y) in
-      if cx >= 0 && cy >= 0 && cx <> cy then begin
-        let key = if cx < cy then (cx, cy) else (cy, cx) in
-        let px, py = if cx < cy then (x, y) else (y, x) in
-        let cost = dist_to_center.(x) +. w +. dist_to_center.(y) in
-        match Hashtbl.find_opt h_edges key with
-        | None ->
-            Hashtbl.add h_edges key (cost, px, py);
-            h_order := key :: !h_order;
-            incr n_h
-        | Some (best, _, _) ->
-            if cost < best then Hashtbl.replace h_edges key (cost, px, py)
-      end);
-  let h_list = Array.of_list (List.rev !h_order) in
-  (* Both directions, counting-sorted into CSR form; [h_order] fixes a
-     deterministic edge order and rows come out sorted by source, with
-     insertion order within a row given by the scan. *)
-  let deg = Array.make (k + 1) 0 in
-  Array.iter
-    (fun (a, b) ->
-      deg.(a) <- deg.(a) + 1;
-      deg.(b) <- deg.(b) + 1)
-    h_list;
-  let h_off = Array.make (k + 1) 0 in
-  for i = 0 to k - 1 do
-    h_off.(i + 1) <- h_off.(i) + deg.(i)
-  done;
-  let total = h_off.(k) in
-  let h_dst = Array.make total 0 in
-  let h_px = Array.make total 0 in
-  let h_py = Array.make total 0 in
-  let hg = Wgraph.create (max k 1) in
-  let cursor = Array.copy h_off in
-  Array.iter
-    (fun ((a, b) as key) ->
-      let cost, px, py = Hashtbl.find h_edges key in
-      let ia = cursor.(a) in
-      cursor.(a) <- ia + 1;
-      h_dst.(ia) <- b;
-      h_px.(ia) <- px;
-      h_py.(ia) <- py;
-      let ib = cursor.(b) in
-      cursor.(b) <- ib + 1;
-      h_dst.(ib) <- a;
-      h_px.(ib) <- py;
-      h_py.(ib) <- px;
-      Wgraph.add_edge hg a b cost)
-    h_list;
-  let h_csr = Csr.of_wgraph hg in
-  (* k single-source searches on H fill the distance matrix and, via a
-     settle-order sweep, the first-hop table: the first center hop
-     from [a] toward [v] is [v] itself when [v]'s tree parent is [a],
-     else the first hop toward the parent (the parent always sorts
-     strictly earlier — H weights are positive). Rows are
-     slot-disjoint, so pool size never shows in the result. *)
-  let dmat = Array.make (k * k) infinity in
-  let next_center = Array.make (k * k) (-1) in
-  Pool.parallel_for k (fun a ->
-      let ws = Dijkstra.domain_workspace () in
-      Dijkstra.settle_parents_csr_ws ws h_csr a ~bound:infinity;
-      let row = a * k in
-      let order = Array.init k (fun i -> i) in
-      Array.sort
-        (fun x y ->
-          let c =
-            compare (Dijkstra.ws_distance ws x) (Dijkstra.ws_distance ws y)
-          in
-          if c <> 0 then c else compare x y)
-        order;
-      Array.iter
-        (fun v ->
-          if Dijkstra.ws_reached ws v then begin
-            dmat.(row + v) <- Dijkstra.ws_distance ws v;
-            if v <> a then
-              let p = Dijkstra.ws_parent ws v in
-              next_center.(row + v) <-
-                (if p = a then v else next_center.(row + p))
-          end)
-        order);
+  let h_off, h_dst, h_px, h_py, dmat, next_center =
+    center_tables j ~k ~center_ix ~dist_to_center
+  in
   let near_bound =
     if k = 0 then 0.0 else 4.0 *. radius *. (1.0 +. (1.0 /. eps))
   in
   let build_seconds = Unix.gettimeofday () -. t0 in
   Obs.Metrics.incr m_builds;
-  Obs.Metrics.set_gauge g_build_seconds build_seconds;
   {
     csr = j;
     eps;
@@ -279,6 +349,351 @@ let build ?eps ?max_clusters j =
             ("build_s", t.build_seconds);
           ];
         t)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental repair                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type repair_result = {
+  oracle : t;
+  repaired : bool;
+  fallback : string option;
+  affected_clusters : int;
+  repair_seconds : float;
+}
+
+(* Repair keeps [prev]'s cover (centers, radius, eps, near_bound) and
+   re-anchors only the clusters whose radius-balls touch a dirty
+   vertex. Correctness rests on one invariant: a cluster whose ball
+   (in either the old or the new snapshot) contains no dirty vertex
+   has a byte-identical ball in both — any edge change inside the ball
+   puts both endpoints in [dirty], and the bounded scans below would
+   have reached the center from them. Retained [dist_to_center] / [up]
+   entries therefore describe genuine shortest paths in the new
+   snapshot, and every repaired table value remains the length of a
+   real walk — the never-underestimate contract survives repair.
+   The center tables are recomputed outright from the re-anchored
+   assignment (portal costs depend on [dist_to_center], and the H scan
+   is O(m) — cheap next to the cover doubling + n-scale SPTs a scratch
+   build pays).
+
+   The cover itself can evolve: a vertex stranded outside every kept
+   ball is where a scratch greedy would mint a new cluster, and repair
+   mints one in place (a new lowest-priority center). Past local
+   patching — the weight scale drifting away from the doubling floor
+   the radius was chosen at, churn concentrated in the cover, or
+   minting overflowing the cluster cap — repair falls back to a
+   scratch [build] (mirroring the engine's own rebuild fallback) and
+   says why in [fallback]. *)
+let repair_impl ?max_clusters ~prev ~dirty j =
+  let t0 = Unix.gettimeofday () in
+  let n = Csr.n_vertices j in
+  let k = prev.k in
+  let scratch reason =
+    Obs.Metrics.incr m_repair_fallbacks;
+    let oracle = build ~eps:prev.eps ?max_clusters j in
+    {
+      oracle;
+      repaired = false;
+      fallback = Some reason;
+      affected_clusters = k;
+      repair_seconds = Unix.gettimeofday () -. t0;
+    }
+  in
+  let m = Csr.n_edges j in
+  let n_prev = Csr.n_vertices prev.csr in
+  let mean_w = if m = 0 then 0.0 else Csr.total_weight j /. float_of_int m in
+  if n_prev > n then scratch "capacity_changed"
+  else if k = 0 || m = 0 then scratch "degenerate_cover"
+  else if 4.0 *. mean_w > 2.0 *. prev.radius then
+    (* The envelope is scale-free in the cover radius, so the kept
+       radius only needs to track the weight scale loosely; one full
+       doubling step of drift past the search's starting floor
+       (4 x mean weight) is where we stop trusting the cover's
+       granularity. Without the slack a build whose doubling search
+       succeeded on its first attempt — radius exactly at the floor —
+       would fall back on any epoch that nudges the mean weight up. *)
+    scratch "radius_drift"
+  else if 4 * Array.length dirty > n then scratch "dirty_fraction"
+  else begin
+    (* 1. Mark affected clusters: bounded scans from every dirty
+       vertex, on both snapshots, flag every center settled within the
+       cover radius. Sequential — [dirty] is small by the gate above,
+       and determinism is free this way. *)
+    let affected = Array.make k false in
+    let is_center = Array.make n (-1) in
+    Array.iteri (fun ix c -> is_center.(c) <- ix) prev.centers;
+    let ws = Dijkstra.domain_workspace () in
+    let out_v = Array.make n 0 in
+    let out_d = Array.make n 0.0 in
+    let out_p = Array.make n 0 in
+    (* One multi-source scan per snapshot settles the union of the
+       dirty balls — they overlap heavily when a batch's events
+       cluster, and a single seeded search also pays the per-search
+       constant once instead of once per dirty vertex. *)
+    let mark_in g =
+      let ng = Csr.n_vertices g in
+      let srcs =
+        Array.of_seq
+          (Seq.filter
+             (fun d -> d < ng && Csr.degree g d > 0)
+             (Array.to_seq dirty))
+      in
+      if Array.length srcs > 0 then begin
+        let cnt =
+          Dijkstra.within_multi_csr_into ws g ~srcs ~bound:prev.radius ~out_v
+        in
+        for i = 0 to cnt - 1 do
+          let ix = is_center.(out_v.(i)) in
+          if ix >= 0 then affected.(ix) <- true
+        done
+      end
+    in
+    Array.iter
+      (fun d ->
+        if d < 0 || d >= n then invalid_arg "Oracle.repair: dirty out of range")
+      dirty;
+    mark_in prev.csr;
+    mark_in j;
+    Array.iter
+      (fun d ->
+        (* A dirty vertex stranded outside every ball (e.g. isolated in
+           both snapshots) still invalidates its old assignment. Slots
+           born this epoch ([d >= n_prev]) had none. *)
+        if d < n_prev && prev.center_ix.(d) >= 0 then
+          affected.(prev.center_ix.(d)) <- true)
+      dirty;
+    let n_affected = ref 0 in
+    Array.iter (fun a -> if a then incr n_affected) affected;
+    (* Per-vertex tables sized to the new snapshot; slots born this
+       epoch start unassigned (a live one is dirty and gets claimed,
+       a degree-0 one needs no cover). *)
+    let grow src fill =
+      if n_prev = n then Array.copy src
+      else begin
+        let a = Array.make n fill in
+        Array.blit src 0 a 0 n_prev;
+        a
+      end
+    in
+    if
+      !n_affected = 0
+      && Array.exists (fun d -> Csr.degree j d > 0) dirty
+      (* Zero affected clusters means every dirty vertex was uncovered
+         before (a covered one's own ball would have been marked); one
+         that is now live sits outside every ball and the kept cover
+         cannot answer for it. *)
+    then scratch "coverage_cert"
+    else if !n_affected = 0 then begin
+      (* Nothing the cover can see changed; the previous oracle is
+         valid as-is, but re-point it at the new snapshot so near
+         queries search the graph being served. *)
+      Obs.Metrics.incr m_repairs;
+      let oracle =
+        if n_prev = n then { prev with csr = j }
+        else
+          {
+            prev with
+            csr = j;
+            center_ix = grow prev.center_ix (-1);
+            dist_to_center = grow prev.dist_to_center infinity;
+            up = grow prev.up (-1);
+          }
+      in
+      {
+        oracle;
+        repaired = true;
+        fallback = None;
+        affected_clusters = 0;
+        repair_seconds = Unix.gettimeofday () -. t0;
+      }
+    end
+    else if 4 * !n_affected > k then scratch "affected_fraction"
+    else begin
+      (* 2. Re-anchor: clear every member of an affected cluster, then
+         let the affected centers re-claim in creation order — the
+         same earliest-center-wins rule the greedy cover uses. A claim
+         also overrides a retained assignment to a LATER-created
+         (necessarily unaffected) center: an affected ball that grew
+         over such a vertex is where greedy would have put it. The
+         result is exactly the greedy assignment for [prev]'s centers
+         and radius on the new snapshot — an unaffected center's ball
+         is unchanged, so it cannot have gained a claim on anything it
+         did not already own, and every other priority is replayed
+         here. Keeping that property is what keeps the repaired
+         center-graph H as tight as a build's, which the near/far
+         envelope margin quietly relies on. *)
+      let center_ix = grow prev.center_ix (-1) in
+      let dist_to_center = grow prev.dist_to_center infinity in
+      let up = grow prev.up (-1) in
+      for v = 0 to n - 1 do
+        let ix = center_ix.(v) in
+        if ix >= 0 && affected.(ix) then begin
+          center_ix.(v) <- -1;
+          dist_to_center.(v) <- infinity;
+          up.(v) <- -1
+        end
+      done;
+      for ix = 0 to k - 1 do
+        if affected.(ix) then begin
+          let c = prev.centers.(ix) in
+          if Csr.degree j c > 0 then begin
+            let cnt =
+              Dijkstra.within_parents_csr_into ws j c ~bound:prev.radius ~out_v
+                ~out_d ~out_p
+            in
+            for i = 0 to cnt - 1 do
+              let v = out_v.(i) in
+              let cur = center_ix.(v) in
+              if cur = -1 || cur > ix then begin
+                center_ix.(v) <- ix;
+                dist_to_center.(v) <- out_d.(i);
+                up.(v) <- (if v = c then -1 else out_p.(i))
+              end
+            done
+          end
+        end
+      done;
+      (* 3. Rescue leftovers: a cleared vertex can fall out of every
+         affected ball yet still sit inside an unaffected (necessarily
+         later-created) center's unchanged ball — a scratch greedy
+         would assign it there. One bounded scan from the vertex finds
+         the earliest such center; the reversed parent chain gives the
+         first hop toward it. A vertex outside EVERY ball is exactly
+         where greedy would mint a fresh center, so mint one: the
+         vertex becomes a new lowest-priority center and its scan tree
+         claims whatever is still unassigned in its ball. Minting
+         keeps the cover certificate intact without the scratch build
+         this case used to force; the cap check below stops a
+         degrading cover from minting without bound. *)
+      let minted = ref [] in
+      let n_minted = ref 0 in
+      for v = 0 to n - 1 do
+        if center_ix.(v) = -1 && Csr.degree j v > 0 then begin
+          let cnt =
+            Dijkstra.within_parents_csr_into ws j v ~bound:prev.radius ~out_v
+              ~out_d ~out_p
+          in
+          let best = ref (-1) and best_i = ref (-1) in
+          for i = 0 to cnt - 1 do
+            let ix = is_center.(out_v.(i)) in
+            if ix >= 0 && (!best = -1 || ix < !best) then begin
+              best := ix;
+              best_i := i
+            end
+          done;
+          if !best >= 0 then begin
+            center_ix.(v) <- !best;
+            dist_to_center.(v) <- out_d.(!best_i);
+            (* Walk the tree chain center -> v; the vertex whose parent
+               is [v] is [v]'s neighbor on this shortest path. *)
+            let x = ref out_v.(!best_i) in
+            while Dijkstra.ws_parent ws !x <> v do
+              x := Dijkstra.ws_parent ws !x
+            done;
+            up.(v) <- !x
+          end
+          else begin
+            let ix = k + !n_minted in
+            minted := v :: !minted;
+            incr n_minted;
+            is_center.(v) <- ix;
+            for i = 0 to cnt - 1 do
+              let w = out_v.(i) in
+              if center_ix.(w) = -1 then begin
+                center_ix.(w) <- ix;
+                dist_to_center.(w) <- out_d.(i);
+                up.(w) <- (if w = v then -1 else out_p.(i))
+              end
+            done
+          end
+        end
+      done;
+      let k = k + !n_minted in
+      let centers =
+        if !n_minted = 0 then prev.centers
+        else Array.append prev.centers (Array.of_list (List.rev !minted))
+      in
+      (* 4. Coverage certificate: every live vertex must have found a
+         home (minting makes this unconditional; the loop stays as a
+         cheap safety net), and the minted cover must still fit the
+         cluster cap a scratch build would use. *)
+      let cap =
+        match max_clusters with
+        | Some c -> c
+        | None -> max 16 (int_of_float (4.0 *. sqrt (float_of_int n)))
+      in
+      let covered = ref true in
+      for v = 0 to n - 1 do
+        if center_ix.(v) = -1 && Csr.degree j v > 0 then covered := false
+      done;
+      if not !covered then scratch "coverage_cert"
+      else if k > max cap prev.k then scratch "cluster_overflow"
+      else begin
+        let h_off, h_dst, h_px, h_py, dmat, next_center =
+          center_tables j ~k ~center_ix ~dist_to_center
+        in
+        let repair_seconds = Unix.gettimeofday () -. t0 in
+        Obs.Metrics.incr m_repairs;
+        (* A build's near bound [4r(1 + 1/eps)] is exactly tight: far
+           correctness needs the center detour <= 4r, and greedy covers
+           sit within a hair of that line. A repaired cover's detour
+           can drift a few percent past it (frozen centers, kept
+           radius), so widen the near band by one detour allowance —
+           boundary pairs are answered exactly by the near search and
+           far pairs keep a 4r/3 detour margin. The formula is a
+           function of (radius, eps) only, so chained repairs do not
+           inflate it further. *)
+        let near_bound =
+          (4.0 *. prev.radius *. (1.0 +. (1.0 /. prev.eps)))
+          +. (4.0 *. prev.radius)
+        in
+        {
+          oracle =
+            {
+              csr = j;
+              eps = prev.eps;
+              radius = prev.radius;
+              near_bound;
+              k;
+              centers;
+              center_ix;
+              dist_to_center;
+              up;
+              dmat;
+              next_center;
+              h_off;
+              h_dst;
+              h_px;
+              h_py;
+              build_seconds = repair_seconds;
+            };
+          repaired = true;
+          fallback = None;
+          affected_clusters = !n_affected + !n_minted;
+          repair_seconds;
+        }
+      end
+    end
+  end
+
+let repair ?max_clusters ~prev ~dirty j =
+  if not (Obs.Control.enabled ()) then repair_impl ?max_clusters ~prev ~dirty j
+  else begin
+    let info = ref [] in
+    Obs.Trace.span ~cat:"oracle" ~args:(fun () -> !info) "oracle.repair"
+      (fun () ->
+        let r = repair_impl ?max_clusters ~prev ~dirty j in
+        info :=
+          [
+            ("n", float_of_int (Csr.n_vertices j));
+            ("dirty", float_of_int (Array.length dirty));
+            ("affected", float_of_int r.affected_clusters);
+            ("repaired", if r.repaired then 1.0 else 0.0);
+            ("repair_s", r.repair_seconds);
+          ];
+        r)
   end
 
 (* ------------------------------------------------------------------ *)

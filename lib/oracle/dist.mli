@@ -65,6 +65,64 @@ type t
     [Invalid_argument] on [eps <= 0]. *)
 val build : ?eps:float -> ?max_clusters:int -> Graph.Csr.t -> t
 
+(** {1 Incremental repair} *)
+
+type repair_result = {
+  oracle : t;  (** valid over the new snapshot either way *)
+  repaired : bool;  (** [false] = fell back to a scratch {!build} *)
+  fallback : string option;  (** why repair declined, when it did *)
+  affected_clusters : int;  (** clusters re-anchored (or [k] on fallback) *)
+  repair_seconds : float;  (** wall time, including any fallback build *)
+}
+
+(** [repair ?max_clusters ~prev ~dirty csr] updates [prev] to the new
+    snapshot [csr] without recomputing the cover: it keeps [prev]'s
+    centers, radius and near/far threshold, re-anchors only the
+    clusters whose radius-balls (in either snapshot) touch a vertex in
+    [dirty], and rebuilds the center tables from the patched
+    assignment. [dirty] must list every vertex whose incident spanner
+    edges changed — exactly [Dynamic.Engine]'s [snap_dirty] payload; a
+    vertex outside [dirty] must have identical incident edges in
+    [prev]'s snapshot and [csr]. Under that contract every retained
+    table entry still describes a genuine walk in [csr], so the
+    repaired oracle obeys the same never-underestimate /
+    [(1+eps)]-envelope contract as a scratch build (it may differ from
+    one bit-for-bit — cover anchoring legitimately diverges). To keep
+    that envelope honest at the near/far boundary, a repaired oracle
+    widens its near band by one center-detour allowance ([4 x radius]
+    on top of the build formula): the kept cover's detour can drift a
+    few percent past a fresh build's exactly-tight bound, so boundary
+    pairs are answered exactly and far answers retain a margin. The
+    widening is a function of (radius, eps) only — chained repairs do
+    not inflate it further.
+
+    Vertex-slot growth is repaired in place — slots born since [prev]
+    start unassigned and are claimed like any cleared vertex (a live
+    one is necessarily dirty). A live vertex left outside every kept
+    ball is exactly where a scratch greedy would start a new cluster,
+    so repair mints one: the vertex becomes a new lowest-priority
+    center and claims the still-unassigned part of its ball. Repair
+    falls back to a scratch {!build} (with [prev]'s [eps] and the
+    given [max_clusters]) when the cover degraded past the point where
+    patching is honest: the snapshot capacity shrank, the
+    radius-doubling floor [4 x mean edge weight] outgrew [prev]'s
+    radius by more than one doubling step, more than a quarter of the
+    vertices are dirty, more than a quarter of the clusters are
+    affected, or minting would push the cluster count past the cap a
+    scratch build would use. [repaired]/[fallback] say which case you
+    got.
+
+    Marking and re-anchoring are sequential; the center tables are
+    pool-parallel with slot-disjoint rows — the result is bit-identical
+    for every pool size, like {!build}. Raises [Invalid_argument] when
+    [dirty] contains an out-of-range vertex. *)
+val repair :
+  ?max_clusters:int ->
+  prev:t ->
+  dirty:int array ->
+  Graph.Csr.t ->
+  repair_result
+
 (** The snapshot the oracle was built over. *)
 val csr : t -> Graph.Csr.t
 

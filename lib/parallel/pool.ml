@@ -8,6 +8,11 @@
 let in_worker_key = Domain.DLS.new_key (fun () -> false)
 let run_in_worker () = Domain.DLS.get in_worker_key
 
+let sequentially f =
+  let saved = Domain.DLS.get in_worker_key in
+  Domain.DLS.set in_worker_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker_key saved) f
+
 (* Observability: counters are always on (a store per job), task spans
    and queue-wait samples only when tracing is enabled. *)
 let m_jobs = Obs.Metrics.counter "pool.jobs"

@@ -69,6 +69,16 @@ val shutdown : unit -> unit
     nested submissions run sequentially. *)
 val run_in_worker : unit -> bool
 
+(** [sequentially f] runs [f ()] with the calling domain marked as a
+    pool worker, so every combinator call inside takes the sequential
+    path without touching the shared pool. For background domains
+    (e.g. the oracle service's async builder) that must never contend
+    with the main pipeline for the pool's submission lock. Every
+    combinator is order-preserving, so results are bit-identical to
+    the pooled execution. The mark is restored on exit, exceptions
+    included. *)
+val sequentially : (unit -> 'a) -> 'a
+
 (** [parallel_for n f] runs [f i] for every [i] in [[0, n)], spread
     over the pool in contiguous chunks. [f] must only write state owned
     by iteration [i] (e.g. slot [i] of an output array). The first

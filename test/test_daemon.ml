@@ -321,12 +321,16 @@ let test_daemon_serves_published_oracle () =
       let c = connect_with_retry sock in
       let synced = wait_for_epoch c epochs in
       Alcotest.(check int) "synced to tail" epochs synced;
-      (* Local replica: same replay, same oracle parameters. *)
+      (* Local replica: same replay, same oracle parameters — attached
+         BEFORE the replay so it follows the same scratch-then-repair
+         chain the daemon's async service walks (a scratch build at
+         the tail could legitimately anchor clusters differently). *)
       let e = Engine.create ~params:daemon_params model in
+      let replica = Oracle.Service.attach ~eps:0.5 ~label:"replica" e in
       Array.iter
         (fun b -> ignore (Engine.apply_batch e b))
         trace.Ubg.Churn.batches;
-      let entry = Oracle.Service.current (Oracle.Service.attach ~eps:0.5 e) in
+      let entry = Oracle.Service.current replica in
       let qws = Oracle.Dist.create_query_ws () in
       let n = Graph.Csr.n_vertices entry.Oracle.Service.csr in
       let pairs = ref 0 in

@@ -342,6 +342,59 @@ let test_engine_snapshot_diff () =
         (canonical patched = canonical (Csr.to_wgraph after.Engine.snap_spanner))
   | _ -> Alcotest.fail "expected at least two snapshots"
 
+(* snap_dirty is the oracle-repair contract: the sorted, deduplicated
+   endpoints of the spanner diff against the previous snapshot, and
+   empty exactly where no previous snapshot exists. *)
+let test_engine_snap_dirty_matches_diff () =
+  let model, trace = trace_setup ~seed:29 ~n:55 ~epochs:4 ~batch_max:5 in
+  let e = Engine.create ~params:(params_for model) model in
+  Alcotest.(check (array int)) "epoch 0 has no dirty set" [||]
+    (Engine.latest e).Engine.snap_dirty;
+  Engine.replay e trace ~f:(fun _ -> ());
+  let rec walk = function
+    | after :: (before :: _ as rest) ->
+        let added, removed = Engine.diff ~before ~after in
+        let tbl = Hashtbl.create 16 in
+        Array.iter
+          (fun (ed : Wgraph.edge) ->
+            Hashtbl.replace tbl ed.Wgraph.u ();
+            Hashtbl.replace tbl ed.Wgraph.v ())
+          added;
+        Array.iter
+          (fun (ed : Wgraph.edge) ->
+            Hashtbl.replace tbl ed.Wgraph.u ();
+            Hashtbl.replace tbl ed.Wgraph.v ())
+          removed;
+        let expect = Array.of_seq (Hashtbl.to_seq_keys tbl) in
+        Array.sort compare expect;
+        Alcotest.(check (array int))
+          (Printf.sprintf "epoch %d dirty = diff endpoints"
+             after.Engine.snap_epoch)
+          expect after.Engine.snap_dirty;
+        walk rest
+    | [ oldest ] ->
+        (* Snapshot retention is bounded; only a retained epoch 0 is
+           required to carry an empty dirty set. *)
+        if oldest.Engine.snap_epoch = 0 then
+          Alcotest.(check (array int)) "epoch 0 has no dirty set" [||]
+            oldest.Engine.snap_dirty
+    | [] -> Alcotest.fail "expected snapshots"
+  in
+  walk (Engine.snapshots e)
+
+let test_engine_restore_clears_snap_dirty () =
+  let model, trace = trace_setup ~seed:43 ~n:45 ~epochs:2 ~batch_max:4 in
+  let params = params_for model in
+  let e = Engine.create ~params model in
+  Engine.replay e trace ~f:(fun _ -> ());
+  Alcotest.(check bool) "live engine accumulated dirt" true
+    (Array.length (Engine.latest e).Engine.snap_dirty > 0);
+  let r = Engine.restore ~params (Engine.export_state e) in
+  (* The restored snapshot has no predecessor, so a repair chain must
+     not resume across it: the dirty set is empty. *)
+  Alcotest.(check (array int)) "restored snapshot has no dirty set" [||]
+    (Engine.latest r).Engine.snap_dirty
+
 let test_engine_forced_rebuild_threshold () =
   (* A tiny threshold forces the full-rebuild path; it must certify and
      report its kind. *)
@@ -606,6 +659,10 @@ let () =
             test_engine_spanner_avoids_dead_slots;
           Alcotest.test_case "rollback" `Quick test_engine_rollback;
           Alcotest.test_case "snapshot diff" `Quick test_engine_snapshot_diff;
+          Alcotest.test_case "snap_dirty = diff endpoints" `Quick
+            test_engine_snap_dirty_matches_diff;
+          Alcotest.test_case "restore clears snap_dirty" `Quick
+            test_engine_restore_clears_snap_dirty;
           Alcotest.test_case "threshold rebuild path" `Quick
             test_engine_forced_rebuild_threshold;
         ] );

@@ -229,6 +229,184 @@ let test_trivial_and_unreachable () =
     (Dist.spanner_path oracle qws ~src:0 ~dst:3 = None)
 
 (* ------------------------------------------------------------------ *)
+(* Incremental repair                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let churn_snapshots ~seed ~n ~epochs ~batch_max =
+  let alpha = 0.8 in
+  let model = connected_model ~seed ~n ~dim:2 ~alpha in
+  let side =
+    Ubg.Generator.side_for_expected_degree ~dim:2 ~n ~alpha ~degree:9.0
+  in
+  let trace =
+    Churn.generate ~seed:(seed + 31) ~epochs ~batch_max
+      (Churn.default_dynamics ~side)
+      model
+  in
+  let params =
+    Topo.Params.of_epsilon ~eps:0.5 ~alpha:model.Ubg.Model.alpha
+      ~dim:(Ubg.Model.dim model)
+  in
+  let e = Engine.create ~params model in
+  let snaps = ref [ Engine.latest e ] in
+  Array.iter
+    (fun b ->
+      ignore (Engine.apply_batch e b);
+      snaps := Engine.latest e :: !snaps)
+    trace.Ubg.Churn.batches;
+  Array.of_list (List.rev !snaps)
+
+(* Chain repairs across a recorded churn trace; on every epoch the
+   repaired oracle must keep the full contract on the new snapshot —
+   dominate exact distances and stay inside the (1+eps) envelope, like
+   a scratch build would (it may anchor clusters differently, so only
+   the envelope is compared, not bits). *)
+let prop_repair_matches_scratch_within_envelope =
+  qtest ~count:6 "repair: chained repairs keep the scratch envelope"
+    seed_arb (fun seed ->
+      let n = 150 in
+      let snaps = churn_snapshots ~seed ~n ~epochs:5 ~batch_max:5 in
+      let qws = Dist.create_query_ws () in
+      let ok = ref true in
+      let prev = ref (Dist.build ~eps:oracle_eps snaps.(0).Engine.snap_spanner) in
+      for i = 1 to Array.length snaps - 1 do
+        let csr = snaps.(i).Engine.snap_spanner in
+        let r =
+          Dist.repair ~prev:!prev ~dirty:snaps.(i).Engine.snap_dirty csr
+        in
+        let scratch = Dist.build ~eps:oracle_eps csr in
+        let pairs = sample_pairs ~seed:(seed + i) ~n ~count:40 in
+        Array.iter
+          (fun (u, v) ->
+            let exact = Dijkstra.distance_csr csr u v in
+            let est = Dist.distance_estimate r.Dist.oracle qws u v in
+            let est_scratch = Dist.distance_estimate scratch qws u v in
+            if exact = infinity then
+              ok := !ok && est = infinity && est_scratch = infinity
+            else begin
+              let envelope e =
+                e >= exact -. 1e-9
+                && e <= ((1.0 +. oracle_eps) *. exact) +. 1e-9
+              in
+              ok := !ok && envelope est && envelope est_scratch
+            end)
+          pairs;
+        prev := r.Dist.oracle
+      done;
+      !ok)
+
+(* Repaired routes must still be genuine walks of exactly the
+   estimate's length — the route machinery reads the patched
+   [up]/portal tables. *)
+let prop_repair_routes_are_walks =
+  qtest ~count:5 "repair: routes on repaired oracles are walks of estimate \
+                  length" seed_arb (fun seed ->
+      let n = 140 in
+      let snaps = churn_snapshots ~seed ~n ~epochs:4 ~batch_max:5 in
+      let qws = Dist.create_query_ws () in
+      let ok = ref true in
+      let prev = ref (Dist.build ~eps:oracle_eps snaps.(0).Engine.snap_spanner) in
+      for i = 1 to Array.length snaps - 1 do
+        let csr = snaps.(i).Engine.snap_spanner in
+        let r =
+          Dist.repair ~prev:!prev ~dirty:snaps.(i).Engine.snap_dirty csr
+        in
+        let o = r.Dist.oracle in
+        let pairs = sample_pairs ~seed:(seed + 7 * i) ~n ~count:25 in
+        Array.iter
+          (fun (u, v) ->
+            let est = Dist.distance_estimate o qws u v in
+            match Dist.spanner_path o qws ~src:u ~dst:v with
+            | None -> ok := !ok && est = infinity
+            | Some path ->
+                let m = Array.length path in
+                let len = ref 0.0 in
+                let walk = ref (path.(0) = u && path.(m - 1) = v) in
+                for j = 0 to m - 2 do
+                  let w = edge_weight csr path.(j) path.(j + 1) in
+                  if w = infinity then walk := false else len := !len +. w
+                done;
+                ok := !ok && !walk && abs_float (!len -. est) <= 1e-6)
+          pairs;
+        prev := o
+      done;
+      !ok)
+
+let repair_fingerprint ~domains snaps ~pairs =
+  Pool.set_domains domains;
+  Fun.protect ~finally:Pool.clear_domains (fun () ->
+      let acc = ref [] in
+      let prev =
+        ref (Dist.build ~eps:oracle_eps snaps.(0).Engine.snap_spanner)
+      in
+      for i = 1 to Array.length snaps - 1 do
+        let r =
+          Dist.repair ~prev:!prev ~dirty:snaps.(i).Engine.snap_dirty
+            snaps.(i).Engine.snap_spanner
+        in
+        let o = r.Dist.oracle in
+        let n = Array.length pairs in
+        let u = Array.map fst pairs and v = Array.map snd pairs in
+        let out = Array.make n 0.0 in
+        Dist.distance_batch_into o ~u ~v ~out;
+        acc :=
+          (r.Dist.repaired, r.Dist.fallback, r.Dist.affected_clusters,
+           Array.to_list out)
+          :: !acc;
+        prev := o
+      done;
+      List.rev !acc)
+
+let prop_repair_deterministic_across_domains =
+  qtest ~count:5 "repair: bit-identical across TOPO_DOMAINS in {1, 4, 8}"
+    seed_arb (fun seed ->
+      let n = 130 in
+      let snaps = churn_snapshots ~seed ~n ~epochs:4 ~batch_max:5 in
+      let pairs = sample_pairs ~seed ~n ~count:60 in
+      let f1 = repair_fingerprint ~domains:1 snaps ~pairs in
+      let f4 = repair_fingerprint ~domains:4 snaps ~pairs in
+      let f8 = repair_fingerprint ~domains:8 snaps ~pairs in
+      f1 = f4 && f4 = f8)
+
+let test_repair_forced_fallback () =
+  (* Marking every vertex dirty trips the dirty-fraction gate: repair
+     must decline, scratch-build, and still produce a valid oracle. *)
+  let csr = model_csr ~seed:11 ~n:120 in
+  let prev = Dist.build ~eps:oracle_eps csr in
+  let dirty = Array.init 120 (fun i -> i) in
+  let r = Dist.repair ~prev ~dirty csr in
+  Alcotest.(check bool) "fell back" false r.Dist.repaired;
+  Alcotest.(check (option string)) "names the gate" (Some "dirty_fraction")
+    r.Dist.fallback;
+  let qws = Dist.create_query_ws () in
+  let pairs = sample_pairs ~seed:11 ~n:120 ~count:30 in
+  Array.iter
+    (fun (u, v) ->
+      let exact = Dijkstra.distance_csr csr u v in
+      let est = Dist.distance_estimate r.Dist.oracle qws u v in
+      Alcotest.(check bool) "fallback oracle dominates exact" true
+        (est >= exact -. 1e-9))
+    pairs
+
+let test_repair_empty_dirty () =
+  (* An unchanged snapshot repairs in O(1): same tables, zero affected
+     clusters, answers bit-identical to the previous oracle. *)
+  let csr = model_csr ~seed:5 ~n:100 in
+  let prev = Dist.build ~eps:oracle_eps csr in
+  let r = Dist.repair ~prev ~dirty:[||] csr in
+  Alcotest.(check bool) "repaired" true r.Dist.repaired;
+  Alcotest.(check int) "no affected clusters" 0 r.Dist.affected_clusters;
+  let qws = Dist.create_query_ws () in
+  let pairs = sample_pairs ~seed:5 ~n:100 ~count:30 in
+  Array.iter
+    (fun (u, v) ->
+      check_float
+        (Printf.sprintf "answer %d-%d unchanged" u v)
+        (Dist.distance_estimate prev qws u v)
+        (Dist.distance_estimate r.Dist.oracle qws u v))
+    pairs
+
+(* ------------------------------------------------------------------ *)
 (* Service: RCU publication                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -308,6 +486,73 @@ let test_concurrent_query_during_epoch_advance () =
   Alcotest.(check bool) "reader observed a published epoch advance" true
     (Atomic.get seen_epochs > 0 || (Service.current s).Service.epoch > 0)
 
+(* A stale or duplicate publish must never regress the served entry —
+   this is what makes the attach re-check race-free. *)
+let test_publish_is_monotonic () =
+  let csr_a = model_csr ~seed:21 ~n:50 in
+  let csr_b = model_csr ~seed:22 ~n:50 in
+  let s = Service.of_csr ~eps:oracle_eps ~label:"mono" csr_a in
+  Service.publish s ~epoch:5 csr_b;
+  Alcotest.(check int) "advanced to 5" 5 (Service.current s).Service.epoch;
+  let served = (Service.current s).Service.oracle in
+  Service.publish s ~epoch:3 csr_a;
+  Alcotest.(check int) "stale publish ignored" 5
+    (Service.current s).Service.epoch;
+  Service.publish s ~epoch:5 csr_a;
+  Alcotest.(check bool) "duplicate publish ignored" true
+    ((Service.current s).Service.oracle == served)
+
+(* Regression for the attach missed-epoch window: epochs published
+   between attach's [Engine.latest] read and its hook registration
+   used to be lost until the next batch. The fix re-checks [latest]
+   after registering, so an attach racing a live replay always ends
+   at the engine's final epoch once the replay domain is joined. *)
+let test_attach_races_live_engine () =
+  for round = 0 to 3 do
+    let model, trace = trace_setup ~seed:(40 + round) ~n:60 ~epochs:6 ~batch_max:4 in
+    let e = Engine.create ~params:(params_for model) model in
+    let replayer =
+      Domain.spawn (fun () ->
+          Array.iter
+            (fun b ->
+              ignore (Engine.apply_batch e b);
+              Unix.sleepf 0.002)
+            trace.Ubg.Churn.batches)
+    in
+    Unix.sleepf 0.004;
+    let s = Service.attach ~eps:oracle_eps ~label:"race" e in
+    Domain.join replayer;
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: service caught up" round)
+      (Engine.epoch e)
+      (Service.current s).Service.epoch
+  done
+
+(* Async attach: the hook only enqueues; flush catches the builder up
+   and the published chain must show repairs, not per-epoch scratch
+   rebuilds. After shutdown further epochs publish synchronously. *)
+let test_attach_async_flush_and_shutdown () =
+  let model, trace = trace_setup ~seed:13 ~n:60 ~epochs:5 ~batch_max:4 in
+  let e = Engine.create ~params:(params_for model) model in
+  let s = Service.attach ~eps:oracle_eps ~label:"async" ~async:true e in
+  Engine.replay e trace ~f:(fun _ -> ());
+  Service.flush s;
+  Alcotest.(check int) "published epoch tracks engine after flush"
+    (Engine.epoch e)
+    (Service.current s).Service.epoch;
+  let st = Service.stats s in
+  Alcotest.(check int) "no pending jobs after flush" 0 st.Service.pending;
+  Alcotest.(check int) "every epoch constructed exactly once"
+    (Engine.epoch e + 1)
+    (st.Service.repairs + st.Service.scratch_builds);
+  Service.shutdown s;
+  let model2, trace2 = trace_setup ~seed:14 ~n:60 ~epochs:1 ~batch_max:3 in
+  ignore model2;
+  Array.iter (fun b -> ignore (Engine.apply_batch e b)) trace2.Ubg.Churn.batches;
+  Alcotest.(check int) "post-shutdown epochs publish synchronously"
+    (Engine.epoch e)
+    (Service.current s).Service.epoch
+
 let () =
   Alcotest.run "oracle"
     [
@@ -327,11 +572,27 @@ let () =
           Alcotest.test_case "trivial and unreachable queries" `Quick
             test_trivial_and_unreachable;
         ] );
+      ( "repair",
+        [
+          prop_repair_matches_scratch_within_envelope;
+          prop_repair_routes_are_walks;
+          prop_repair_deterministic_across_domains;
+          Alcotest.test_case "forced fallback keeps the contract" `Quick
+            test_repair_forced_fallback;
+          Alcotest.test_case "empty dirty set is a no-op repair" `Quick
+            test_repair_empty_dirty;
+        ] );
       ( "service",
         [
           Alcotest.test_case "publish per epoch" `Quick
             test_service_publishes_epochs;
           Alcotest.test_case "concurrent query during epoch advance" `Quick
             test_concurrent_query_during_epoch_advance;
+          Alcotest.test_case "publish is monotonic by epoch" `Quick
+            test_publish_is_monotonic;
+          Alcotest.test_case "attach races a live engine" `Quick
+            test_attach_races_live_engine;
+          Alcotest.test_case "async attach: flush and shutdown" `Quick
+            test_attach_async_flush_and_shutdown;
         ] );
     ]
